@@ -1,0 +1,47 @@
+"""E5 — Claim 4.3: the steady-state bottom-of-program store fraction.
+
+Regenerates the recurrence sequence Pr[S_ST,i(i)], its 2/3 fixed point,
+and a simulated column measuring the actual bottom-instruction type after
+settling random prefixes under TSO.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    TSO,
+    SettlingProcess,
+    generate_program,
+    steady_state_store_fraction,
+    store_fraction_sequence,
+)
+from repro.reporting import render_table
+from repro.stats import RandomSource, run_bernoulli_trials
+
+
+def test_claim43_recurrence(benchmark):
+    values = benchmark(store_fraction_sequence, 16)
+    rows = [
+        {"i": i, "Pr[ST at bottom]": value, "closed form": 2 / 3 - (1 / 6) * 0.25 ** (i - 1)}
+        for i, value in enumerate(values, start=1)
+    ]
+    show(render_table(rows, precision=8, title="Claim 4.3 recurrence"))
+    assert values[-1] == pytest.approx(2 / 3, abs=1e-8)
+    assert steady_state_store_fraction() == pytest.approx(2 / 3)
+
+
+def test_claim43_simulated_bottom_type(run_once):
+    """Settle random bodies and observe the type of the bottom instruction."""
+
+    def bottom_is_store(source: RandomSource) -> bool:
+        program = generate_program(48, source)
+        result = SettlingProcess(TSO).settle(program, source, record_trace=True)
+        prefix_order = result.trace[program.body_length - 1].order
+        bottom_index = prefix_order[-1]
+        return program.type_of(bottom_index).mnemonic == "ST"
+
+    result = run_once(run_bernoulli_trials, bottom_is_store, 20_000, 606)
+    show(f"simulated Pr[ST at bottom] = {result} vs analytic 2/3 = {2 / 3:.6f}")
+    assert result.agrees_with(2 / 3)

@@ -1,0 +1,128 @@
+"""E13 — §7 fences: one-way barriers in the settling model.
+
+The paper sketches acquire/release fences as future work and conjectures
+that *"adding fences will not significantly change the main conclusions"*.
+This bench implements the sketch and tests the conjecture:
+
+* exact fenced window laws vs the fenced reference simulator,
+* Pr[A] as a function of the fence distance k: k = 0 collapses every
+  model onto SC's 1/6; k → ∞ recovers the unfenced Theorem 6.2 values;
+  the model *ordering* is preserved at every k (the conjecture, part 1),
+* the Theorem 6.3 exponent is untouched by any fixed fence distance
+  (the conjecture, part 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    PAPER_MODELS,
+    PSO,
+    SC,
+    TSO,
+    WO,
+    fenced_non_manifestation,
+    fenced_window_distribution,
+    log_disjointness_iid,
+    non_manifestation_probability,
+    sample_fenced_window_growth,
+)
+from repro.reporting import render_table
+from repro.stats import run_categorical_trials
+
+DISTANCES = (0, 1, 2, 4, 8, 16, 48)
+
+
+def test_fenced_window_law_vs_simulator(run_once):
+    def compute():
+        results = {}
+        for model in (TSO, WO):
+            results[model.name] = run_categorical_trials(
+                lambda source, m=model: sample_fenced_window_growth(
+                    m, source, fence_distance=3, body_length=48
+                ),
+                trials=40_000,
+                seed=1818,
+            )
+        return results
+
+    simulated = run_once(compute)
+    rows = []
+    for name in ("TSO", "WO"):
+        model = TSO if name == "TSO" else WO
+        exact = fenced_window_distribution(model, 3)
+        for gamma in range(4):
+            rows.append(
+                {
+                    "model": name,
+                    "gamma": gamma,
+                    "exact": exact.pmf(gamma),
+                    "simulated": simulated[name].estimate(gamma),
+                }
+            )
+            assert simulated[name].probability(gamma).contains(exact.pmf(gamma)), (
+                name,
+                gamma,
+            )
+    show(render_table(rows, precision=5, title="E13: fenced window law (k = 3)"))
+
+
+def test_fence_distance_sweep(benchmark):
+    def sweep():
+        rows = []
+        for distance in DISTANCES:
+            row: dict[str, object] = {"fence distance": distance}
+            for model in PAPER_MODELS:
+                row[model.name] = fenced_non_manifestation(model, distance).value
+            rows.append(row)
+        return rows
+
+    rows = benchmark(sweep)
+    show(render_table(rows, precision=6, title="E13: Pr[A] vs fence distance, n = 2"))
+
+    # k = 0: every model is SC.
+    for model in PAPER_MODELS:
+        assert rows[0][model.name] == pytest.approx(1 / 6)
+    # k large: the unfenced Theorem 6.2 values.
+    for model in PAPER_MODELS:
+        unfenced = non_manifestation_probability(model).value
+        assert rows[-1][model.name] == pytest.approx(unfenced, abs=1e-6)
+    # The conjecture: ordering preserved at every distance, and Pr[A] is
+    # monotone non-increasing in the distance for every model.
+    for row in rows:
+        assert (
+            row["WO"] <= row["TSO"] <= row["PSO"] <= row["SC"] + 1e-12
+        ), row["fence distance"]
+    for model in PAPER_MODELS:
+        series = [float(row[model.name]) for row in rows]
+        assert series == sorted(series, reverse=True), model.name
+
+
+def test_fences_do_not_change_asymptotics(benchmark):
+    """Part 2 of the conjecture: any fixed fence distance leaves the
+    Theorem 6.3 exponent at (3/2)·ln 2."""
+
+    def exponents():
+        rows = []
+        for n in (8, 32, 96):
+            row: dict[str, object] = {"n": n}
+            for distance in (2, 8):
+                growth = fenced_window_distribution(WO, distance)
+                row[f"WO exponent (k={distance})"] = -log_disjointness_iid(growth, n) / n**2
+            row["unfenced WO exponent"] = -log_disjointness_iid(
+                fenced_window_distribution(WO, 64), n
+            ) / n**2
+            rows.append(row)
+        return rows
+
+    rows = benchmark(exponents)
+    show(render_table(rows, precision=5, title="E13: fenced Theorem 6.3 exponents"))
+    limit = 1.5 * math.log(2)
+    final = rows[-1]
+    for key, value in final.items():
+        if key != "n":
+            assert abs(float(value) - limit) < 0.12 * limit, key

@@ -1,0 +1,102 @@
+"""E14 — heterogeneous fleets: threads under different memory models.
+
+Theorem 6.1 needs identical marginals; this bench exercises the exact
+order-conditioned extension for mixed fleets and validates it end to end:
+
+* homogeneous fleets reproduce the Theorem 6.2 route,
+* at n = 2 mixing is *exactly arithmetic averaging* of the pure values,
+* at n = 3 downgrading threads one by one interpolates between all-SC and
+  all-WO with a near-constant per-thread factor,
+* the shared-program Monte Carlo agrees with the exact route for every
+  independent-window fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    SC,
+    TSO,
+    WO,
+    estimate_heterogeneous_non_manifestation,
+    heterogeneous_non_manifestation,
+    non_manifestation_probability,
+)
+from repro.reporting import render_table
+
+
+def _fleet_name(fleet) -> str:
+    return "+".join(model.name for model in fleet)
+
+
+def test_heterogeneous_exact_vs_monte_carlo(run_once):
+    fleets = [[SC, WO], [SC, TSO], [WO, TSO], [SC, SC, WO], [SC, WO, WO]]
+
+    def compute():
+        rows = []
+        for index, fleet in enumerate(fleets):
+            exact = heterogeneous_non_manifestation(fleet).value
+            empirical = estimate_heterogeneous_non_manifestation(
+                fleet, trials=200_000, seed=1919 + index
+            )
+            rows.append(
+                {
+                    "fleet": _fleet_name(fleet),
+                    "exact": exact,
+                    "monte carlo": empirical.estimate,
+                    "agrees": empirical.agrees_with(exact),
+                }
+            )
+        return rows
+
+    rows = run_once(compute)
+    show(render_table(rows, precision=6, title="E14: mixed fleets, exact vs MC"))
+    assert all(row["agrees"] for row in rows)
+
+
+def test_two_thread_mixing_is_averaging(benchmark):
+    def compute():
+        mixed = heterogeneous_non_manifestation([SC, WO]).value
+        sc = non_manifestation_probability(SC).value
+        wo = non_manifestation_probability(WO).value
+        return mixed, sc, wo
+
+    mixed, sc, wo = benchmark(compute)
+    show(
+        f"Pr[A(SC+WO)] = {mixed:.6f}; arithmetic mean of pures = {(sc + wo) / 2:.6f}"
+    )
+    assert mixed == pytest.approx((sc + wo) / 2, rel=1e-9)
+
+
+def test_downgrade_ladder(benchmark):
+    """Replacing SC threads with WO threads one at a time, n = 3."""
+
+    def ladder():
+        rows = []
+        fleets = [[SC, SC, SC], [SC, SC, WO], [SC, WO, WO], [WO, WO, WO]]
+        previous = None
+        for fleet in fleets:
+            value = heterogeneous_non_manifestation(fleet).value
+            ratio = value / previous if previous is not None else float("nan")
+            rows.append(
+                {
+                    "fleet": _fleet_name(fleet),
+                    "Pr[A]": value,
+                    "step ratio": ratio,
+                }
+            )
+            previous = value
+        return rows
+
+    rows = benchmark(ladder)
+    show(render_table(rows, precision=6, title="E14: SC -> WO downgrade ladder, n = 3"))
+    values = [float(row["Pr[A]"]) for row in rows]
+    assert values == sorted(values, reverse=True)
+    # Near-constant per-downgrade factor (log-linear interpolation):
+    ratios = [float(row["step ratio"]) for row in rows[1:]]
+    assert max(ratios) - min(ratios) < 0.06
+    # Endpoints match the homogeneous routes.
+    assert values[0] == pytest.approx(non_manifestation_probability(SC, n=3).value, rel=1e-9)
+    assert values[-1] == pytest.approx(non_manifestation_probability(WO, n=3).value, rel=1e-9)

@@ -1,0 +1,90 @@
+"""Performance benchmarks for the library's computational kernels.
+
+Unlike the experiment benches (E1–E15), these measure raw throughput of
+the hot paths — useful for catching performance regressions and for
+sizing Monte-Carlo budgets.  pytest-benchmark's default multi-round
+timing applies (these kernels are cheap enough to run repeatedly).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    TSO,
+    WO,
+    SettlingProcess,
+    batch_disjoint,
+    disjointness_probability,
+    generate_program,
+    run_length_distribution,
+    sample_growth_matrix,
+    tso_window_distribution,
+    window_distribution,
+)
+from repro.stats import RandomSource
+
+
+def test_kernel_settle_reference(benchmark):
+    """Full settling of a 96-instruction program under TSO."""
+    source = RandomSource(1)
+    program = generate_program(96, source)
+    process = SettlingProcess(TSO)
+
+    benchmark(lambda: process.settle(program, source))
+
+
+def test_kernel_settle_weak_ordering(benchmark):
+    """Full settling under WO (more swaps per round than TSO)."""
+    source = RandomSource(2)
+    program = generate_program(96, source)
+    process = SettlingProcess(WO)
+
+    benchmark(lambda: process.settle(program, source))
+
+
+def test_kernel_growth_matrix_tso(benchmark):
+    """Vectorised shared-program growth sampling: 4096 trials x 4 threads."""
+    source = RandomSource(3)
+
+    benchmark(lambda: sample_growth_matrix(TSO, source, trials=4096, threads=4))
+
+
+def test_kernel_growth_matrix_wo(benchmark):
+    source = RandomSource(4)
+
+    benchmark(lambda: sample_growth_matrix(WO, source, trials=4096, threads=4))
+
+
+def test_kernel_run_length_distribution(benchmark):
+    """The exact-numeric Lemma 4.2 solve (matrix iteration)."""
+    benchmark(run_length_distribution)
+
+
+def test_kernel_window_distribution_tso(benchmark):
+    """The full TSO Theorem 4.1 law (chain solve + fold)."""
+    benchmark(tso_window_distribution)
+
+
+def test_kernel_batch_disjoint(benchmark):
+    """Vectorised overlap checking: 8192 trials x 8 segments."""
+    source = RandomSource(5)
+    shifts = source.geometric_array(0.5, (8192, 8))
+    lengths = source.geometric_array(0.5, (8192, 8)) + 2
+
+    benchmark(lambda: batch_disjoint(shifts, lengths))
+
+
+def test_kernel_exact_disjointness_n8(benchmark):
+    """Theorem 5.1's 8!-term enumeration."""
+    lengths = [2, 3, 1, 4, 2, 0, 5, 2]
+
+    benchmark(lambda: disjointness_probability(lengths))
+
+
+def test_kernel_window_dispatch(benchmark):
+    """The cached-free analytic dispatcher for all four models."""
+    from repro.core import PAPER_MODELS
+
+    def all_models():
+        return [window_distribution(model) for model in PAPER_MODELS]
+
+    benchmark(all_models)

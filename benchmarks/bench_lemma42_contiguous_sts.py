@@ -1,0 +1,90 @@
+"""E6 — Lemma 4.2: Pr[L_µ], the contiguous stores above the critical load.
+
+Regenerates the lemma's quantities four independent ways — the paper's
+closed lower bound (4/7)·2^{-µ}, the paper's own Ψ/∆/F decomposition
+evaluated with exact partition numbers, the trailing-run Markov-chain
+solve, and Monte Carlo over the settling chain — and checks they cohere.
+Also reproduces Claim B.1's slack value R = 2/21 (DESIGN.md ablation 1:
+bound width vs exact numerics).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    TSO,
+    l_lower_bound_paper,
+    l_probability_paper,
+    paper_run_distribution,
+    run_length_distribution,
+)
+from repro.core.settling import sample_trailing_run
+from repro.reporting import render_table
+from repro.stats import run_categorical_trials
+
+MUS = range(0, 8)
+
+
+def test_lemma42_four_way_agreement(run_once):
+    def compute():
+        chain = run_length_distribution()
+        decomposition = paper_run_distribution()
+        simulated = run_categorical_trials(
+            lambda source: sample_trailing_run(TSO, source, body_length=96),
+            trials=60_000,
+            seed=707,
+        )
+        return chain, decomposition, simulated
+
+    chain, decomposition, simulated = run_once(compute)
+    rows = [
+        {
+            "mu": mu,
+            "paper bound": l_lower_bound_paper(mu),
+            "paper decomposition": decomposition.pmf(mu),
+            "chain (exact)": chain.pmf(mu),
+            "simulated": simulated.estimate(mu),
+        }
+        for mu in MUS
+    ]
+    show(render_table(rows, precision=6, title="Lemma 4.2: Pr[L_mu]"))
+
+    assert chain.pmf(0) == pytest.approx(1 / 3, abs=1e-9)
+    for mu in MUS:
+        assert chain.pmf(mu) >= l_lower_bound_paper(mu) - 1e-12
+        assert decomposition.pmf(mu) == pytest.approx(chain.pmf(mu), abs=1e-6)
+        if mu < 6:
+            assert simulated.probability(mu).contains(chain.pmf(mu)), mu
+    # The bound is tight exactly at mu = 1 (Pr[L_1] = 2/7 = (4/7)/2).
+    assert chain.pmf(1) == pytest.approx(l_lower_bound_paper(1), abs=1e-9)
+
+
+def test_lemma42_claim_b1_slack(benchmark):
+    """Claim B.1: the probability the bound leaves unattributed is 2/21."""
+
+    def slack() -> float:
+        chain = run_length_distribution()
+        return sum(chain.pmf(mu) - l_lower_bound_paper(mu) for mu in range(1, 64))
+
+    value = benchmark(slack)
+    show(f"bound slack R = {value:.8f} vs paper 2/21 = {2 / 21:.8f}")
+    assert value == pytest.approx(2 / 21, abs=1e-6)
+
+
+def test_lemma42_decomposition_bound_mode(benchmark):
+    """Ablation: substituting Claim 4.4's φ ≥ 1 recovers the closed bound."""
+
+    def bound_mode():
+        return [l_probability_paper(mu, exact_phi=False) for mu in range(1, 6)]
+
+    values = benchmark(bound_mode)
+    rows = [
+        {"mu": mu, "decomposition w/ phi>=1": value, "closed bound": l_lower_bound_paper(mu)}
+        for mu, value in enumerate(values, start=1)
+    ]
+    show(render_table(rows, precision=6, title="Ablation: exact phi vs phi >= 1"))
+    assert values[0] == pytest.approx(l_lower_bound_paper(1), abs=1e-9)
+    for mu, value in enumerate(values, start=1):
+        assert value <= l_probability_paper(mu) + 1e-12

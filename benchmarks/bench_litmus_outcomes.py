@@ -1,0 +1,66 @@
+"""E11 — litmus semantics: Table 1's relaxations produce the literature's
+allowed/forbidden outcomes.
+
+Enumerates every classic litmus test (SB, MP, LB, CoRR, 2+2W, IRIW) under
+every paper model via the exact reordering+interleaving semantics and
+checks all 24 verdicts, plus monotonicity: weaker models reach supersets
+of outcomes.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.core import PAPER_MODELS
+from repro.litmus import ALL_TESTS, check_all, enumerate_outcomes
+from repro.reporting import render_table
+
+
+def test_litmus_verdict_matrix(run_once):
+    verdicts = run_once(check_all)
+    rows = []
+    for test in ALL_TESTS:
+        row: dict[str, object] = {"test": test.name}
+        for verdict in verdicts:
+            if verdict.test.name == test.name:
+                marker = "allowed" if verdict.relaxed_reachable else "forbidden"
+                agreement = "" if verdict.matches_literature else " (MISMATCH)"
+                row[verdict.model.name] = marker + agreement
+        rows.append(row)
+    show(render_table(rows, title="E11: relaxed-outcome verdicts per model"))
+    assert len(verdicts) == len(ALL_TESTS) * len(PAPER_MODELS)
+    assert all(verdict.matches_literature for verdict in verdicts)
+
+
+def test_litmus_outcome_monotonicity(run_once):
+    """Weaker model -> superset of reachable outcomes, for every test."""
+
+    def compute():
+        observed = {}
+        for test in ALL_TESTS:
+            observed[test.name] = [
+                enumerate_outcomes(
+                    list(test.programs),
+                    model,
+                    initial_memory=test.initial_memory,
+                    observed_locations=test.observed_locations,
+                )
+                for model in PAPER_MODELS
+            ]
+        return observed
+
+    observed = run_once(compute)
+    rows = []
+    for name, outcome_sets in observed.items():
+        rows.append(
+            {
+                "test": name,
+                **{
+                    model.name: len(outcomes)
+                    for model, outcomes in zip(PAPER_MODELS, outcome_sets)
+                },
+            }
+        )
+        for stronger, weaker in zip(outcome_sets, outcome_sets[1:]):
+            assert stronger <= weaker, name
+    show(render_table(rows, title="E11: reachable-outcome counts (monotone)"))

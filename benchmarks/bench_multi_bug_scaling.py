@@ -1,0 +1,94 @@
+"""E16 — the dual axis: scaling the number of bugs instead of threads.
+
+Theorem 6.3 scales the thread count for one bug and finds the memory-model
+gap vanishes.  This bench scales the *bug count* for two threads (many
+well-separated racy sections sharing one interleaving offset) and finds
+the mirror image, exactly:
+
+* SC's survival is **constant in K** (its windows are deterministic, so
+  only the offset matters: Pr[|d| ≥ 3] = 1/6);
+* models with geometric window tails decay as ``K^{-log_{1/λ} 2}``:
+  WO (λ = 1/2) like 1/K, TSO/PSO (λ = 1/4) like 1/√K;
+* hence the SC/weak ratio **diverges** along this axis.
+
+Strictness pays off when systems grow by accumulating unsynchronised code,
+not by adding cores — the practical complement to the paper's headline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    PAPER_MODELS,
+    SC,
+    TSO,
+    WO,
+    estimate_multi_bug_survival,
+    multi_bug_gap_curve,
+    multi_bug_survival,
+)
+from repro.reporting import ascii_plot, render_table
+
+BUG_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def test_multi_bug_gap_curve(benchmark):
+    rows = benchmark(multi_bug_gap_curve, list(BUG_COUNTS))
+    show(render_table(rows, precision=6, title="E16: Pr[A] vs bug count K (n = 2)"))
+    import math
+
+    show(
+        ascii_plot(
+            [math.log2(float(row["bugs"])) for row in rows],
+            {
+                model.name: [
+                    math.log2(float(row[f"Pr[A] {model.name}"])) for row in rows
+                ]
+                for model in PAPER_MODELS
+            },
+            title="log2 Pr[A] vs log2 K (slopes: SC 0, TSO/PSO -1/2, WO -1)",
+        )
+    )
+
+    # SC constant; weak models monotone decreasing; ordering preserved.
+    sc_values = [float(row["Pr[A] SC"]) for row in rows]
+    assert all(value == pytest.approx(1 / 6) for value in sc_values)
+    for name in ("TSO", "PSO", "WO"):
+        series = [float(row[f"Pr[A] {name}"]) for row in rows]
+        assert series == sorted(series, reverse=True), name
+    ratios = [float(row["SC/WO ratio"]) for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 100  # the diverging gap
+
+    # Power-law slopes over the last octave.
+    wo_slope = rows[-2]["Pr[A] WO"] / rows[-1]["Pr[A] WO"]
+    tso_slope = rows[-2]["Pr[A] TSO"] / rows[-1]["Pr[A] TSO"]
+    assert float(wo_slope) == pytest.approx(2.0, rel=0.15)  # ~1/K
+    assert float(tso_slope) == pytest.approx(2.0**0.5, rel=0.1)  # ~1/sqrt(K)
+
+
+def test_multi_bug_monte_carlo(run_once):
+    def compute():
+        rows = []
+        for model in (SC, TSO, WO):
+            for bug_count in (4, 16):
+                exact = multi_bug_survival(model, bug_count).value
+                empirical = estimate_multi_bug_survival(
+                    model, bug_count, trials=200_000, seed=2020 + bug_count
+                )
+                rows.append(
+                    {
+                        "model": model.name,
+                        "bugs": bug_count,
+                        "exact": exact,
+                        "monte carlo": empirical.estimate,
+                        "agrees": empirical.agrees_with(exact),
+                    }
+                )
+        return rows
+
+    rows = run_once(compute)
+    show(render_table(rows, precision=6, title="E16: exact vs Monte Carlo"))
+    assert all(row["agrees"] for row in rows)

@@ -1,0 +1,39 @@
+"""E1 — Table 1: the memory-model relaxation matrix.
+
+Regenerates the paper's Table 1 from the model definitions and checks it
+cell-for-cell, plus the strictness chain SC ≥ TSO ≥ PSO ≥ WO the table
+implies.
+"""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.core import PAPER_MODELS, table1_rows
+from repro.reporting import render_table
+
+PAPER_TABLE = {
+    "SC": {"ST/ST": False, "ST/LD": False, "LD/ST": False, "LD/LD": False},
+    "TSO": {"ST/ST": False, "ST/LD": True, "LD/ST": False, "LD/LD": False},
+    "PSO": {"ST/ST": True, "ST/LD": True, "LD/ST": False, "LD/LD": False},
+    "WO": {"ST/ST": True, "ST/LD": True, "LD/ST": True, "LD/LD": True},
+}
+
+
+def test_table1_relaxation_matrix(benchmark):
+    rows = benchmark(table1_rows)
+    show(render_table(rows, title="Table 1: which ordered pairs may reorder"))
+    for row in rows:
+        expected = PAPER_TABLE[str(row["Name"])]
+        for column, value in expected.items():
+            assert row[column] == value, (row["Name"], column)
+
+
+def test_table1_strictness_chain(benchmark):
+    def chain_holds() -> bool:
+        return all(
+            stronger.is_at_least_as_strong_as(weaker)
+            for stronger, weaker in zip(PAPER_MODELS, PAPER_MODELS[1:])
+        )
+
+    assert benchmark(chain_holds)

@@ -1,0 +1,98 @@
+"""E4 — Theorem 4.1: the critical-window growth distribution Pr[B_γ].
+
+Regenerates the theorem's three laws (SC point mass; WO's 2/3 and 2^{-γ}/3;
+TSO inside its published bounds), the exact-numeric TSO values this library
+adds, and a Monte-Carlo column from the settling simulator.  Also runs the
+finite-m ablation: the PMF is m-invariant beyond small m.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    SC,
+    TSO,
+    WO,
+    sample_window_growth,
+    tso_window_lower_bound,
+    tso_window_upper_bound,
+    window_distribution,
+)
+from repro.reporting import render_table
+from repro.stats import run_categorical_trials
+
+GAMMAS = range(0, 7)
+TRIALS = 60_000
+
+
+def _empirical(model, body_length=96, seed=404):
+    return run_categorical_trials(
+        lambda source: sample_window_growth(model, source, body_length=body_length),
+        trials=TRIALS,
+        seed=seed,
+    )
+
+
+def test_theorem41_window_pmfs(run_once):
+    empirical = {
+        model.name: run_once(lambda: {m.name: _empirical(m) for m in (SC, TSO, WO)})
+        for model in (SC,)
+    }["SC"]
+    analytic = {model.name: window_distribution(model) for model in (SC, TSO, WO)}
+
+    rows = []
+    for gamma in GAMMAS:
+        row: dict[str, object] = {"gamma": gamma}
+        for name in ("SC", "TSO", "WO"):
+            row[f"{name} analytic"] = analytic[name].pmf(gamma)
+            row[f"{name} simulated"] = empirical[name].estimate(gamma)
+        row["TSO paper lo"] = tso_window_lower_bound(gamma)
+        row["TSO paper hi"] = tso_window_upper_bound(gamma)
+        rows.append(row)
+    show(render_table(rows, precision=5, title="Theorem 4.1: Pr[B_gamma]"))
+
+    # Paper closed forms.
+    assert analytic["SC"].pmf(0) == 1.0
+    assert analytic["WO"].pmf(0) == pytest.approx(2 / 3)
+    for gamma in range(1, 7):
+        assert analytic["WO"].pmf(gamma) == pytest.approx(2.0**-gamma / 3)
+        assert (
+            tso_window_lower_bound(gamma) - 1e-12
+            <= analytic["TSO"].pmf(gamma)
+            <= tso_window_upper_bound(gamma) + 1e-12
+        )
+    # Simulation agrees with the analytics at 99% confidence per cell.
+    for name in ("SC", "TSO", "WO"):
+        for gamma in range(5):
+            assert empirical[name].probability(gamma).contains(
+                analytic[name].pmf(gamma)
+            ), (name, gamma)
+
+
+def test_theorem41_finite_m_ablation(run_once):
+    """DESIGN.md ablation 2: the window PMF is m-invariant beyond small m."""
+
+    def sweep():
+        return {
+            body_length: _empirical(TSO, body_length=body_length, seed=505)
+            for body_length in (16, 48, 96)
+        }
+
+    results = run_once(sweep)
+    rows = [
+        {
+            "m": body_length,
+            **{f"gamma={g}": result.estimate(g) for g in range(4)},
+        }
+        for body_length, result in results.items()
+    ]
+    show(render_table(rows, precision=5, title="Finite-m ablation (TSO)"))
+    reference = window_distribution(TSO)
+    for body_length, result in results.items():
+        for gamma in range(4):
+            assert result.probability(gamma).contains(reference.pmf(gamma)), (
+                body_length,
+                gamma,
+            )

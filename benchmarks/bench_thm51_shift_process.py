@@ -1,0 +1,77 @@
+"""E7 — Theorem 5.1 / Corollary 5.2: the shift-process disjointness law.
+
+Regenerates exact Pr[A(γ̄)] for a spread of segment vectors, validates each
+against Monte Carlo, reproduces c(2) = 8/3 and c(n) ∈ [2, 4], and runs
+DESIGN.md ablation 3: the n!-term enumeration vs Theorem 6.1's collapsed
+identical-marginal form.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import show
+
+from repro.core import (
+    c_constant,
+    disjointness_iid,
+    disjointness_probability,
+    estimate_disjointness,
+    point_mass,
+)
+from repro.reporting import render_table
+
+CASES = [
+    [2, 2],
+    [0, 0],
+    [3, 2, 5],
+    [1, 1, 1, 1],
+    [4, 0, 2, 1],
+]
+
+
+def test_theorem51_exact_vs_monte_carlo(run_once):
+    def compute():
+        rows = []
+        for index, lengths in enumerate(CASES):
+            exact = disjointness_probability(lengths)
+            empirical = estimate_disjointness(lengths, trials=120_000, seed=808 + index)
+            rows.append(
+                {
+                    "segments": str(lengths),
+                    "exact": exact,
+                    "monte carlo": empirical.estimate,
+                    "CI low": empirical.proportion.low,
+                    "CI high": empirical.proportion.high,
+                    "agrees": empirical.agrees_with(exact),
+                }
+            )
+        return rows
+
+    rows = run_once(compute)
+    show(render_table(rows, precision=6, title="Theorem 5.1: Pr[A(segments)]"))
+    assert all(row["agrees"] for row in rows)
+
+
+def test_corollary52_constants(benchmark):
+    values = benchmark(lambda: [c_constant(n) for n in range(1, 30)])
+    rows = [{"n": n, "c(n)": value} for n, value in enumerate(values, start=1)]
+    show(render_table(rows[:8], precision=6, title="Corollary 5.2: c(n)"))
+    assert values[1] == pytest.approx(8 / 3)
+    assert all(2.0 <= value <= 4.0 for value in values)
+
+
+def test_theorem61_collapse_ablation(benchmark):
+    """Ablation 3: n! enumeration vs the collapsed identical-marginal form."""
+
+    def both_routes():
+        rows = []
+        for n in (2, 3, 4, 5, 6):
+            enumerated = disjointness_probability([3] * n)
+            collapsed = disjointness_iid(point_mass(1), n).value
+            rows.append({"n": n, "n! enumeration": enumerated, "Theorem 6.1": collapsed})
+        return rows
+
+    rows = benchmark(both_routes)
+    show(render_table(rows, precision=10, title="Ablation: enumeration vs Theorem 6.1"))
+    for row in rows:
+        assert row["Theorem 6.1"] == pytest.approx(row["n! enumeration"], rel=1e-9)

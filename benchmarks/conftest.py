@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one paper artifact (see
+``repro.reporting.EXPERIMENTS``), prints the paper-vs-measured rows, and
+asserts the *shape* of the result (who wins, by roughly what factor).
+Timing is captured via pytest-benchmark; the heavy Monte-Carlo benches use
+``benchmark.pedantic`` with a single round so the experiment itself is run
+once and timed, not repeated dozens of times.
+
+Because pytest captures stdout on passing tests, every ``show()`` call
+also appends to ``benchmarks/latest_results.txt`` — after a bench run that
+file holds all regenerated tables and figures (run with ``-s`` to watch
+them live instead).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: All rendered tables/figures from the most recent bench run.
+RESULTS_PATH = Path(__file__).resolve().parent / "latest_results.txt"
+
+
+def pytest_sessionstart(session):
+    """Start each bench run with a fresh results artifact."""
+    try:
+        RESULTS_PATH.write_text("", encoding="utf-8")
+    except OSError:  # pragma: no cover - read-only checkouts still bench fine
+        pass
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a callable with exactly one timed execution."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def show(text: str) -> None:
+    """Print a rendered table/figure and persist it to the results file."""
+    print()
+    print(text)
+    try:
+        with RESULTS_PATH.open("a", encoding="utf-8") as handle:
+            handle.write("\n" + text + "\n")
+    except OSError:  # pragma: no cover
+        pass

@@ -1,0 +1,92 @@
+"""Define and analyse your own memory model.
+
+The paper analyses four points in the relaxation lattice; the library lets
+you analyse *any* of the 16 relaxation sets, with any per-pair settle
+probabilities (footnote 3's generalised form).  This example:
+
+1. builds "TSO-lite" — TSO whose ST→LD swaps succeed rarely (s = 0.1), a
+   stand-in for a machine with small store buffers;
+2. builds an exotic model that relaxes only LD→LD and LD→ST (no store
+   buffering at all, but aggressive load scheduling);
+3. compares their window laws and two-thread bug probabilities against the
+   paper's models, using the analytic route where it exists and the
+   reference settling simulator where it does not.
+
+Run:  python examples/custom_memory_model.py
+"""
+
+from __future__ import annotations
+
+from repro.core import LD, ST  # instruction-type aliases
+from repro.core import (
+    PAPER_MODELS,
+    TSO,
+    MemoryModel,
+    SettlingProcess,
+    estimate_non_manifestation,
+    non_manifestation_probability,
+    window_distribution,
+)
+from repro.reporting import render_table
+from repro.stats import RandomSource, run_categorical_trials
+
+
+def main() -> None:
+    # 1. TSO-lite: the TSO relaxation, rarely exercised ----------------------
+    tso_lite = TSO.with_settle_probability(0.1)
+    rows = []
+    for model in (*PAPER_MODELS, tso_lite):
+        name = "TSO(s=0.1)" if model is tso_lite else model.name
+        window = window_distribution(model)
+        survive = non_manifestation_probability(model)
+        rows.append(
+            {
+                "model": name,
+                "Pr[window grows]": 1.0 - window.pmf(0),
+                "Pr[bug], n=2": 1.0 - survive.value,
+            }
+        )
+    print(render_table(rows, precision=6, title="Analytic route (uniform s)"))
+    print()
+    print("TSO-lite sits almost on top of SC: with s = 0.1 the window rarely")
+    print("opens, so the relaxation is statistically invisible.")
+    print()
+
+    # 2. An exotic relaxation set: loads scheduled freely, stores pinned ----
+    load_scheduler = MemoryModel(
+        "LD-sched",
+        relaxed_pairs=[(LD, LD), (LD, ST)],
+        description="loads reorder among themselves and past... nothing else",
+    )
+    # No closed form exists for this set; measure its window empirically with
+    # the reference settler.
+    empirical = run_categorical_trials(
+        lambda source: SettlingProcess(load_scheduler)
+        .sample_result(source, body_length=64)
+        .window_growth,
+        trials=40_000,
+        seed=5,
+    )
+    rows = [
+        {"gamma": gamma, "Pr[B_gamma] (simulated)": empirical.estimate(gamma)}
+        for gamma in range(4)
+    ]
+    print(render_table(rows, precision=5, title="LD-sched window law (no closed form)"))
+    print()
+    print("This set is the mirror image of PSO: the critical load climbs")
+    print("through *load* runs (LD/LD), and the (LD,ST) relaxation lets the")
+    print("critical store chase it back down through them — so the window")
+    print("law looks PSO-shaped even though the relaxed pairs are disjoint")
+    print("from PSO's. The lattice position alone does not determine risk;")
+    print("which pairs bracket the racy access pattern does.")
+    print()
+
+    # 3. End-to-end check for the custom model (slow path, small trials) ----
+    result = estimate_non_manifestation(load_scheduler, n=2, trials=4_000, seed=7,
+                                        body_length=32)
+    print(f"LD-sched Pr[no bug] simulated end-to-end: {result}")
+    print(f"SC exact for comparison:                  {1 / 6:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Fences, atomics, and what actually fixes the canonical bug.
+
+The paper's §7 sketches fences as future work; this example walks the
+full mitigation spectrum on both the abstract model and the machine:
+
+1. *Do nothing* — the Theorem 6.2 baseline.
+2. *Fence the critical section* (abstract model): an acquire barrier at
+   distance k truncates the window; k = 0 makes every model as safe as
+   SC — but SC itself is only 0.1667-safe, because the interleaving race
+   is untouched.
+3. *Fence on the machine*: same story mechanistically.
+4. *Make the increment atomic* (machine): the only real fix — the window
+   disappears entirely and the bug never manifests, under any model.
+
+Run:  python examples/fences_and_fixes.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    PAPER_MODELS,
+    fenced_non_manifestation,
+    non_manifestation_probability,
+)
+from repro.reporting import render_table
+from repro.sim import run_canonical_bug
+
+
+def abstract_fence_sweep() -> None:
+    rows = []
+    for distance in (0, 1, 2, 4, 8, 32):
+        row: dict[str, object] = {"fence distance k": distance}
+        for model in PAPER_MODELS:
+            row[f"Pr[bug] {model.name}"] = 1.0 - fenced_non_manifestation(
+                model, distance
+            ).value
+        rows.append(row)
+    unfenced = {
+        model.name: 1.0 - non_manifestation_probability(model).value
+        for model in PAPER_MODELS
+    }
+    rows.append({"fence distance k": "unfenced", **{
+        f"Pr[bug] {name}": value for name, value in unfenced.items()
+    }})
+    print(render_table(rows, precision=6,
+                       title="Abstract model: acquire fence at distance k (n = 2)"))
+    print()
+    print("k = 0 collapses every model onto SC — and no further: even with")
+    print("no reordering at all, five of six interleavings still lose an")
+    print("update. Fences fix the *memory model's* contribution only.")
+    print()
+
+
+def machine_mitigations() -> None:
+    rows = []
+    for model in ("SC", "TSO", "WO"):
+        racy = run_canonical_bug(model, 2, trials=2_000, seed=21, body_length=8)
+        fenced = run_canonical_bug(model, 2, trials=2_000, seed=21, body_length=8,
+                                   fenced=True)
+        atomic = run_canonical_bug(model, 2, trials=2_000, seed=21, body_length=8,
+                                   atomic=True)
+        rows.append(
+            {
+                "model": model,
+                "racy": racy.manifestation.estimate,
+                "fenced": fenced.manifestation.estimate,
+                "atomic": atomic.manifestation.estimate,
+            }
+        )
+    print(render_table(rows, precision=4,
+                       title="Machine: Pr[bug] under each mitigation (n = 2)"))
+    print()
+    print("The atomic fetch-and-add is the only zero column: correctness")
+    print("comes from atomicity, not ordering. The paper's reliability axis")
+    print("measures how much *worse* a weak model makes an already-broken")
+    print("program — not whether synchronisation can be skipped.")
+
+
+def main() -> None:
+    abstract_fence_sweep()
+    machine_mitigations()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Mixed fleets: what happens when threads run under different models?
+
+Real systems mix core types (big.LITTLE, host + accelerator) and migrate
+threads between them, so the homogeneous analysis of the paper's §6 is
+only the boundary case.  This example uses the heterogeneous extension:
+
+* all 2-thread mixes of the paper's models — exactly computed, showing
+  the n = 2 averaging law,
+* an SC→WO downgrade ladder at n = 4 — the near-constant per-thread cost,
+* a Monte-Carlo cross-check with the shared-program coupling intact.
+
+Run:  python examples/heterogeneous_fleet.py
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+from repro.core import (
+    PAPER_MODELS,
+    SC,
+    WO,
+    estimate_heterogeneous_non_manifestation,
+    heterogeneous_non_manifestation,
+    non_manifestation_probability,
+)
+from repro.reporting import render_table
+
+
+def pairwise_matrix() -> None:
+    rows = []
+    for left, right in combinations_with_replacement(PAPER_MODELS, 2):
+        value = heterogeneous_non_manifestation([left, right]).value
+        pure_mean = (
+            non_manifestation_probability(left).value
+            + non_manifestation_probability(right).value
+        ) / 2
+        rows.append(
+            {
+                "fleet": f"{left.name}+{right.name}",
+                "Pr[A]": value,
+                "mean of pures": pure_mean,
+            }
+        )
+    print(render_table(rows, precision=6, title="All 2-thread mixes (exact)"))
+    print()
+    print("At n = 2 mixing is exactly arithmetic averaging: only each")
+    print("thread's marginal window transform enters the formula.")
+    print()
+
+
+def downgrade_ladder() -> None:
+    rows = []
+    for weak_count in range(5):
+        fleet = [WO] * weak_count + [SC] * (4 - weak_count)
+        value = heterogeneous_non_manifestation(fleet).value
+        rows.append(
+            {
+                "WO threads (of 4)": weak_count,
+                "Pr[A]": value,
+            }
+        )
+    rows[0]["step ratio"] = ""
+    for previous, current in zip(rows, rows[1:]):
+        current["step ratio"] = current["Pr[A]"] / previous["Pr[A]"]
+    print(render_table(rows, precision=6, title="SC -> WO downgrades at n = 4"))
+    print()
+    print("Each downgraded thread multiplies Pr[A] by a near-constant")
+    print("factor: no single weak core dominates, and none is free.")
+    print()
+
+
+def monte_carlo_check() -> None:
+    fleet = [SC, WO, WO]
+    exact = heterogeneous_non_manifestation(fleet).value
+    empirical = estimate_heterogeneous_non_manifestation(fleet, trials=200_000, seed=8)
+    print(f"SC+WO+WO: exact {exact:.6f}, simulated {empirical}")
+    print(f"agreement: {empirical.agrees_with(exact)}")
+
+
+def main() -> None:
+    pairwise_matrix()
+    downgrade_ladder()
+    monte_carlo_check()
+
+
+if __name__ == "__main__":
+    main()

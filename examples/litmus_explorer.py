@@ -1,0 +1,80 @@
+"""Explore litmus tests: which outcomes can each memory model produce?
+
+Litmus tests are the lingua franca of memory-model semantics.  This
+example enumerates the classic shapes (store buffering, message passing,
+load buffering, coherence, 2+2W, IRIW) under each paper model — exactly,
+via the reordering+interleaving semantics of Table 1 — and prints:
+
+* the allowed/forbidden verdict for each test's distinguished outcome,
+* the full reachable-outcome set for one test under SC vs WO,
+* a custom litmus test built from scratch with the same API.
+
+Run:  python examples/litmus_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PAPER_MODELS, SC, TSO, WO
+from repro.litmus import (
+    ALL_TESTS,
+    check_test,
+    enumerate_outcomes,
+    get_test,
+    outcome_to_string,
+)
+from repro.reporting import render_table
+from repro.sim import Load, Store, ThreadProgram
+
+
+def verdict_matrix() -> None:
+    rows = []
+    for test in ALL_TESTS:
+        row: dict[str, object] = {
+            "test": test.name,
+            "relaxed outcome": outcome_to_string(test.relaxed_outcome),
+        }
+        for model in PAPER_MODELS:
+            verdict = check_test(test, model)
+            row[model.name] = "allowed" if verdict.relaxed_reachable else "-"
+        rows.append(row)
+    print(render_table(rows, title="Relaxed outcomes per memory model"))
+    print()
+
+
+def outcome_sets() -> None:
+    test = get_test("SB")
+    print(f"{test.name}: {test.description}")
+    for model in (SC, WO):
+        outcomes = enumerate_outcomes(list(test.programs), model)
+        print(f"  under {model.name}: {len(outcomes)} reachable outcomes")
+        for outcome in sorted(outcomes):
+            print(f"    {outcome_to_string(outcome)}")
+    print()
+
+
+def custom_litmus() -> None:
+    """R-shape: one writer, one reader-then-writer on the same pair."""
+    programs = [
+        ThreadProgram("T0", (Store("x", value=1), Store("y", value=1))),
+        ThreadProgram("T1", (Load("r1", "y"), Store("x", value=2))),
+    ]
+    print("Custom test R: T0 {ST x=1; ST y=1}  T1 {r1=LD y; ST x=2}")
+    target_note = "r1=1 with final x=1 (T0's store to x lands after T1's)"
+    for model in (SC, TSO, WO):
+        outcomes = enumerate_outcomes(programs, model, observed_locations=("x",))
+        exotic = (("T1:r1", 1), ("mem:x", 1))
+        reachable = exotic in outcomes
+        print(f"  {model.name}: {target_note} -> {'allowed' if reachable else 'forbidden'}")
+    print()
+    print("Only WO reaches it: T0's two stores must reorder *and* T1's load")
+    print("must see y early — composition of two relaxations in one outcome.")
+
+
+def main() -> None:
+    verdict_matrix()
+    outcome_sets()
+    custom_litmus()
+
+
+if __name__ == "__main__":
+    main()

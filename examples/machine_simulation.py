@@ -1,0 +1,76 @@
+"""Run the canonical bug on the simulated multiprocessor.
+
+The probabilistic model abstracts hardware away; this example runs the
+§2.2 counter race on the *mechanistic* substrate — store-buffer cores for
+TSO/PSO, an out-of-order core for WO — and shows:
+
+* a single annotated execution (who read what, when, and why x ends at 1),
+* manifestation rates per model, side by side with the abstract model,
+* the §7 fence extension: fencing the critical section narrows the window
+  under WO but cannot fix the race itself.
+
+Run:  python examples/machine_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compare_model_and_machine
+from repro.core import PAPER_MODELS
+from repro.reporting import render_table
+from repro.sim import (
+    Machine,
+    canonical_increment,
+    run_canonical_bug,
+)
+from repro.stats import RandomSource
+
+
+def show_one_execution() -> None:
+    """Trace one racy execution under TSO with full access logging."""
+    programs = [canonical_increment(0, [True, True]), canonical_increment(1, [True, True])]
+    machine = Machine("TSO", programs, log_accesses=True, drain_probability=0.3)
+    result = machine.run(RandomSource(12))
+    print("One TSO execution of the counter race (x should end at 2):")
+    for record in result.log:
+        if record.location == "x":
+            print(f"  {record}")
+    print(f"  final x = {result.location('x')}"
+          + ("   <- the bug manifested!" if result.location("x") < 2 else ""))
+    print()
+
+
+def main() -> None:
+    show_one_execution()
+
+    comparisons = [
+        compare_model_and_machine(model, threads=2, trials=2_000, seed=3, body_length=8)
+        for model in PAPER_MODELS
+    ]
+    print(render_table([comparison.row() for comparison in comparisons], precision=4,
+                       title="Abstract model vs machine: Pr[bug], n = 2"))
+    print()
+    print("Absolute numbers differ (the machine's timing model is not the")
+    print("paper's shift process) but the ordering matches: SC is safest and")
+    print("the relaxed models cluster well above it.")
+    print()
+
+    fenced_rows = []
+    for model in ("TSO", "WO"):
+        loose = run_canonical_bug(model, threads=2, trials=2_000, seed=9, body_length=8)
+        fenced = run_canonical_bug(model, threads=2, trials=2_000, seed=9, body_length=8,
+                                   fenced=True)
+        fenced_rows.append(
+            {
+                "model": model,
+                "Pr[bug] unfenced": loose.manifestation.estimate,
+                "Pr[bug] fenced": fenced.manifestation.estimate,
+            }
+        )
+    print(render_table(fenced_rows, precision=4, title="Fences (§7 extension)"))
+    print()
+    print("Fences stop the *window* from widening but the interleaving race")
+    print("remains — only a lock (or atomic RMW) fixes the bug.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Sweeps, asymptotics, and model-vs-machine comparisons."""
+
+from .asymptotics import (
+    exponent_curve,
+    exponent_gap_curve,
+    limiting_exponent,
+    relative_gap_two_threads,
+)
+from .comparison import (
+    ModelMachineComparison,
+    compare_model_and_machine,
+    ordering_consistent,
+)
+from .sweeps import (
+    beta_sweep,
+    critical_section_sweep,
+    monte_carlo_check,
+    settle_sweep,
+    store_probability_sweep,
+    thread_sweep,
+    window_pmf_table,
+)
+
+__all__ = [
+    "ModelMachineComparison",
+    "beta_sweep",
+    "compare_model_and_machine",
+    "critical_section_sweep",
+    "exponent_curve",
+    "exponent_gap_curve",
+    "limiting_exponent",
+    "monte_carlo_check",
+    "ordering_consistent",
+    "relative_gap_two_threads",
+    "settle_sweep",
+    "store_probability_sweep",
+    "thread_sweep",
+    "window_pmf_table",
+]

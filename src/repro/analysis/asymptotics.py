@@ -1,0 +1,101 @@
+"""Theorem 6.3 asymptotics: ``Pr[A] = e^{-n²(1+o(1))}`` for every model.
+
+The theorem's content is two-fold:
+
+1. the survival probability collapses doubly exponentially in the thread
+   count, at a rate whose leading ``n²`` coefficient — ``(3/2)·ln 2`` at
+   the paper's parameters — is the *same* for every memory model;
+2. consequently the *relative* advantage of a strict model vanishes:
+   ``ln Pr[A_SC] / ln Pr[A_WO] → 1``.
+
+This module computes the normalised exponents, their limiting constant,
+and the model-gap metrics the thread-scaling bench reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from ..core.manifestation import log_non_manifestation, non_manifestation_probability
+from ..core.memory_models import PAPER_MODELS, SC, MemoryModel
+
+__all__ = [
+    "limiting_exponent",
+    "exponent_curve",
+    "exponent_gap_curve",
+    "relative_gap_two_threads",
+]
+
+
+def limiting_exponent(beta: float = 0.5) -> float:
+    """The limiting value of ``−ln Pr[A] / n²``.
+
+    From the SC closed form ``Pr[A] = prefactor · n! · β^{3·binom(n,2)}``
+    (Theorem 6.3's proof): the leading term is ``−(3/2)·ln β · n²``, i.e.
+    ``(3/2)·ln 2 ≈ 1.0397`` at β = 1/2.  Claim B.2 (``Pr[B_0] ≥ 1/2`` in
+    every model) pins every other model to the same constant.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must lie in (0, 1), got {beta}")
+    return -1.5 * math.log(beta)
+
+
+def exponent_curve(
+    thread_counts: Sequence[int],
+    models: Iterable[MemoryModel] = PAPER_MODELS,
+    beta: float = 0.5,
+) -> list[dict[str, object]]:
+    """``−ln Pr[A] / n²`` per model over thread counts, plus the limit."""
+    limit = limiting_exponent(beta)
+    rows = []
+    for n in thread_counts:
+        row: dict[str, object] = {"n": n, "limit": limit}
+        for model in models:
+            log_pr = log_non_manifestation(
+                model, n, beta=beta, allow_independent_approximation=True
+            )
+            row[f"exponent {model.name}"] = -log_pr / (n * n)
+        rows.append(row)
+    return rows
+
+
+def exponent_gap_curve(
+    thread_counts: Sequence[int],
+    weak_model: MemoryModel,
+    strong_model: MemoryModel = SC,
+    beta: float = 0.5,
+) -> list[dict[str, object]]:
+    """The dichotomy metric: ``ln Pr[A_strong] / ln Pr[A_weak] → 1``.
+
+    At n = 2 the ratio visibly favours the strong model; as n grows it
+    converges to 1 — the paper's "the gap becomes proportionally
+    insignificant".
+    """
+    rows = []
+    for n in thread_counts:
+        strong = log_non_manifestation(
+            strong_model, n, beta=beta, allow_independent_approximation=True
+        )
+        weak = log_non_manifestation(
+            weak_model, n, beta=beta, allow_independent_approximation=True
+        )
+        rows.append(
+            {
+                "n": n,
+                f"ln Pr[A] {strong_model.name}": strong,
+                f"ln Pr[A] {weak_model.name}": weak,
+                "log-ratio": strong / weak,
+                "survival ratio": math.exp(strong - weak),
+            }
+        )
+    return rows
+
+
+def relative_gap_two_threads(
+    weak_model: MemoryModel, strong_model: MemoryModel = SC
+) -> float:
+    """The n = 2 headline ratio, e.g. the paper's ``(1/6)/(7/54) = 9/7``."""
+    strong = non_manifestation_probability(strong_model).value
+    weak = non_manifestation_probability(weak_model).value
+    return strong / weak

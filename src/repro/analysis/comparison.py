@@ -1,0 +1,83 @@
+"""Model-vs-model gap metrics between the abstract model and the machine.
+
+Used by the E10 bench to check that the mechanistic simulator and the
+probabilistic model agree on every *qualitative* claim (who is riskier,
+does the gap shrink with thread count) even though their absolute numbers
+differ by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.manifestation import non_manifestation_probability
+from ..core.memory_models import MemoryModel
+from ..sim.executor import CanonicalBugResult, run_canonical_bug
+
+__all__ = ["ModelMachineComparison", "compare_model_and_machine", "ordering_consistent"]
+
+
+@dataclass(frozen=True)
+class ModelMachineComparison:
+    """Side-by-side manifestation probabilities for one memory model."""
+
+    model: MemoryModel
+    threads: int
+    abstract_manifestation: float
+    machine: CanonicalBugResult
+
+    @property
+    def machine_manifestation(self) -> float:
+        return self.machine.manifestation.estimate
+
+    def row(self) -> dict[str, object]:
+        return {
+            "model": self.model.name,
+            "n": self.threads,
+            "abstract Pr[bug]": self.abstract_manifestation,
+            "machine Pr[bug]": self.machine_manifestation,
+            "machine CI": f"[{self.machine.manifestation.low:.4f}, "
+            f"{self.machine.manifestation.high:.4f}]",
+        }
+
+
+def compare_model_and_machine(
+    model: MemoryModel,
+    threads: int,
+    trials: int,
+    seed: int = 0,
+    body_length: int = 8,
+    **core_options,
+) -> ModelMachineComparison:
+    """Evaluate one model both ways on the canonical bug."""
+    abstract = non_manifestation_probability(
+        model, threads, allow_independent_approximation=True
+    )
+    machine = run_canonical_bug(
+        model.name, threads, trials, seed=seed, body_length=body_length, **core_options
+    )
+    return ModelMachineComparison(
+        model=model,
+        threads=threads,
+        abstract_manifestation=1.0 - abstract.value,
+        machine=machine,
+    )
+
+
+def ordering_consistent(
+    comparisons: list[ModelMachineComparison], tolerance: float = 0.0
+) -> bool:
+    """Whether abstract and machine rank the models the same way.
+
+    ``tolerance`` allows the machine ranking to treat probabilities within
+    that distance as tied (Monte-Carlo noise and microarchitectural detail
+    blur near-equal models — e.g. the single-address canonical bug makes
+    machine-PSO nearly identical to machine-TSO).
+    """
+    abstract_order = sorted(
+        comparisons, key=lambda comparison: comparison.abstract_manifestation
+    )
+    for earlier, later in zip(abstract_order, abstract_order[1:]):
+        if later.machine_manifestation < earlier.machine_manifestation - tolerance:
+            return False
+    return True

@@ -1,0 +1,335 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Usage (``python -m repro <command>`` or the installed ``repro`` script):
+
+.. code-block:: console
+
+   $ python -m repro table1                 # the relaxation matrix
+   $ python -m repro window --model TSO     # Theorem 4.1 laws
+   $ python -m repro thm62 --trials 100000  # the headline two-thread table
+   $ python -m repro scaling --max-n 64     # Theorem 6.3 curves
+   $ python -m repro litmus --test SB       # litmus verdicts
+   $ python -m repro machine --model WO     # the canonical bug on the machine
+   $ python -m repro fences --model TSO     # the §7 fence sweep
+   $ python -m repro fleet SC WO TSO        # heterogeneous fleets
+   $ python -m repro experiments            # the paper-artifact registry
+
+Every command prints plain-text tables from :mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from .analysis import (
+    critical_section_sweep,
+    exponent_gap_curve,
+    thread_sweep,
+    window_pmf_table,
+)
+from .core import (
+    PAPER_MODELS,
+    WO,
+    multi_bug_gap_curve,
+    estimate_non_manifestation,
+    fenced_non_manifestation,
+    get_model,
+    heterogeneous_non_manifestation,
+    non_manifestation_probability,
+    table1_rows,
+    window_distribution,
+)
+from .litmus import ALL_TESTS, check_all, check_test, get_test
+from .reporting import EXPERIMENTS, render_table
+from .sim import run_canonical_bug
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    print(render_table(table1_rows(), title="Table 1: relaxed ordered pairs"))
+
+
+def _cmd_window(args: argparse.Namespace) -> None:
+    if args.model:
+        model = get_model(args.model)
+        dist = window_distribution(model, args.store_probability)
+        rows = [
+            {"gamma": gamma, f"Pr[B_gamma] {model.name}": dist.pmf(gamma)}
+            for gamma in range(args.max_gamma + 1)
+        ]
+        title = f"Theorem 4.1 window law for {model.name}"
+    else:
+        rows = window_pmf_table(range(args.max_gamma + 1))
+        title = "Theorem 4.1 window laws"
+    print(render_table(rows, precision=args.precision, title=title))
+
+
+def _cmd_thm62(args: argparse.Namespace) -> None:
+    rows = []
+    for model in PAPER_MODELS:
+        exact = non_manifestation_probability(model).value
+        row: dict[str, object] = {
+            "model": model.name,
+            "Pr[A]": exact,
+            "Pr[bug]": 1.0 - exact,
+        }
+        if args.trials:
+            empirical = estimate_non_manifestation(model, 2, args.trials, seed=args.seed)
+            row["monte carlo"] = empirical.estimate
+            row["agrees"] = empirical.agrees_with(exact)
+        rows.append(row)
+    print(render_table(rows, precision=args.precision,
+                       title="Theorem 6.2: two racing threads"))
+
+
+def _cmd_scaling(args: argparse.Namespace) -> None:
+    counts = [n for n in (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+              if n <= args.max_n]
+    print(render_table(thread_sweep(counts), precision=3,
+                       title="Theorem 6.3: ln Pr[A] per model"))
+    print()
+    print(render_table(exponent_gap_curve(counts, weak_model=WO), precision=4,
+                       title="SC vs WO: the vanishing relative gap"))
+
+
+def _cmd_litmus(args: argparse.Namespace) -> None:
+    if args.test:
+        test = get_test(args.test)
+        rows = []
+        for model in PAPER_MODELS:
+            verdict = check_test(test, model)
+            rows.append(
+                {
+                    "model": model.name,
+                    "relaxed outcome": "allowed" if verdict.relaxed_reachable else "forbidden",
+                    "reachable outcomes": len(verdict.outcomes),
+                    "matches literature": verdict.matches_literature,
+                }
+            )
+        print(f"{test.name}: {test.description}")
+        print(render_table(rows))
+        return
+    rows = []
+    for test in ALL_TESTS:
+        row: dict[str, object] = {"test": test.name}
+        for verdict in check_all(tests=[test]):
+            row[verdict.model.name] = (
+                "allowed" if verdict.relaxed_reachable else "forbidden"
+            )
+        rows.append(row)
+    print(render_table(rows, title="Litmus verdicts (relaxed outcome per model)"))
+
+
+def _cmd_machine(args: argparse.Namespace) -> None:
+    result = run_canonical_bug(
+        args.model,
+        threads=args.threads,
+        trials=args.trials,
+        seed=args.seed,
+        body_length=args.body_length,
+        fenced=args.fenced,
+        atomic=args.atomic,
+    )
+    print(result)
+
+
+def _cmd_fences(args: argparse.Namespace) -> None:
+    model = get_model(args.model)
+    rows = []
+    for distance in args.distances:
+        value = fenced_non_manifestation(model, distance).value
+        rows.append({"fence distance": distance, "Pr[A]": value, "Pr[bug]": 1 - value})
+    print(render_table(rows, precision=args.precision,
+                       title=f"§7 fences under {model.name}, n = 2"))
+
+
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    models = [get_model(name) for name in args.models]
+    value = heterogeneous_non_manifestation(
+        models, allow_independent_approximation=args.approximate
+    ).value
+    fleet = "+".join(model.name for model in models)
+    print(f"fleet {fleet}: Pr[A] = {value:.6f}, Pr[bug] = {1 - value:.6f}")
+
+
+def _cmd_critical_section(args: argparse.Namespace) -> None:
+    print(render_table(critical_section_sweep(args.lengths), precision=6,
+                       title="Pr[A] vs critical-section duration L"))
+
+
+def _cmd_multibug(args: argparse.Namespace) -> None:
+    print(render_table(multi_bug_gap_curve(args.bugs), precision=6,
+                       title="Pr[A] vs bug count K (two threads)"))
+    print()
+    print("SC is constant; weak models decay polynomially: the model gap")
+    print("DIVERGES along the bug-count axis (the dual of Theorem 6.3).")
+
+
+def _cmd_verify(args: argparse.Namespace) -> None:
+    """Fast paper-vs-library checklist (analytic checks only)."""
+    import math
+
+    from .core import (
+        SC,
+        TSO,
+        c_constant,
+        log_non_manifestation,
+        run_length_distribution,
+        steady_state_store_fraction,
+        tso_two_thread_bounds,
+        tso_window_distribution,
+        tso_window_lower_bound,
+        tso_window_upper_bound,
+        wo_window_distribution,
+    )
+
+    checks: list[tuple[str, bool]] = []
+
+    def check(name: str, ok: bool) -> None:
+        checks.append((name, bool(ok)))
+
+    check("Table 1 relaxation matrix",
+          [tuple(row[c] for c in ("ST/ST", "ST/LD", "LD/ST", "LD/LD"))
+           for row in table1_rows()] ==
+          [(False,) * 4, (False, True, False, False),
+           (True, True, False, False), (True,) * 4])
+    wo = wo_window_distribution()
+    check("Thm 4.1 WO closed form",
+          abs(wo.pmf(0) - 2 / 3) < 1e-12 and abs(wo.pmf(3) - 2.0**-3 / 3) < 1e-12)
+    tso_window = tso_window_distribution()
+    check("Thm 4.1 TSO inside published bounds",
+          all(tso_window_lower_bound(g) - 1e-12 <= tso_window.pmf(g)
+              <= tso_window_upper_bound(g) + 1e-12 for g in range(1, 10)))
+    check("Claim 4.3 store fraction 2/3",
+          abs(steady_state_store_fraction() - 2 / 3) < 1e-12)
+    runs = run_length_distribution()
+    check("Lemma 4.2 bound + Pr[L_0] = 1/3",
+          abs(runs.pmf(0) - 1 / 3) < 1e-8 and
+          all(runs.pmf(mu) >= (4 / 7) * 2.0**-mu - 1e-12 for mu in range(1, 16)))
+    check("Cor 5.2 c(2) = 8/3 and c(n) in [2, 4]",
+          abs(c_constant(2) - 8 / 3) < 1e-12 and
+          all(2 <= c_constant(n) <= 4 for n in range(1, 20)))
+    sc_value = non_manifestation_probability(SC).value
+    tso_value = non_manifestation_probability(TSO).value
+    wo_value = non_manifestation_probability(WO).value
+    lower, upper = tso_two_thread_bounds()
+    check("Thm 6.2 SC = 1/6", abs(sc_value - 1 / 6) < 1e-12)
+    check("Thm 6.2 WO = 7/54", abs(wo_value - 7 / 54) < 1e-12)
+    check("Thm 6.2 TSO in (0.1315, 0.1369)", lower < tso_value < upper)
+    ratio_small = log_non_manifestation(SC, 2) / log_non_manifestation(WO, 2)
+    ratio_large = log_non_manifestation(SC, 128) / log_non_manifestation(WO, 128)
+    check("Thm 6.3 gap vanishes (log-ratio -> 1)",
+          ratio_small < 0.9 < 0.99 < ratio_large)
+    check("Litmus verdicts match literature",
+          all(verdict.matches_literature for verdict in check_all()))
+
+    width = max(len(name) for name, _ in checks)
+    failed = 0
+    for name, ok in checks:
+        print(f"  {name.ljust(width)}  {'OK' if ok else 'FAIL'}")
+        failed += not ok
+    print()
+    if failed:
+        print(f"{failed} of {len(checks)} checks FAILED")
+        raise SystemExit(1)
+    print(f"all {len(checks)} checks passed — the reproduction matches the paper")
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    rows = [
+        {
+            "id": experiment.id,
+            "paper artifact": experiment.paper_artifact,
+            "bench": experiment.bench,
+        }
+        for experiment in EXPERIMENTS
+    ]
+    print(render_table(rows, title="Experiment registry (see DESIGN.md / EXPERIMENTS.md)"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Impact of Memory Models on Software "
+        "Reliability in Multiprocessors' (PODC 2011).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 relaxation matrix").set_defaults(
+        run=_cmd_table1
+    )
+
+    window = sub.add_parser("window", help="Theorem 4.1 window-growth laws")
+    window.add_argument("--model", help="one model (default: all four)")
+    window.add_argument("--max-gamma", type=int, default=6)
+    window.add_argument("--store-probability", type=float, default=0.5)
+    window.add_argument("--precision", type=int, default=5)
+    window.set_defaults(run=_cmd_window)
+
+    thm62 = sub.add_parser("thm62", help="the two-thread Theorem 6.2 table")
+    thm62.add_argument("--trials", type=int, default=0,
+                       help="also run this many Monte-Carlo trials per model")
+    thm62.add_argument("--seed", type=int, default=0)
+    thm62.add_argument("--precision", type=int, default=6)
+    thm62.set_defaults(run=_cmd_thm62)
+
+    scaling = sub.add_parser("scaling", help="Theorem 6.3 thread-scaling curves")
+    scaling.add_argument("--max-n", type=int, default=64)
+    scaling.set_defaults(run=_cmd_scaling)
+
+    litmus = sub.add_parser("litmus", help="litmus-test verdicts per model")
+    litmus.add_argument("--test", help="one test (SB, MP, LB, CoRR, 2+2W, IRIW, ...)")
+    litmus.set_defaults(run=_cmd_litmus)
+
+    machine = sub.add_parser("machine", help="run the canonical bug on the simulator")
+    machine.add_argument("--model", default="TSO")
+    machine.add_argument("--threads", type=int, default=2)
+    machine.add_argument("--trials", type=int, default=2000)
+    machine.add_argument("--seed", type=int, default=0)
+    machine.add_argument("--body-length", type=int, default=8)
+    machine.add_argument("--fenced", action="store_true")
+    machine.add_argument("--atomic", action="store_true")
+    machine.set_defaults(run=_cmd_machine)
+
+    fences = sub.add_parser("fences", help="the §7 fence-distance sweep")
+    fences.add_argument("--model", default="TSO")
+    fences.add_argument("--distances", type=int, nargs="+",
+                        default=[0, 1, 2, 4, 8, 16, 48])
+    fences.add_argument("--precision", type=int, default=6)
+    fences.set_defaults(run=_cmd_fences)
+
+    fleet = sub.add_parser("fleet", help="Pr[A] for a heterogeneous fleet")
+    fleet.add_argument("models", nargs="+", help="e.g. SC WO TSO")
+    fleet.add_argument("--approximate", action="store_true",
+                       help="allow the independent-window approximation")
+    fleet.set_defaults(run=_cmd_fleet)
+
+    section = sub.add_parser("critical-section",
+                             help="Pr[A] vs critical-section duration")
+    section.add_argument("--lengths", type=int, nargs="+", default=[2, 3, 4, 6, 8])
+    section.set_defaults(run=_cmd_critical_section)
+
+    multibug = sub.add_parser("multibug",
+                              help="Pr[A] vs number of racy sections (E16)")
+    multibug.add_argument("--bugs", type=int, nargs="+",
+                          default=[1, 2, 4, 16, 64, 256])
+    multibug.set_defaults(run=_cmd_multibug)
+
+    sub.add_parser("experiments", help="list the paper-artifact registry").set_defaults(
+        run=_cmd_experiments
+    )
+
+    sub.add_parser("verify", help="fast paper-vs-library checklist").set_defaults(
+        run=_cmd_verify
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.run(args)
+    return 0

@@ -1,0 +1,129 @@
+"""The paper's contribution: program model, settling, shift process, joining.
+
+Everything here is pure computation over the probabilistic model of
+Jaffe et al. (PODC 2011); the mechanistic multiprocessor substrate lives in
+:mod:`repro.sim`.
+"""
+
+from .distributions import (
+    DiscreteDistribution,
+    ValueWithError,
+    geometric_distribution,
+    point_mass,
+)
+from .fences import (
+    Barrier,
+    FencedItem,
+    build_fenced_sequence,
+    fenced_non_manifestation,
+    fenced_window_distribution,
+    finite_run_distribution,
+    sample_fenced_window_growth,
+    settle_fenced_window,
+)
+from .heterogeneous import (
+    estimate_heterogeneous_non_manifestation,
+    heterogeneous_disjointness,
+    heterogeneous_non_manifestation,
+    sample_heterogeneous_growths,
+)
+from .instructions import (
+    CRITICAL_LOCATION,
+    DEFAULT_STORE_PROBABILITY,
+    LD,
+    ST,
+    Instruction,
+    InstructionType,
+    Program,
+    generate_program,
+    program_from_types,
+)
+from .manifestation import (
+    RaoBlackwellResult,
+    manifestation_bounds,
+    asymptotic_exponent,
+    estimate_non_manifestation,
+    estimate_non_manifestation_rao_blackwell,
+    log_non_manifestation,
+    manifestation_probability,
+    non_manifestation_probability,
+    theorem_62_reference,
+    tso_two_thread_bounds,
+)
+from .multibug import (
+    estimate_multi_bug_survival,
+    multi_bug_gap_curve,
+    multi_bug_survival,
+    shift_difference_pmf,
+)
+from .memory_models import (
+    ALL_PAIRS,
+    PAPER_MODELS,
+    PSO,
+    SC,
+    TSO,
+    WO,
+    MemoryModel,
+    OrderedPair,
+    get_model,
+    table1_rows,
+)
+from .partitions import (
+    balanced_partition,
+    bounded_partitions,
+    partitions_in_box,
+    phi_positive_range,
+)
+from .settling import (
+    DEFAULT_BODY_LENGTH,
+    SettlingProcess,
+    SettlingResult,
+    SettlingTraceStep,
+    sample_trailing_run,
+    sample_window_growth,
+)
+from .shift import (
+    DEFAULT_SHIFT_RATIO,
+    ShiftProcess,
+    batch_disjoint,
+    estimate_disjointness,
+    segments_disjoint,
+)
+from .shift_analytic import (
+    WINDOW_LENGTH_OFFSET,
+    c_constant,
+    disjointness_exchangeable,
+    disjointness_iid,
+    disjointness_probability,
+    log_disjointness_iid,
+    ordered_disjointness,
+    prefactor,
+)
+from .tso_analysis import (
+    conditional_run_distribution,
+    mixing_rounds,
+    run_chain_spectral_gap,
+    f_probability_exact,
+    f_probability_lower_bound,
+    l_lower_bound_paper,
+    l_probability_paper,
+    paper_run_distribution,
+    psi_pmf,
+    run_length_distribution,
+    steady_state_store_fraction,
+    store_fraction_sequence,
+)
+from .window_analytic import (
+    pso_window_distribution,
+    pso_window_from_load_gap,
+    sc_window_distribution,
+    tso_window_distribution,
+    tso_window_lower_bound,
+    tso_window_upper_bound,
+    window_distribution,
+    window_from_run_distribution,
+    wo_window_distribution,
+)
+from .window_sampling import sample_growth_matrix
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,308 @@
+"""Discrete probability distributions on the non-negative integers.
+
+The analytic side of the paper manipulates PMFs over ℕ throughout:
+
+* the critical-window growth ``Pr[B_γ]`` (Theorem 4.1),
+* the contiguous-store counts ``Pr[L_µ]`` (Lemma 4.2),
+* geometric shifts ``Pr[s_i = k] = (1 - β) β^k`` (Definition 1),
+
+and it repeatedly evaluates *power transforms* of them,
+``E[a^X] = Σ_k a^k Pr[X = k]`` — the quantity that Theorem 6.1 feeds into
+the shift-process disjointness formula.
+
+:class:`DiscreteDistribution` stores a dense prefix of the PMF plus an
+explicit bound on the truncated tail mass.  Every derived quantity
+(transforms, means, comparisons) propagates that bound, so numeric results
+carry rigorous error estimates instead of silent truncation error.  A
+distribution constructed from an exact finite support has ``tail_bound``
+exactly zero.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DistributionError, TruncationError
+
+__all__ = [
+    "DiscreteDistribution",
+    "ValueWithError",
+    "geometric_distribution",
+    "point_mass",
+]
+
+#: Tolerance used when validating that a PMF sums to (at most) one.
+_MASS_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ValueWithError:
+    """A numeric value together with a rigorous absolute-error bound."""
+
+    value: float
+    error: float
+
+    def __post_init__(self) -> None:
+        if self.error < 0.0:
+            raise ValueError(f"error bound must be non-negative, got {self.error}")
+
+    @property
+    def low(self) -> float:
+        return self.value - self.error
+
+    @property
+    def high(self) -> float:
+        return self.value + self.error
+
+    def agrees_with(self, other: float) -> bool:
+        """Whether ``other`` lies inside ``[value - error, value + error]``."""
+        return self.low <= other <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.value:.9f} ± {self.error:.2e}"
+
+
+class DiscreteDistribution:
+    """A PMF over ``{0, 1, 2, ...}`` with an explicit tail-mass bound.
+
+    Parameters
+    ----------
+    probabilities:
+        PMF values for ``0 .. len(probabilities) - 1``.
+    tail_bound:
+        An upper bound on the probability mass at values beyond the stored
+        prefix.  ``0.0`` means the support is exactly the stored prefix.
+
+    The stored prefix mass plus the tail bound must not exceed 1 (up to a
+    small numerical tolerance), and the stored mass must reach at least
+    ``1 - tail_bound - tolerance`` — i.e. the tail bound must genuinely
+    account for all missing mass.
+    """
+
+    def __init__(self, probabilities: np.ndarray | list[float], tail_bound: float = 0.0):
+        values = np.asarray(probabilities, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise DistributionError("PMF prefix must be a non-empty 1-d array")
+        if np.any(values < -_MASS_TOLERANCE):
+            raise DistributionError("PMF has negative mass")
+        if tail_bound < 0.0:
+            raise DistributionError(f"tail bound must be non-negative, got {tail_bound}")
+        values = np.clip(values, 0.0, None)
+        prefix_mass = float(values.sum())
+        if prefix_mass > 1.0 + _MASS_TOLERANCE:
+            raise DistributionError(f"PMF prefix mass {prefix_mass} exceeds 1")
+        if prefix_mass + tail_bound < 1.0 - _MASS_TOLERANCE:
+            raise DistributionError(
+                f"PMF mass {prefix_mass} + tail bound {tail_bound} falls short of 1; "
+                "the tail bound must cover all unstored mass"
+            )
+        self._values = values
+        self._tail_bound = float(tail_bound)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, pmf: Mapping[int, float]) -> "DiscreteDistribution":
+        """Build an exact finite-support distribution from ``{value: mass}``."""
+        if not pmf:
+            raise DistributionError("empty PMF mapping")
+        if any(value < 0 for value in pmf):
+            raise DistributionError("support must be non-negative integers")
+        size = max(pmf) + 1
+        values = np.zeros(size)
+        for value, mass in pmf.items():
+            values[value] = mass
+        return cls(values, tail_bound=0.0)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[int, int], trials: int) -> "DiscreteDistribution":
+        """Empirical distribution from Monte-Carlo category counts."""
+        if trials <= 0:
+            raise DistributionError(f"trials must be positive, got {trials}")
+        return cls.from_mapping({value: count / trials for value, count in counts.items()})
+
+    @classmethod
+    def from_function(
+        cls,
+        pmf: Callable[[int], float],
+        tail_ratio: float,
+        tolerance: float = 1e-12,
+        max_terms: int = 100_000,
+    ) -> "DiscreteDistribution":
+        """Truncate an infinite PMF whose tail decays geometrically.
+
+        Parameters
+        ----------
+        pmf:
+            The exact PMF, evaluated term by term.
+        tail_ratio:
+            A ratio ``r < 1`` such that ``pmf(k + 1) <= r * pmf(k)`` for all
+            sufficiently large ``k``.  The truncated tail mass after the
+            last stored term ``t`` is then bounded by ``t * r / (1 - r)``.
+        tolerance:
+            Target bound on the truncated mass.
+        """
+        if not 0.0 <= tail_ratio < 1.0:
+            raise DistributionError(f"tail ratio must be in [0, 1), got {tail_ratio}")
+        values: list[float] = []
+        for k in range(max_terms):
+            term = pmf(k)
+            if term < 0.0:
+                raise DistributionError(f"pmf({k}) = {term} is negative")
+            values.append(term)
+            tail = term * tail_ratio / (1.0 - tail_ratio) if tail_ratio > 0.0 else 0.0
+            if k >= 1 and tail <= tolerance:
+                return cls(np.array(values), tail_bound=tail)
+        raise TruncationError(
+            f"PMF truncation did not reach tolerance {tolerance} in {max_terms} terms"
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def truncation_point(self) -> int:
+        """First index beyond the stored prefix."""
+        return int(self._values.size)
+
+    @property
+    def tail_bound(self) -> float:
+        """Upper bound on the unstored probability mass."""
+        return self._tail_bound
+
+    @property
+    def prefix(self) -> np.ndarray:
+        """A copy of the stored PMF prefix."""
+        return self._values.copy()
+
+    def pmf(self, k: int) -> float:
+        """``Pr[X = k]`` for stored ``k``; raises beyond the truncation point
+        unless the distribution is exact (tail bound zero), where it is 0."""
+        if k < 0:
+            return 0.0
+        if k < self._values.size:
+            return float(self._values[k])
+        if self._tail_bound == 0.0:
+            return 0.0
+        raise DistributionError(
+            f"pmf({k}) lies beyond the stored prefix (truncated at "
+            f"{self.truncation_point} with tail bound {self._tail_bound:.2e})"
+        )
+
+    def cdf(self, k: int) -> ValueWithError:
+        """``Pr[X <= k]`` with error bound."""
+        if k < 0:
+            return ValueWithError(0.0, 0.0)
+        stored = float(self._values[: k + 1].sum())
+        if k < self._values.size - 1 or self._tail_bound == 0.0:
+            return ValueWithError(stored, 0.0)
+        return ValueWithError(stored, self._tail_bound)
+
+    def tail(self, k: int) -> ValueWithError:
+        """``Pr[X >= k]`` with error bound."""
+        below = self.cdf(k - 1)
+        return ValueWithError(1.0 - below.value, below.error)
+
+    def mean(self) -> float:
+        """Expectation of the stored prefix (lower bound if truncated).
+
+        For truncated distributions the mean is not computable with a
+        bounded error from the tail *mass* alone, so this returns the
+        prefix contribution; callers needing rigour should use
+        :meth:`power_transform`, which is tail-safe.
+        """
+        return float(np.dot(np.arange(self._values.size), self._values))
+
+    # ------------------------------------------------------------------
+    # Transforms — the workhorse for Theorems 6.1/6.2
+    # ------------------------------------------------------------------
+
+    def power_transform(self, base: float) -> ValueWithError:
+        """``E[base**X] = Σ_k base**k · Pr[X = k]`` with error bound.
+
+        Requires ``0 <= base <= 1`` so the truncated tail contributes at
+        most ``tail_bound`` (each tail term is weighted by at most 1).
+        """
+        if not 0.0 <= base <= 1.0:
+            raise DistributionError(f"power transform requires base in [0, 1], got {base}")
+        weights = base ** np.arange(self._values.size)
+        value = float(np.dot(weights, self._values))
+        if self._tail_bound == 0.0:
+            return ValueWithError(value, 0.0)
+        # Tail terms are bounded by base**truncation_point * tail mass.
+        tail_weight = base ** self.truncation_point
+        return ValueWithError(value, self._tail_bound * tail_weight)
+
+    def shifted_power_transform(self, base: float, offset: int) -> ValueWithError:
+        """``E[base**(X + offset)]`` — e.g. window length = growth + 2."""
+        if offset < 0:
+            raise DistributionError(f"offset must be non-negative, got {offset}")
+        inner = self.power_transform(base)
+        factor = base**offset
+        return ValueWithError(inner.value * factor, inner.error * factor)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def total_variation_distance(self, other: "DiscreteDistribution") -> ValueWithError:
+        """TV distance ``(1/2) Σ_k |p(k) - q(k)|`` with tail-aware bound."""
+        size = max(self._values.size, other._values.size)
+        mine = np.zeros(size)
+        mine[: self._values.size] = self._values
+        theirs = np.zeros(size)
+        theirs[: other._values.size] = other._values
+        value = 0.5 * float(np.abs(mine - theirs).sum())
+        error = 0.5 * (self._tail_bound + other._tail_bound)
+        return ValueWithError(value, error)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiscreteDistribution(prefix_len={self.truncation_point}, "
+            f"tail_bound={self._tail_bound:.2e})"
+        )
+
+
+def geometric_distribution(beta: float, tolerance: float = 1e-12) -> DiscreteDistribution:
+    """The shift distribution of Definition 1: ``Pr[k] = (1 - β) β^k``.
+
+    For ``β = 1/2`` this is the paper's ``Pr[s_i = k] = 2^{-(k+1)}``.
+    ``β = 0`` degenerates to a point mass at zero.
+    """
+    if not 0.0 <= beta < 1.0:
+        raise DistributionError(f"beta must lie in [0, 1), got {beta}")
+    if beta == 0.0:
+        return point_mass(0)
+    return DiscreteDistribution.from_function(
+        lambda k: (1.0 - beta) * beta**k, tail_ratio=beta, tolerance=tolerance
+    )
+
+
+def point_mass(value: int) -> DiscreteDistribution:
+    """The deterministic distribution concentrated at ``value``.
+
+    Sequential consistency's window growth (Theorem 4.1) is
+    ``point_mass(0)``.
+    """
+    if value < 0:
+        raise DistributionError(f"point mass location must be non-negative, got {value}")
+    values = np.zeros(value + 1)
+    values[value] = 1.0
+    return DiscreteDistribution(values, tail_bound=0.0)
+
+
+def log_factorial(n: int) -> float:
+    """``log(n!)`` — convenience wrapper over :func:`math.lgamma`."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return math.lgamma(n + 1)
+
+
+__all__.append("log_factorial")

@@ -1,0 +1,304 @@
+"""Fences in the settling model — the §7 extension the paper sketches.
+
+The paper (§7): *"An important item for future work is to include
+acquire/release fences … These fences act as one-way barriers, allowing
+instructions to reorder into, but not out of, a critical section.  This
+behavior can be easily modeled using settling."*  This module does exactly
+that, and tests the paper's conjecture that *"adding fences will not
+significantly change the main conclusions"*.
+
+Semantics (settling moves instructions **upward**, toward earlier
+positions):
+
+* ``ACQUIRE`` — the top of a critical section.  No instruction may settle
+  *above* an acquire (that would move it out of the section, upward);
+  the fence itself never moves.
+* ``RELEASE`` — the bottom of a critical section.  A later instruction
+  *may* settle above a release (moving into the section from below), with
+  the model's settle probability; the fence itself never moves.
+* ``FULL`` — two-sided: nothing crosses, it never moves.
+
+The canonical fenced scenario places an ``ACQUIRE`` ``fence_distance``
+body instructions above the critical load (the §2.2 bug wrapped in a
+lock-acquire whose lock variable we do not model).  The fence truncates
+the critical load's climb, which yields *exact* fenced window laws:
+
+* **TSO/PSO** — the trailing-store-run chain simply *restarts at the
+  fence*: the run above the critical load is the chain's state after
+  ``fence_distance`` rounds from empty (a finite-horizon law, not the
+  stationary one), and the usual climb/chase folds apply unchanged.
+* **WO** — the load climb is capped at ``fence_distance``:
+  ``γ = min(Geom(s), k) − min(Geom(s), ·)`` with the store chase intact.
+* **SC** — unchanged (nothing moves anyway).
+
+A reference simulator over explicit fence-bearing sequences validates all
+of these laws in the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelDefinitionError, ProgramError
+from ..stats.rng import RandomSource
+from .distributions import DiscreteDistribution, point_mass
+from .instructions import (
+    DEFAULT_STORE_PROBABILITY,
+    InstructionType,
+    generate_program,
+)
+from .memory_models import PSO, SC, TSO, WO, MemoryModel
+from .settling import DEFAULT_BODY_LENGTH
+from .tso_analysis import run_transition_matrix
+from .window_analytic import pso_window_from_load_gap, window_from_run_distribution
+
+__all__ = [
+    "Barrier",
+    "FencedItem",
+    "build_fenced_sequence",
+    "settle_fenced_window",
+    "finite_run_distribution",
+    "fenced_window_distribution",
+]
+
+
+class Barrier(enum.Enum):
+    """Fence kinds of §7 (plus the two-sided full barrier)."""
+
+    ACQUIRE = "ACQ"
+    RELEASE = "REL"
+    FULL = "FENCE"
+
+
+@dataclass(frozen=True)
+class FencedItem:
+    """One slot of a fenced instruction sequence.
+
+    Exactly one of ``type`` (a memory operation) or ``barrier`` is set;
+    ``critical`` marks the §2.2 critical load/store pair.
+    """
+
+    type: InstructionType | None = None
+    barrier: Barrier | None = None
+    critical: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.type is None) == (self.barrier is None):
+            raise ProgramError("a fenced item is either an operation or a barrier")
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.barrier is not None
+
+    def __str__(self) -> str:
+        if self.barrier is not None:
+            return self.barrier.value
+        assert self.type is not None
+        return self.type.mnemonic + ("*" if self.critical else "")
+
+
+def build_fenced_sequence(
+    body: list[InstructionType],
+    fence_distance: int,
+    kind: Barrier = Barrier.ACQUIRE,
+    add_release: bool = True,
+) -> list[FencedItem]:
+    """The canonical fenced scenario: body, fence, tail, critical pair.
+
+    The fence sits ``fence_distance`` body instructions above the critical
+    load; a trailing ``RELEASE`` closes the critical section (it sits
+    below the critical store, where it never affects the window).
+    """
+    if fence_distance < 0:
+        raise ProgramError(f"fence_distance must be non-negative, got {fence_distance}")
+    if fence_distance > len(body):
+        raise ProgramError(
+            f"fence_distance {fence_distance} exceeds body length {len(body)}"
+        )
+    split = len(body) - fence_distance
+    items = [FencedItem(type=instruction_type) for instruction_type in body[:split]]
+    items.append(FencedItem(barrier=kind))
+    items += [FencedItem(type=instruction_type) for instruction_type in body[split:]]
+    items.append(FencedItem(type=InstructionType.LOAD, critical=True))
+    items.append(FencedItem(type=InstructionType.STORE, critical=True))
+    if add_release:
+        items.append(FencedItem(barrier=Barrier.RELEASE))
+    return items
+
+
+def _swap_probability(
+    model: MemoryModel, above: FencedItem, settling: FencedItem
+) -> float:
+    """ρ for one upward swap attempt in the fenced settling process."""
+    if settling.is_barrier:
+        return 0.0  # fences never move
+    if above.is_barrier:
+        if above.barrier in (Barrier.ACQUIRE, Barrier.FULL):
+            return 0.0  # nothing leaves the critical section upward
+        # RELEASE: reordering *into* the section is allowed at the model's
+        # rate for this instruction kind (use the uniform settle rate).
+        uniform = model.uniform_settle_probability
+        return uniform if uniform is not None else 0.0
+    if above.critical and settling.critical:
+        return 0.0  # the critical pair shares a location
+    assert above.type is not None and settling.type is not None
+    return model.settle_probability(above.type, settling.type)
+
+
+def settle_fenced_window(
+    items: list[FencedItem], model: MemoryModel, source: RandomSource
+) -> int:
+    """Reference simulator: settle a fenced sequence, return window growth.
+
+    The round-based process of Appendix A.2 extended with the barrier
+    rules above.  O(length²) worst case; used to validate the exact laws.
+    """
+    order: list[int] = []
+    for round_index, item in enumerate(items):
+        position = len(order)
+        order.append(round_index)
+        while position > 0:
+            above = items[order[position - 1]]
+            if not source.bernoulli(_swap_probability(model, above, item)):
+                break
+            order[position - 1], order[position] = order[position], order[position - 1]
+            position -= 1
+    critical_positions = sorted(
+        position for position, index in enumerate(order) if items[index].critical
+    )
+    if len(critical_positions) != 2:
+        raise ProgramError("fenced sequence must contain exactly the critical pair")
+    return critical_positions[1] - critical_positions[0] - 1
+
+
+def sample_fenced_window_growth(
+    model: MemoryModel,
+    source: RandomSource,
+    fence_distance: int,
+    body_length: int = DEFAULT_BODY_LENGTH,
+    store_probability: float = DEFAULT_STORE_PROBABILITY,
+    kind: Barrier = Barrier.ACQUIRE,
+) -> int:
+    """Sample the fenced window growth via the reference simulator."""
+    program = generate_program(body_length, source, store_probability)
+    body = [instruction.type for instruction in program.instructions[:-2]]
+    items = build_fenced_sequence(body, fence_distance, kind)
+    return settle_fenced_window(items, model, source)
+
+
+__all__.append("sample_fenced_window_growth")
+
+
+# ----------------------------------------------------------------------
+# Exact fenced window laws
+# ----------------------------------------------------------------------
+
+
+def finite_run_distribution(
+    rounds: int,
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+) -> DiscreteDistribution:
+    """Trailing-store-run law after exactly ``rounds`` settling rounds.
+
+    This is the run chain *started fresh at the fence*: an acquire resets
+    the run structure because no load below it can climb past it, exactly
+    as the program's beginning does.  Exact (the support is bounded by
+    ``rounds``).
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    if rounds == 0:
+        return point_mass(0)
+    matrix = run_transition_matrix(store_probability, settle, max_run=rounds)
+    state = np.zeros(rounds + 1)
+    state[0] = 1.0
+    for _ in range(rounds):
+        state = state @ matrix
+    return DiscreteDistribution(state, tail_bound=0.0)
+
+
+def fenced_window_distribution(
+    model: MemoryModel,
+    fence_distance: int,
+    store_probability: float = 0.5,
+) -> DiscreteDistribution:
+    """Exact window-growth law with an ACQUIRE ``fence_distance`` above the
+    critical load (the canonical fenced scenario).
+
+    ``fence_distance = 0`` forces every model to the SC law — the fence
+    sits directly above the critical load, so the window cannot grow.
+    """
+    if fence_distance < 0:
+        raise ValueError(f"fence_distance must be non-negative, got {fence_distance}")
+    if model.relaxed_pairs == SC.relaxed_pairs or fence_distance == 0:
+        return point_mass(0)
+    settle = model.uniform_settle_probability
+    if settle is None:
+        raise ModelDefinitionError(
+            f"no exact fenced law for {model.name} with non-uniform settle "
+            "probabilities; use the reference simulator"
+        )
+    if model.relaxed_pairs == WO.relaxed_pairs:
+        return _fenced_wo_window(settle, fence_distance)
+    if model.relaxed_pairs in (TSO.relaxed_pairs, PSO.relaxed_pairs):
+        runs = finite_run_distribution(fence_distance, store_probability, settle)
+        load_gap = window_from_run_distribution(runs, settle)
+        if model.relaxed_pairs == PSO.relaxed_pairs:
+            return pso_window_from_load_gap(load_gap, settle)
+        return load_gap
+    raise ModelDefinitionError(
+        f"no exact fenced law for relaxation set of {model.name}"
+    )
+
+
+def fenced_non_manifestation(
+    model: MemoryModel,
+    fence_distance: int,
+    n: int = 2,
+    store_probability: float = 0.5,
+    beta: float = 0.5,
+):
+    """``Pr[A]`` for n fenced threads (Theorem 6.2's pipeline + fences).
+
+    Exact for SC/WO at any n and for every model at n = 2 (only window
+    marginals enter); for TSO/PSO at n ≥ 3 it is the independent-window
+    approximation, as in the unfenced analytic route.
+
+    The paper's §7 conjecture, checked by the fence bench: fences increase
+    Pr[A] (fewer legal reorderings) but change no qualitative conclusion —
+    at ``fence_distance = 0`` every model collapses onto SC's 1/6, and
+    the Theorem 6.3 asymptotics are untouched.
+    """
+    from .shift_analytic import disjointness_iid
+
+    growth = fenced_window_distribution(model, fence_distance, store_probability)
+    return disjointness_iid(growth, n, beta)
+
+
+__all__.append("fenced_non_manifestation")
+
+
+def _fenced_wo_window(settle: float, cap: int) -> DiscreteDistribution:
+    """WO with a capped load climb: i' = min(Geom(s), cap), chase intact.
+
+    ``Pr[i' = i] = (1-s)s^i`` for i < cap and ``s^cap`` at the cap (the
+    climb stops at the fence).  Given i', the store chases
+    ``j = min(Geom(s), i')`` and γ = i' − j, exactly as unfenced.
+    """
+    s = settle
+    size = cap + 1
+    climb = np.zeros(size)
+    for i in range(cap):
+        climb[i] = (1.0 - s) * s**i
+    climb[cap] = s**cap
+    window = np.zeros(size)
+    for i in range(size):
+        # chase j < i with prob (1-s)s^j -> gamma = i - j;  j = i with s^i.
+        window[0] += climb[i] * s**i
+        for j in range(i):
+            window[i - j] += climb[i] * (1.0 - s) * s**j
+    return DiscreteDistribution(window, tail_bound=0.0)

@@ -1,0 +1,110 @@
+"""Bounded integer partitions — the combinatorics behind Claim 4.4.
+
+The TSO analysis conditions on ``∆``, the total number of positions the
+interspersed loads must climb, whose distribution is governed by
+
+    ``φ(x, y, z)`` — the number of multisets of ``y`` positive integers
+    summing to ``x`` with every integer at most ``z``
+
+(a bounded variant of the partition number).  The paper only needs the
+crude bound ``φ(x, y, z) ≥ 1`` for ``y ≤ x ≤ yz`` (witnessed by the
+balanced construction); this module provides that bound *and* the exact
+values via dynamic programming, which lets the library evaluate the
+paper's decomposition exactly rather than only bounding it.
+
+Identities used:
+
+* subtracting 1 from every part bijects partitions of ``x`` into exactly
+  ``y`` parts in ``[1, z]`` with partitions of ``x - y`` into at most ``y``
+  parts in ``[0, z - 1]``;
+* partitions of ``n`` into at most ``k`` parts each at most ``z`` satisfy
+  ``p(n, k, z) = p(n, k - 1, z) + p(n - z, k, z - …)`` — we use the
+  classic "largest part" recurrence ``p(n, k, z) = p(n, k, z - 1) +
+  p(n - z, k - 1, z)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "bounded_partitions",
+    "partitions_in_box",
+    "balanced_partition",
+    "phi_positive_range",
+    "delta_support",
+]
+
+
+@lru_cache(maxsize=None)
+def partitions_in_box(total: int, max_parts: int, max_part: int) -> int:
+    """Partitions of ``total`` into at most ``max_parts`` parts, each ≤ ``max_part``.
+
+    Equivalently, partitions whose Young diagram fits in a
+    ``max_parts × max_part`` box.  ``partitions_in_box(0, k, z) = 1`` (the
+    empty partition) for any ``k, z ≥ 0``.
+    """
+    if total < 0 or max_parts < 0 or max_part < 0:
+        return 0
+    if total == 0:
+        return 1
+    if max_parts == 0 or max_part == 0:
+        return 0
+    # Largest part is either < max_part, or equals max_part (remove it).
+    return partitions_in_box(total, max_parts, max_part - 1) + partitions_in_box(
+        total - max_part, max_parts - 1, max_part
+    )
+
+
+def bounded_partitions(total: int, parts: int, max_part: int) -> int:
+    """The paper's ``φ(x, y, z)``: multisets of ``y`` integers in ``[1, z]``
+    summing to ``x``.
+
+    >>> bounded_partitions(5, 2, 4)  # 1+4, 2+3
+    2
+    >>> bounded_partitions(6, 2, 3)  # 3+3 only
+    1
+    """
+    if parts < 0 or max_part < 0:
+        raise ValueError(f"parts and max_part must be non-negative, got {parts}, {max_part}")
+    if parts == 0:
+        return 1 if total == 0 else 0
+    # Subtract 1 from every part: at most `parts` parts, each ≤ max_part - 1.
+    return partitions_in_box(total - parts, parts, max_part - 1)
+
+
+def delta_support(parts: int, max_part: int) -> range:
+    """The support of ``∆`` given ``q`` loads and ``µ`` stores: ``[q, µq]``.
+
+    Matches the paper's observation ``∆ ≥ q`` (the store at Φ_µ must be
+    passed by every load) and ``∆ ≤ µq`` (no load passes more than µ
+    stores).  Empty when ``parts == 0`` is handled by the caller.
+    """
+    return range(parts, parts * max_part + 1)
+
+
+def phi_positive_range(total: int, parts: int, max_part: int) -> bool:
+    """The paper's Claim-4.4 bound: ``φ ≥ 1`` whenever ``y ≤ x ≤ yz``."""
+    return parts <= total <= parts * max_part if parts > 0 else total == 0
+
+
+def balanced_partition(total: int, parts: int, max_part: int) -> list[int]:
+    """The witness construction from Claim 4.4.
+
+    Sets ``total mod parts`` of the integers to ``ceil(total / parts)`` and
+    the rest to ``floor(total / parts)``; valid whenever ``phi_positive_range``
+    holds.  Returned sorted descending.
+    """
+    if parts == 0:
+        if total == 0:
+            return []
+        raise ValueError("no zero-part partition of a positive total")
+    if not phi_positive_range(total, parts, max_part):
+        raise ValueError(
+            f"no partition of {total} into {parts} parts bounded by {max_part}"
+        )
+    high_count = total % parts
+    low = total // parts
+    partition = [low + 1] * high_count + [low] * (parts - high_count)
+    assert sum(partition) == total
+    return partition

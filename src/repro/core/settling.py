@@ -1,0 +1,347 @@
+"""The settling process (§3.1.2, Appendix A.2): randomized instruction reorder.
+
+Settling takes an initial program order ``S_0`` and produces a random
+model-legal reordering in ``m + 2`` rounds.  In round ``r`` instruction
+``x_r`` is appended below the already-settled prefix and then repeatedly
+swapped with the instruction directly above it; each swap succeeds with the
+memory model's pair probability ``ρ_{τ1,τ2}`` (zero for pairs the model
+does not relax, ``s`` otherwise) and the round ends at the first failure or
+at position 1.  The single exception is the critical store, which always
+fails to swap with the critical load (same location).
+
+This module provides:
+
+* :class:`SettlingProcess` — the faithful round-by-round simulator over
+  :class:`~repro.core.instructions.Program` objects, with optional trace
+  capture (the data behind the paper's Figure 1).
+* :func:`sample_window_growth` — a fast sampler of the critical-window
+  growth ``B_γ`` that dispatches to model-specific shortcuts:
+
+  - SC: γ = 0 deterministically,
+  - WO: two coupled geometric climbs (the window is program-independent),
+  - TSO/PSO: the **trailing-store-run Markov chain** (see below),
+  - anything else: full settling.
+
+Trailing-store-run chain
+------------------------
+Under TSO (and PSO, whose extra ST/ST swaps never change the *type*
+sequence) the only type-changing moves are loads climbing past stores.  The
+number of contiguous STs at the bottom of the settled prefix — exactly the
+quantity ``L_µ`` of Lemma 4.2 — therefore evolves as a Markov chain over
+rounds: a new ST extends the run (``k → k + 1`` w.p. ``p``); a new LD
+climbs ``j = min(Geom(s), k)`` stores, splitting the run to length ``j``
+when it stops early and leaving it at ``k`` when it clears the whole run
+and parks against the load above.  The stationary law of this chain *is*
+the ``Pr[L_µ]`` of Lemma 4.2 (see :mod:`repro.core.tso_analysis` for the
+exact solve), and simulating the chain costs O(m) per trial with no lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelDefinitionError
+from ..stats.rng import RandomSource
+from .instructions import (
+    DEFAULT_STORE_PROBABILITY,
+    InstructionType,
+    Program,
+    generate_program,
+)
+from .memory_models import LD, PSO, SC, ST, TSO, WO, MemoryModel
+
+__all__ = [
+    "SettlingResult",
+    "SettlingTraceStep",
+    "SettlingProcess",
+    "sample_window_growth",
+    "sample_trailing_run",
+    "DEFAULT_BODY_LENGTH",
+]
+
+#: Body length used by samplers approximating the paper's ``m → ∞``.
+#: Movement per round is geometric with ratio ``s ≤ 1/2`` in every paper
+#: model, so the probability that any boundary effect reaches the critical
+#: pair is below ``2**-DEFAULT_BODY_LENGTH`` — far under Monte-Carlo noise.
+DEFAULT_BODY_LENGTH = 96
+
+
+@dataclass(frozen=True)
+class SettlingTraceStep:
+    """One round of the settling process, for trace rendering (Figure 1).
+
+    Attributes
+    ----------
+    round_index:
+        The 1-based round (= the initial index of the settling instruction).
+    swaps:
+        How many positions the instruction climbed this round.
+    order:
+        Initial-order indices of the settled prefix after the round, top
+        first.
+    """
+
+    round_index: int
+    swaps: int
+    order: tuple[int, ...]
+
+
+class SettlingResult:
+    """Outcome of settling one program: the permutation π of Appendix A.2.
+
+    ``order[k]`` is the initial-order index of the instruction at final
+    position ``k + 1``; :meth:`position_of` is the paper's ``π(i)``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        order: list[int],
+        trace: tuple[SettlingTraceStep, ...] | None = None,
+    ):
+        self._program = program
+        self._order = tuple(order)
+        self._positions = {index: position + 1 for position, index in enumerate(order)}
+        self._trace = trace
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def order(self) -> tuple[int, ...]:
+        """Initial indices in final order (top of program first)."""
+        return self._order
+
+    @property
+    def trace(self) -> tuple[SettlingTraceStep, ...] | None:
+        """Per-round trace if requested, else ``None``."""
+        return self._trace
+
+    def position_of(self, initial_index: int) -> int:
+        """The paper's ``π(i)``: final 1-based position of instruction ``i``."""
+        return self._positions[initial_index]
+
+    def final_types(self) -> list[InstructionType]:
+        """Instruction types in final order."""
+        return [self._program.type_of(index) for index in self._order]
+
+    # ------------------------------------------------------------------
+    # Critical-window geometry (§3.2)
+    # ------------------------------------------------------------------
+
+    @property
+    def critical_load_position(self) -> int:
+        """``π(m + 1)``."""
+        return self.position_of(self._program.length - 1)
+
+    @property
+    def critical_store_position(self) -> int:
+        """``π(m + 2)``."""
+        return self.position_of(self._program.length)
+
+    @property
+    def window_growth(self) -> int:
+        """The γ of event ``B_γ``: instructions strictly between the pair."""
+        return self.critical_store_position - self.critical_load_position - 1
+
+    @property
+    def window_length(self) -> int:
+        """Inclusive critical-window size ``Γ = γ + 2`` used by Theorem 6.2."""
+        return self.window_growth + 2
+
+    def window_indices(self) -> tuple[int, ...]:
+        """The window ``W_k`` of Appendix A.3: final positions LD..ST."""
+        return tuple(range(self.critical_load_position, self.critical_store_position + 1))
+
+
+class SettlingProcess:
+    """Round-by-round settling under a given memory model.
+
+    This is the reference implementation: it handles any
+    :class:`~repro.core.memory_models.MemoryModel` (including per-pair
+    settle probabilities) and can record a full trace.  Use
+    :func:`sample_window_growth` when only the window statistic is needed.
+    """
+
+    def __init__(self, model: MemoryModel):
+        self._model = model
+
+    @property
+    def model(self) -> MemoryModel:
+        return self._model
+
+    def settle(
+        self,
+        program: Program,
+        source: RandomSource,
+        record_trace: bool = False,
+    ) -> SettlingResult:
+        """Run all ``m + 2`` settling rounds on ``program``.
+
+        Parameters
+        ----------
+        program:
+            The initial order ``S_0``.
+        source:
+            Randomness for the swap outcomes.
+        record_trace:
+            Capture the per-round snapshots needed to render Figure 1.
+            Costs O(m²) memory; off by default.
+        """
+        model = self._model
+        critical_load_index = program.length - 1
+        critical_store_index = program.length
+        order: list[int] = []
+        trace: list[SettlingTraceStep] = []
+
+        for round_index in range(1, program.length + 1):
+            settling_type = program.type_of(round_index)
+            position = len(order)  # 0-based position of the settling instruction
+            order.append(round_index)
+            swaps = 0
+            while position > 0:
+                above_index = order[position - 1]
+                if round_index == critical_store_index and above_index == critical_load_index:
+                    break  # same location: the swap automatically fails
+                probability = model.settle_probability(
+                    program.type_of(above_index), settling_type
+                )
+                if not source.bernoulli(probability):
+                    break
+                order[position - 1], order[position] = order[position], order[position - 1]
+                position -= 1
+                swaps += 1
+            if record_trace:
+                trace.append(SettlingTraceStep(round_index, swaps, tuple(order)))
+
+        return SettlingResult(program, order, tuple(trace) if record_trace else None)
+
+    def sample_result(
+        self,
+        source: RandomSource,
+        body_length: int = DEFAULT_BODY_LENGTH,
+        store_probability: float = DEFAULT_STORE_PROBABILITY,
+    ) -> SettlingResult:
+        """Generate a random program and settle it in one call."""
+        program = generate_program(body_length, source, store_probability)
+        return self.settle(program, source)
+
+
+# ----------------------------------------------------------------------
+# Fast samplers
+# ----------------------------------------------------------------------
+
+
+def _geometric_successes(source: RandomSource, success_probability: float) -> int:
+    """Number of consecutive successes before the first failure.
+
+    ``Pr[k] = (1 - s) * s**k`` — the per-round climb law of settling with
+    uniform swap probability ``s``.
+    """
+    return source.geometric(success_probability)
+
+
+def sample_trailing_run(
+    model: MemoryModel,
+    source: RandomSource,
+    body_length: int = DEFAULT_BODY_LENGTH,
+    store_probability: float = DEFAULT_STORE_PROBABILITY,
+) -> int:
+    """Sample the trailing-store-run length ``µ`` of a settled TSO/PSO prefix.
+
+    This is the random variable of the events ``L_µ`` (Lemma 4.2), drawn by
+    simulating the trailing-run Markov chain for ``body_length`` rounds.
+    Only meaningful for models whose sole type-changing relaxation is
+    (ST, LD) — i.e. TSO and PSO; other models raise.
+    """
+    settle = _require_store_load_only(model)
+    run = 0
+    for _ in range(body_length):
+        if source.bernoulli(store_probability):
+            run += 1
+        else:
+            climb = _geometric_successes(source, settle)
+            if climb < run:
+                run = climb
+    return run
+
+
+def sample_window_growth(
+    model: MemoryModel,
+    source: RandomSource,
+    body_length: int = DEFAULT_BODY_LENGTH,
+    store_probability: float = DEFAULT_STORE_PROBABILITY,
+) -> int:
+    """Sample the critical-window growth γ (event ``B_γ``) for one thread.
+
+    Dispatches to a model-specific shortcut when one is exact, and falls
+    back to full settling otherwise.  All shortcuts are validated against
+    the reference simulator in the test suite.
+    """
+    if model.relaxed_pairs == SC.relaxed_pairs:
+        return 0
+    uniform = model.uniform_settle_probability
+    if uniform is None:
+        return _settle_for_window(model, source, body_length, store_probability)
+    if model.relaxed_pairs == WO.relaxed_pairs:
+        return _sample_window_weak_ordering(source, uniform, body_length)
+    if model.relaxed_pairs == TSO.relaxed_pairs:
+        run = sample_trailing_run(model, source, body_length, store_probability)
+        return _climb_through_run(source, uniform, run)
+    if model.relaxed_pairs == PSO.relaxed_pairs:
+        run = sample_trailing_run(model, source, body_length, store_probability)
+        load_climb = _climb_through_run(source, uniform, run)
+        store_chase = min(_geometric_successes(source, uniform), load_climb)
+        return load_climb - store_chase
+    return _settle_for_window(model, source, body_length, store_probability)
+
+
+def _sample_window_weak_ordering(
+    source: RandomSource, settle: float, body_length: int
+) -> int:
+    """WO shortcut: both critical instructions climb geometrically.
+
+    The critical load climbs ``i ~ Geom(s)`` positions (every pair is
+    relaxed, so the program content is irrelevant); the critical store then
+    climbs ``j = min(Geom(s), i)`` of the ``i`` instructions now separating
+    it from the load, stopping automatically at the load.  γ = i − j.
+    """
+    load_climb = min(_geometric_successes(source, settle), body_length)
+    store_chase = min(_geometric_successes(source, settle), load_climb)
+    return load_climb - store_chase
+
+
+def _climb_through_run(source: RandomSource, settle: float, run: int) -> int:
+    """Critical-load climb through a trailing store run of length ``run``.
+
+    Under TSO/PSO the load passes each of the ``run`` stores with
+    probability ``s`` and parks against the load above the run if it clears
+    them all: γ = min(Geom(s), run).
+    """
+    return min(_geometric_successes(source, settle), run)
+
+
+def _settle_for_window(
+    model: MemoryModel,
+    source: RandomSource,
+    body_length: int,
+    store_probability: float,
+) -> int:
+    program = generate_program(body_length, source, store_probability)
+    return SettlingProcess(model).settle(program, source).window_growth
+
+
+def _require_store_load_only(model: MemoryModel) -> float:
+    type_changing = {pair for pair in model.relaxed_pairs if pair[0] is not pair[1]}
+    if type_changing != {(ST, LD)}:
+        raise ModelDefinitionError(
+            f"trailing-run sampling requires (ST, LD) as the only type-changing "
+            f"relaxation (TSO/PSO); {model.name} relaxes {sorted(map(str, model.relaxed_pairs))}"
+        )
+    uniform = model.uniform_settle_probability
+    if uniform is None:
+        raise ModelDefinitionError(
+            "trailing-run sampling requires a uniform settle probability"
+        )
+    return uniform

@@ -1,0 +1,211 @@
+"""Closed forms for the shift process — Theorem 5.1, Corollary 5.2, Theorem 6.1.
+
+Let the shifts be i.i.d. geometric with ratio β (``Pr[s=k] = (1-β)β^k``)
+and let ``γ̄`` be the segment lengths.  Conditioning on the *order* of the
+shifts (largest first) and exploiting memorylessness, the paper derives
+
+    ``Pr[A(γ̄) ∧ Y_σ] = Π_{i=1}^{n-1} (1-β) · β^{(n-i)(γ_{σ(i)}+1)} / (1 - β^{n-i+1})``
+
+summed over all ``n!`` orders σ (Theorem 5.1; the paper states the β = 1/2
+case).  Corollary 5.2 packages the prefactor as ``c(n)·2^{-binom(n+1,2)}``
+with ``c(n) ∈ [2, 4]`` and ``c(2) = 8/3``; Theorem 6.1 shows that for
+segment lengths with identical marginals every order contributes equally:
+
+    ``Pr[A(Γ̄)] = prefactor(n, β) · n! · E[Π_{i=1}^{n-1} β^{(n-i)(Γ_i+1)}]``.
+
+All forms are provided in linear and log space (Theorem 6.3 needs
+``Pr[A] ≈ e^{-1.04 n²}``, which underflows doubles beyond n ≈ 30).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+
+from .distributions import DiscreteDistribution, ValueWithError
+
+__all__ = [
+    "ordered_disjointness",
+    "disjointness_probability",
+    "prefactor",
+    "log_prefactor",
+    "c_constant",
+    "disjointness_iid",
+    "log_disjointness_iid",
+    "log_expected_power",
+    "MAX_EXACT_SEGMENTS",
+]
+
+#: Exact permutation enumeration is O(n!); refuse beyond this.
+MAX_EXACT_SEGMENTS = 10
+
+#: Offset between a window's *growth* γ and its segment length Γ = γ + 2
+#: (the closed read-to-commit interval; see repro.core.shift docstring).
+WINDOW_LENGTH_OFFSET = 2
+__all__.append("WINDOW_LENGTH_OFFSET")
+
+
+def _check_beta(beta: float) -> None:
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must lie in (0, 1), got {beta}")
+
+
+def ordered_disjointness(lengths_largest_shift_first: list[int], beta: float = 0.5) -> float:
+    """``Pr[A(γ̄) ∧ Y_σ]`` for one shift order (Theorem 5.1's inner product).
+
+    ``lengths_largest_shift_first[i]`` is the length of the segment with the
+    (i+1)-th largest shift — the paper's ``γ_{σ(i+1)}``.  The last segment
+    (smallest shift) contributes no factor.
+    """
+    _check_beta(beta)
+    n = len(lengths_largest_shift_first)
+    if n == 0:
+        raise ValueError("need at least one segment")
+    result = 1.0
+    for i, gamma in enumerate(lengths_largest_shift_first[:-1], start=1):
+        if gamma < 0:
+            raise ValueError(f"segment lengths must be non-negative, got {gamma}")
+        result *= (1.0 - beta) * beta ** ((n - i) * (gamma + 1)) / (1.0 - beta ** (n - i + 1))
+    return result
+
+
+def disjointness_probability(lengths: list[int], beta: float = 0.5) -> float:
+    """Theorem 5.1: exact ``Pr[A(γ̄)]`` by summing over all shift orders.
+
+    >>> round(disjointness_probability([2, 2]), 6)  # SC windows, n = 2
+    0.166667
+    """
+    n = len(lengths)
+    if n == 1:
+        return 1.0
+    if n > MAX_EXACT_SEGMENTS:
+        raise ValueError(
+            f"exact enumeration limited to {MAX_EXACT_SEGMENTS} segments (n! terms); "
+            "use disjointness_iid / Monte Carlo for larger n"
+        )
+    return sum(ordered_disjointness(list(order), beta) for order in permutations(lengths))
+
+
+def prefactor(n: int, beta: float = 0.5) -> float:
+    """The order-independent factor ``Π_{i=1}^{n-1} (1-β)/(1-β^{n-i+1})``.
+
+    Theorem 5.1's probability is ``prefactor · Σ_σ β^{Σ_i (n-i)(γ_{σ(i)}+1)}``.
+    """
+    return math.exp(log_prefactor(n, beta))
+
+
+def log_prefactor(n: int, beta: float = 0.5) -> float:
+    """Natural log of :func:`prefactor` (safe for large n)."""
+    _check_beta(beta)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (n - 1) * math.log(1.0 - beta) - sum(
+        math.log(1.0 - beta**i) for i in range(2, n + 1)
+    )
+
+
+def c_constant(n: int, beta: float = 0.5) -> float:
+    """Corollary 5.2's ``c(n)``, with ``Pr[A] = c(n) β^{binom(n+1,2)} Σ_σ Π β^{(n-i)γ_{σ(i)}}``.
+
+    For β = 1/2: ``c(n) = 2 / Π_{i=2}^{n} (1 - 2^{-i})``, which lies in
+    [2, 4] and equals 8/3 at n = 2 (both asserted in the tests).
+    """
+    _check_beta(beta)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    # prefactor · β^{binom(n,2)} = c(n) · β^{binom(n+1,2)}  ⇒  c = prefactor / β^n
+    return prefactor(n, beta) / beta**n
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.1 — identical marginals
+# ----------------------------------------------------------------------
+
+
+def log_expected_power(
+    window_growth: DiscreteDistribution,
+    exponent_scale: int,
+    beta: float = 0.5,
+    length_offset: int = WINDOW_LENGTH_OFFSET,
+) -> float:
+    """``log E[β^{k (Γ + 1)}]`` for window length ``Γ = growth + length_offset``.
+
+    This is the per-position factor of Theorem 6.1 under independence:
+    position ``i`` from the bottom contributes ``E[β^{i(Γ_i + 1)}]``.
+    Computed in log space as ``k·(L+1)·log β + log E[(β^k)^growth]`` so it
+    stays finite for thread counts in the hundreds.
+
+    ``length_offset`` is the base critical-section duration L: the paper's
+    canonical bug has L = 2 (the load's read step to the store's commit);
+    longer critical sections (local computation between the racy accesses)
+    raise it.
+    """
+    _check_beta(beta)
+    if exponent_scale < 1:
+        raise ValueError(f"exponent scale must be >= 1, got {exponent_scale}")
+    if length_offset < 1:
+        raise ValueError(f"length offset must be >= 1, got {length_offset}")
+    base = beta**exponent_scale
+    transform = window_growth.power_transform(base)
+    if transform.value <= 0.0:
+        raise ValueError("window distribution has no mass reachable by the transform")
+    offset = length_offset + 1  # Γ + 1 = growth + L + 1
+    return exponent_scale * offset * math.log(beta) + math.log(transform.value)
+
+
+def disjointness_iid(
+    window_growth: DiscreteDistribution,
+    n: int,
+    beta: float = 0.5,
+    length_offset: int = WINDOW_LENGTH_OFFSET,
+) -> ValueWithError:
+    """Theorem 6.1 specialised to *independent* identical window laws.
+
+    ``Pr[A] = prefactor · n! · Π_{i=1}^{n-1} E[β^{i(Γ+1)}]`` — exact for SC
+    (degenerate windows) and WO (program-independent windows) at any n, and
+    exact for *any* model at n = 2 where only marginals enter.  For TSO/PSO
+    at n ≥ 3 this is the independent-window approximation; the joined-model
+    module quantifies its error against the shared-program Monte Carlo.
+    """
+    log_value = log_disjointness_iid(window_growth, n, beta, length_offset)
+    value = math.exp(log_value)
+    # Propagate the window distribution's truncation error: each factor's
+    # relative error is bounded by tail/E, conservatively summed in log space.
+    relative = 0.0
+    for i in range(1, n):
+        transform = window_growth.power_transform(beta**i)
+        if transform.value > 0.0:
+            relative += transform.error / transform.value
+    return ValueWithError(value, value * min(relative, 1.0))
+
+
+def log_disjointness_iid(
+    window_growth: DiscreteDistribution,
+    n: int,
+    beta: float = 0.5,
+    length_offset: int = WINDOW_LENGTH_OFFSET,
+) -> float:
+    """Natural log of :func:`disjointness_iid` (Theorem 6.3 needs n ≫ 30)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    total = log_prefactor(n, beta) + math.lgamma(n + 1)
+    for i in range(1, n):
+        total += log_expected_power(window_growth, i, beta, length_offset)
+    return total
+
+
+def disjointness_exchangeable(
+    joint_expectation: float, n: int, beta: float = 0.5
+) -> float:
+    """Theorem 6.1 in full generality: caller supplies
+    ``E[Π_{i=1}^{n-1} β^{(n-i)(Γ_i+1)}]`` for the (possibly dependent)
+    exchangeable window lengths; returns ``prefactor · n! · E``.
+    """
+    if joint_expectation < 0.0:
+        raise ValueError(f"expectation must be non-negative, got {joint_expectation}")
+    return prefactor(n, beta) * math.factorial(n) * joint_expectation
+
+
+__all__.append("disjointness_exchangeable")

@@ -1,0 +1,421 @@
+"""The TSO analysis chain of §4: L_µ, Ψ_µ, F_µ, ∆ and Claim 4.3 / Lemma 4.2.
+
+The paper's hardest technical content is bounding, under TSO, the
+distribution of the number of contiguous stores directly above the critical
+load after the prefix settles (the events ``L_µ``), because that run is
+exactly what the critical load can climb through.  This module implements
+that analysis **three independent ways**, which the benchmarks and tests
+cross-validate:
+
+1. **The paper's decomposition** (Steps 1–4 of Theorem 4.1's proof):
+   condition on Ψ_µ (interspersed loads), then on ∆ (total climb
+   requirement, distributed via the bounded partition numbers φ), and fold
+   in the steady-state store fraction of Claim 4.3.  With exact φ from
+   :mod:`repro.core.partitions` this yields the paper's estimate of
+   ``Pr[L_µ]`` and its closed-form lower bound ``(4/7)·2^{-µ}``.
+
+2. **The trailing-run Markov chain** (this library's contribution): under
+   TSO/PSO the trailing-store-run length is Markov over settling rounds
+   (see :mod:`repro.core.settling`), so ``Pr[L_µ]`` is the chain's
+   stationary law, computable to machine precision by iterating the
+   truncated transition operator.  This path is *exact* (up to explicit
+   truncation bounds) and generalises to any ``(p, s)``.
+
+3. **Monte Carlo** over the settling simulator (in the test-suite and
+   benches), which validates both.
+
+The chain and the decomposition agree to many digits for ``p = s = 1/2``;
+the decomposition is exact there too (the steady-state factor it uses is an
+``i → ∞`` limit, matching the paper's ``m → ∞`` regime).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import TruncationError
+from .distributions import DiscreteDistribution, ValueWithError
+from .partitions import bounded_partitions, delta_support
+
+__all__ = [
+    "steady_state_store_fraction",
+    "store_fraction_sequence",
+    "run_transition_matrix",
+    "run_length_distribution",
+    "psi_pmf",
+    "delta_pmf",
+    "f_probability_exact",
+    "f_probability_lower_bound",
+    "l_probability_paper",
+    "l_lower_bound_paper",
+    "paper_run_distribution",
+]
+
+#: Default truncation of the run-length state space.  Stationary mass at
+#: run length k decays like (p·s)-geometrically; 128 states leave tail mass
+#: far below double precision for any p, s ≤ 0.9.
+DEFAULT_MAX_RUN = 128
+
+#: Default number of chain iterations standing in for the paper's m → ∞.
+DEFAULT_ROUNDS = 512
+
+
+# ----------------------------------------------------------------------
+# Claim 4.3 — the steady-state store fraction
+# ----------------------------------------------------------------------
+
+
+def steady_state_store_fraction(store_probability: float = 0.5, settle: float = 0.5) -> float:
+    """Claim 4.3 generalised: ``lim_i Pr[S_{ST,i}(i)]``.
+
+    The recurrence ``X_i = p + (1 - p) · s · X_{i-1}`` (instruction ``i``
+    ends round ``i`` at the bottom as a ST either by being one, or by being
+    a LD that swapped above a settled ST) has fixed point
+    ``p / (1 - (1 - p) s)``; the paper's ``p = s = 1/2`` gives ``2/3``.
+    """
+    _check_probability("store_probability", store_probability)
+    _check_probability("settle", settle)
+    return store_probability / (1.0 - (1.0 - store_probability) * settle)
+
+
+def store_fraction_sequence(
+    rounds: int, store_probability: float = 0.5, settle: float = 0.5
+) -> list[float]:
+    """The finite-``i`` values ``Pr[S_{ST,i}(i)]`` of Claim 4.3's recurrence.
+
+    ``X_1 = p`` and ``X_i = p + (1 - p) s X_{i-1}``; used by the Claim 4.3
+    bench to show geometric convergence to the fixed point.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    values = [store_probability]
+    for _ in range(rounds - 1):
+        values.append(store_probability + (1.0 - store_probability) * settle * values[-1])
+    return values
+
+
+# ----------------------------------------------------------------------
+# Path 2 — the trailing-run Markov chain (exact numeric Pr[L_µ])
+# ----------------------------------------------------------------------
+
+
+def run_transition_matrix(
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    max_run: int = DEFAULT_MAX_RUN,
+) -> np.ndarray:
+    """One settling round's transition operator on the trailing-run length.
+
+    ``T[k, j] = Pr[run j after the round | run k before]`` over states
+    ``0 .. max_run`` (the top state absorbs growth, with the induced
+    truncation error tracked by :func:`run_length_distribution`).
+
+    From run ``k``: a new ST (prob ``p``) extends the run to ``k + 1``; a
+    new LD climbs ``min(Geom(s), k)`` stores, landing the run at ``j < k``
+    with probability ``(1 - p)(1 - s) s^j`` and leaving it at ``k`` with
+    probability ``(1 - p) s^k``.
+    """
+    _check_probability("store_probability", store_probability)
+    _check_probability("settle", settle)
+    if max_run < 1:
+        raise ValueError(f"max_run must be >= 1, got {max_run}")
+    p, s = store_probability, settle
+    size = max_run + 1
+    matrix = np.zeros((size, size))
+    for k in range(size):
+        grow = min(k + 1, max_run)  # clamp growth at the truncation cap
+        matrix[k, grow] += p
+        # LD climbing: split to j < k, or clear the whole run.
+        for j in range(k):
+            matrix[k, j] += (1.0 - p) * (1.0 - s) * s**j
+        matrix[k, k] += (1.0 - p) * s**k
+    return matrix
+
+
+@lru_cache(maxsize=256)
+def run_length_distribution(
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    rounds: int = DEFAULT_ROUNDS,
+    max_run: int = DEFAULT_MAX_RUN,
+    tolerance: float = 1e-7,
+) -> DiscreteDistribution:
+    """``Pr[L_µ]`` — exact-numeric law of the settled trailing-store run.
+
+    Results are memoised (the solve is pure in its arguments and the
+    returned distribution is immutable); sweeps that re-request the same
+    parameters pay the matrix iteration once.
+
+    Iterates the run chain from the empty program for ``rounds`` settling
+    rounds (the paper's ``m → ∞`` is reached geometrically fast; the chain
+    contracts towards its stationary law).  The returned distribution's
+    ``tail_bound`` covers both the state-space truncation (mass parked at
+    ``max_run``) and non-stationarity (bounded by the distance travelled in
+    the last iteration).
+
+    The stationary tail decays geometrically in the run length, but slowly
+    when ``store_probability`` is close to 1; the state space and round
+    count are grown automatically (up to a hard cap) until the combined
+    truncation error is below ``tolerance``.
+    """
+    if max_run < 1:
+        raise ValueError(f"max_run must be >= 1, got {max_run}")
+    hard_cap = 4096
+    while True:
+        matrix = run_transition_matrix(store_probability, settle, max_run)
+        state = np.zeros(max_run + 1)
+        state[0] = 1.0
+        effective_rounds = max(rounds, 4 * max_run)
+        last_move = 1.0
+        for _ in range(effective_rounds):
+            next_state = state @ matrix
+            last_move = float(np.abs(next_state - state).sum())
+            state = next_state
+        cap_mass = float(state[max_run])
+        # The cap state's mass is an artefact of truncation; report it plus
+        # the residual non-stationarity as tail/error mass.
+        tail = cap_mass + last_move
+        if tail <= tolerance:
+            return DiscreteDistribution(state[:max_run], tail_bound=tail)
+        if max_run >= hard_cap:
+            raise TruncationError(
+                f"run-length distribution not converged at max_run={max_run}: "
+                f"cap mass {cap_mass:.2e}, last move {last_move:.2e}"
+            )
+        max_run = min(2 * max_run, hard_cap)
+
+
+def run_chain_spectral_gap(
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    max_run: int = 64,
+) -> float:
+    """The trailing-run chain's spectral gap ``1 − |λ₂|``.
+
+    The chain contracts to its stationary law geometrically; the rate is
+    governed by ``max(|λ₂|, p·s + …)`` — in practice the *reachability*
+    term dominates: after ``m`` rounds no run longer than ``m`` exists,
+    while the stationary law carries ``≈ (ps/(1-ps+…))``-geometric tail
+    mass there, so the observed TV decay per round at the paper's
+    parameters is ≈ 1/2 even though ``|λ₂| ≈ 0.29``.  Either way the
+    finite-``m`` substitution documented in DESIGN.md converges
+    geometrically: a few dozen rounds are past 1e-10 and the default body
+    lengths are overkill by design.  :func:`mixing_rounds` gives the
+    conservative round count for a target tolerance using the slower of
+    the two rates.
+    """
+    matrix = run_transition_matrix(store_probability, settle, max_run)
+    eigenvalues = np.linalg.eigvals(matrix)
+    moduli = sorted(np.abs(eigenvalues), reverse=True)
+    # moduli[0] is the Perron eigenvalue 1 (up to numerics).
+    return float(1.0 - moduli[1])
+
+
+def mixing_rounds(
+    tolerance: float,
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    max_run: int = 64,
+) -> int:
+    """Rounds needed for the run chain to be within ``tolerance`` TV of
+    stationarity, from the spectral gap (a conservative geometric bound)."""
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    gap = run_chain_spectral_gap(store_probability, settle, max_run)
+    if gap <= 0.0:
+        raise TruncationError("run chain has no spectral gap at this truncation")
+    # The stationary tail beyond run m decays like the per-round growth
+    # probability; convergence is limited by the slower of that rate and
+    # the spectral rate |lambda_2|.
+    rate = max(1.0 - gap, store_probability)
+    if rate <= 0.0:
+        return 1
+    return max(1, math.ceil(math.log(tolerance) / math.log(rate)))
+
+
+__all__ += ["run_chain_spectral_gap", "mixing_rounds"]
+
+
+# ----------------------------------------------------------------------
+# Path 1 — the paper's decomposition (Ψ_µ, ∆, F_µ)
+# ----------------------------------------------------------------------
+
+
+def psi_pmf(mu: int, q: int, store_probability: float = 0.5) -> float:
+    """``Pr[Ψ_µ = q]``: loads interspersed below the µ-th lowest store.
+
+    The paper's ``2^{-µ} 2^{-q} C(µ+q-1, q)`` generalised to arbitrary
+    ``p``: the region holds ``µ`` stores and ``q`` loads with the top
+    instruction a store, giving ``C(µ+q-1, q)`` arrangements of weight
+    ``p^µ (1-p)^q`` each.
+    """
+    if mu < 1:
+        raise ValueError(f"psi_pmf requires mu >= 1, got {mu}")
+    if q < 0:
+        raise ValueError(f"q must be non-negative, got {q}")
+    _check_probability("store_probability", store_probability)
+    p = store_probability
+    return (p**mu) * ((1.0 - p) ** q) * math.comb(mu + q - 1, q)
+
+
+def delta_pmf(delta: int, q: int, mu: int) -> float:
+    """``Pr[∆ = δ | Ψ_µ = q]`` via the bounded partition number φ(δ, q, µ).
+
+    Each of the ``C(µ+q-1, q)`` arrangements is equally likely, and an
+    arrangement's ∆ is determined by how many stores sit above each load —
+    a multiset of ``q`` integers in ``[1, µ]`` summing to δ.
+    """
+    if q == 0:
+        return 1.0 if delta == 0 else 0.0
+    return bounded_partitions(delta, q, mu) / math.comb(mu + q - 1, q)
+
+
+def f_probability_exact(mu: int, q: int, settle: float = 0.5) -> float:
+    """``Pr[F_µ | Ψ_µ = q]`` evaluated exactly: ``Σ_δ φ(δ,q,µ) s^δ / C``.
+
+    ``F_µ`` is the event that all ``q`` interspersed loads settle clear of
+    the lowest ``µ`` stores; conditioned on ∆ = δ it needs δ successful
+    swaps, each independent with probability ``s``.
+    """
+    if mu < 1:
+        raise ValueError(f"f_probability requires mu >= 1, got {mu}")
+    if q == 0:
+        return 1.0
+    _check_probability("settle", settle)
+    total = sum(
+        bounded_partitions(delta, q, mu) * settle**delta for delta in delta_support(q, mu)
+    )
+    return total / math.comb(mu + q - 1, q)
+
+
+def f_probability_lower_bound(mu: int, q: int, settle: float = 0.5) -> float:
+    """Claim 4.4's bound, generalised: ``Σ_{δ=q}^{µq} s^δ / C`` using φ ≥ 1.
+
+    For ``s = 1/2`` this is the paper's ``(2^{-(q-1)} - 2^{-µq}) / C``.
+    """
+    if mu < 1:
+        raise ValueError(f"f_probability requires mu >= 1, got {mu}")
+    if q == 0:
+        return 1.0
+    _check_probability("settle", settle)
+    s = settle
+    if s == 0.0:
+        return 0.0
+    geometric_sum = (s**q - s ** (mu * q + 1)) / (1.0 - s)
+    return geometric_sum / math.comb(mu + q - 1, q)
+
+
+def l_probability_paper(
+    mu: int,
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    max_q: int = 64,
+    exact_phi: bool = True,
+) -> float:
+    """``Pr[L_µ]`` through the paper's decomposition (Appendix B.1).
+
+    ``Σ_q Pr[Ψ_µ = q] · Pr[F_µ | Ψ_µ = q] · (1 − s^q · X_∞)`` where
+    ``X_∞`` is Claim 4.3's steady-state store fraction.  With
+    ``exact_phi=True`` the exact φ values are used (this library's
+    refinement); with ``False`` the paper's Claim-4.4 lower bound is
+    substituted, reproducing the published ``(4/7)·2^{-µ}``-style bound.
+
+    For ``µ = 0`` the decomposition degenerates; the paper derives
+    ``Pr[L_0] = 1 − X_∞`` directly from Claim 4.3.
+    """
+    if mu == 0:
+        return 1.0 - steady_state_store_fraction(store_probability, settle)
+    fraction = steady_state_store_fraction(store_probability, settle)
+    f_term = f_probability_exact if exact_phi else f_probability_lower_bound
+    total = 0.0
+    for q in range(max_q + 1):
+        weight = psi_pmf(mu, q, store_probability)
+        if weight < 1e-18 and q > 4:
+            break
+        total += weight * f_term(mu, q, settle) * (1.0 - settle**q * fraction)
+    return total
+
+
+def l_lower_bound_paper(mu: int) -> float:
+    """Lemma 4.2's closed form for ``p = s = 1/2``: ``(4/7)·2^{-µ}``.
+
+    (``Pr[L_0] = 1/3`` exactly.)
+    """
+    if mu < 0:
+        raise ValueError(f"mu must be non-negative, got {mu}")
+    if mu == 0:
+        return 1.0 / 3.0
+    return (4.0 / 7.0) * 2.0**-mu
+
+
+def paper_run_distribution(
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    max_mu: int = 48,
+    max_q: int = 64,
+) -> DiscreteDistribution:
+    """The full ``Pr[L_µ]`` PMF via the paper's decomposition with exact φ.
+
+    Complements :func:`run_length_distribution` (the Markov-chain solve);
+    the two agree to high precision, which is the library's strongest
+    internal check on the §4 analysis.
+    """
+    values = [
+        l_probability_paper(mu, store_probability, settle, max_q=max_q)
+        for mu in range(max_mu + 1)
+    ]
+    tail = max(0.0, 1.0 - sum(values))
+    return DiscreteDistribution(np.array(values), tail_bound=tail + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Conditional (per-program) run distribution — Rao–Blackwell helper
+# ----------------------------------------------------------------------
+
+
+def conditional_run_distribution(
+    store_mask: np.ndarray,
+    settle: float = 0.5,
+    max_run: int = DEFAULT_MAX_RUN,
+) -> DiscreteDistribution:
+    """Law of the trailing-store run given the *explicit* program prefix.
+
+    Threads in the joined model (§6) share one initial program and reorder
+    independently, so their windows are dependent through the program.
+    This DP computes, for a fixed prefix (``store_mask[i]`` marks store),
+    the exact conditional run-length distribution after settling — enabling
+    low-variance (Rao–Blackwellised) estimators that average analytic
+    conditional quantities over sampled programs only.
+
+    O(m · max_run) via suffix sums.
+    """
+    _check_probability("settle", settle)
+    s = settle
+    size = max_run + 1
+    state = np.zeros(size)
+    state[0] = 1.0
+    powers = s ** np.arange(size)
+    for is_store in np.asarray(store_mask, dtype=bool):
+        if is_store:
+            overflow = state[-1]
+            state[1:] = state[:-1]
+            state[0] = 0.0
+            state[-1] += overflow  # clamp at the cap
+        else:
+            # From k: to j<k w.p. (1-s)s^j; stay k w.p. s^k.
+            # new[j] = (1-s) s^j Σ_{k>j} old[k] + old[j] s^j
+            above = np.concatenate((np.cumsum(state[::-1])[::-1][1:], [0.0]))
+            state = (1.0 - s) * powers * above + state * powers
+    cap_mass = float(state[-1])
+    return DiscreteDistribution(state[:-1], tail_bound=cap_mass + 1e-15)
+
+
+__all__.append("conditional_run_distribution")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")

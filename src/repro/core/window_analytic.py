@@ -1,0 +1,218 @@
+"""Analytic critical-window growth distributions — Theorem 4.1 (+ PSO).
+
+For each memory model this module produces the law of ``B_γ``, the number
+of instructions settling strictly between the critical load and critical
+store, as a :class:`~repro.core.distributions.DiscreteDistribution`:
+
+* **SC** — a point mass at 0 (no instruction ever reorders).
+* **WO** — both critical instructions climb geometrically and the window
+  is program-independent.  Generalised closed form (derived exactly as in
+  the paper's proof, for arbitrary settle probability ``s``):
+  ``Pr[B_0] = 1/(1+s)``, ``Pr[B_γ] = (1-s) s^γ / (1+s)`` for γ > 0.
+  The paper's ``2/3`` and ``2^{-γ}/3`` are the ``s = 1/2`` case.
+* **TSO** — the critical load climbs ``min(Geom(s), µ)`` stores where µ is
+  the trailing-store run with law ``Pr[L_µ]``; evaluated exactly from the
+  run-chain solve of :mod:`repro.core.tso_analysis`.  The paper's published
+  *bounds* ``(6/7)·4^{-γ} ≤ Pr[B_γ] ≤ (6/7)·4^{-γ} + (2/21)·2^{-γ}`` are
+  exposed separately for comparison.
+* **PSO** (the paper's footnote 4, result omitted there) — identical
+  prefix/critical-load behaviour to TSO (the extra ST/ST swaps never change
+  the type sequence), after which the critical store *chases* the load
+  through the γ_LD stores separating them:
+  ``Pr[B_0] = Σ_g Pr[γ_LD = g] s^g`` and
+  ``Pr[B_γ] = (1-s) Σ_{g ≥ γ} Pr[γ_LD = g] s^{g-γ}`` for γ > 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelDefinitionError
+from .distributions import DiscreteDistribution, point_mass
+from .memory_models import LD, PSO, SC, ST, TSO, WO, MemoryModel
+from .tso_analysis import run_length_distribution
+
+__all__ = [
+    "sc_window_distribution",
+    "wo_window_distribution",
+    "tso_window_distribution",
+    "pso_window_distribution",
+    "window_distribution",
+    "tso_window_lower_bound",
+    "tso_window_upper_bound",
+    "window_from_run_distribution",
+    "pso_window_from_load_gap",
+]
+
+
+def sc_window_distribution() -> DiscreteDistribution:
+    """Theorem 4.1, SC: the window never grows."""
+    return point_mass(0)
+
+
+def wo_window_distribution(settle: float = 0.5, tolerance: float = 1e-14) -> DiscreteDistribution:
+    """Theorem 4.1, WO, generalised to settle probability ``s``.
+
+    The critical load climbs ``i ~ Geom(s)``; the critical store then
+    climbs ``min(Geom(s), i)`` and γ is the difference.  Conditioning on i:
+    ``Pr[B_γ] = Σ_{i≥γ} s^i(1-s) · s^{i-γ}(1-s) = (1-s) s^γ / (1+s)`` for
+    γ > 0, and ``Σ_i s^i(1-s) s^i = 1/(1+s)`` for γ = 0.
+    """
+    _check_settle(settle)
+    s = settle
+    if s == 0.0:
+        return point_mass(0)
+
+    def pmf(gamma: int) -> float:
+        if gamma == 0:
+            return 1.0 / (1.0 + s)
+        return (1.0 - s) * s**gamma / (1.0 + s)
+
+    return DiscreteDistribution.from_function(pmf, tail_ratio=s, tolerance=tolerance)
+
+
+def window_from_run_distribution(
+    run_distribution: DiscreteDistribution, settle: float = 0.5
+) -> DiscreteDistribution:
+    """Fold a trailing-run law ``Pr[L_µ]`` into the window law ``Pr[B_γ]``.
+
+    The critical load passes each of the µ stores with probability ``s``
+    and parks against the load above the run when it clears all of them:
+
+    ``Pr[B_γ | L_µ] = s^γ (1-s)`` for γ < µ, ``s^γ`` for γ = µ
+    (matching the paper's ``2^{-(γ+1)}`` / ``2^{-γ}`` at ``s = 1/2``).
+    """
+    _check_settle(settle)
+    s = settle
+    runs = run_distribution.prefix
+    size = runs.size
+    window = np.zeros(size)
+    suffix = np.concatenate((np.cumsum(runs[::-1])[::-1][1:], [0.0]))  # Σ_{µ>γ} Pr[L_µ]
+    for gamma in range(size):
+        window[gamma] = s**gamma * ((1.0 - s) * suffix[gamma] + runs[gamma])
+    # Mass unaccounted for: the run tail can only produce window values with
+    # weight ≤ s**size already, plus the run distribution's own tail bound.
+    tail = run_distribution.tail_bound + float(s**size)
+    return DiscreteDistribution(window, tail_bound=min(tail, 1.0))
+
+
+def tso_window_distribution(
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    rounds: int = 512,
+    max_run: int = 128,
+) -> DiscreteDistribution:
+    """Theorem 4.1, TSO — exact-numeric law via the trailing-run chain.
+
+    For the paper's constants this lands strictly inside the published
+    bounds (validated in the test suite): ``Pr[B_0] = 2/3`` and for γ > 0
+    ``(6/7)4^{-γ} ≤ Pr[B_γ] ≤ (6/7)4^{-γ} + (2/21)2^{-γ}``.
+    """
+    runs = run_length_distribution(store_probability, settle, rounds, max_run)
+    return window_from_run_distribution(runs, settle)
+
+
+def pso_window_distribution(
+    store_probability: float = 0.5,
+    settle: float = 0.5,
+    rounds: int = 512,
+    max_run: int = 128,
+) -> DiscreteDistribution:
+    """PSO window law (footnote 4 of the paper, derived here).
+
+    The gap opened by the critical load (distributed as TSO's ``B``) is
+    partially closed by the critical store chasing through the stores
+    between them: chase ``j = min(Geom(s), g)``, leaving γ = g − j.  Note
+    the counter-intuitive consequence — explored in the PSO extension
+    bench — that PSO's *extra* relaxation yields *smaller* windows than
+    TSO in this model, because only stores separate the critical pair and
+    PSO lets the critical store move past them.
+    """
+    load_gap = tso_window_distribution(store_probability, settle, rounds, max_run)
+    return pso_window_from_load_gap(load_gap, settle)
+
+
+def pso_window_from_load_gap(
+    load_gap: DiscreteDistribution, settle: float = 0.5
+) -> DiscreteDistribution:
+    """Fold the critical-store chase into a critical-load gap law (PSO).
+
+    ``Pr[B_0] = Σ_g Pr[g] s^g`` and ``Pr[B_γ] = (1-s) Σ_{g≥γ} Pr[g] s^{g-γ}``
+    for γ > 0.  Exposed separately so conditional (per-program) gap laws
+    can be folded the same way by the Rao–Blackwell estimators.
+    """
+    _check_settle(settle)
+    s = settle
+    gaps = load_gap.prefix
+    size = gaps.size
+    # T_γ = Σ_{g≥γ} Pr[γ_LD=g] s^{g-γ} satisfies T_γ = Pr[γ] + s·T_{γ+1};
+    # evaluating it by this reverse recurrence avoids the catastrophic
+    # s^{g}/s^{γ} quotients of the direct formula for large supports.
+    discounted_suffix = np.zeros(size)
+    discounted_suffix[size - 1] = gaps[size - 1]
+    for gamma in range(size - 2, -1, -1):
+        discounted_suffix[gamma] = gaps[gamma] + s * discounted_suffix[gamma + 1]
+    window = (1.0 - s) * discounted_suffix
+    window[0] = discounted_suffix[0]  # γ = 0 collects the full chase: Σ Pr[g]·s^g
+    tail = load_gap.tail_bound + float(s**size)
+    return DiscreteDistribution(np.clip(window, 0.0, 1.0), tail_bound=min(tail, 1.0))
+
+
+def window_distribution(
+    model: MemoryModel,
+    store_probability: float = 0.5,
+    rounds: int = 512,
+    max_run: int = 128,
+) -> DiscreteDistribution:
+    """Dispatch to the analytic window law for any of the paper's models.
+
+    The model's (uniform) settle probability is honoured, so e.g.
+    ``WO.with_settle_probability(0.3)`` analyses correctly.  Models outside
+    the four relaxation patterns of Table 1 have no closed form here — use
+    Monte Carlo over :func:`repro.core.settling.sample_window_growth`.
+    """
+    if model.relaxed_pairs == SC.relaxed_pairs:
+        return sc_window_distribution()
+    settle = model.uniform_settle_probability
+    if settle is None:
+        raise ModelDefinitionError(
+            f"no analytic window law for {model.name} with non-uniform settle "
+            "probabilities; use Monte Carlo"
+        )
+    if model.relaxed_pairs == WO.relaxed_pairs:
+        return wo_window_distribution(settle)
+    if model.relaxed_pairs == TSO.relaxed_pairs:
+        return tso_window_distribution(store_probability, settle, rounds, max_run)
+    if model.relaxed_pairs == PSO.relaxed_pairs:
+        return pso_window_distribution(store_probability, settle, rounds, max_run)
+    raise ModelDefinitionError(
+        f"no analytic window law for relaxation set of {model.name}; use Monte Carlo"
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's published TSO bounds (p = s = 1/2 only)
+# ----------------------------------------------------------------------
+
+
+def tso_window_lower_bound(gamma: int) -> float:
+    """Theorem 4.1's TSO lower bound: ``(6/7)·4^{-γ}`` (γ > 0); 2/3 at γ = 0."""
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    if gamma == 0:
+        return 2.0 / 3.0
+    return (6.0 / 7.0) * 4.0**-gamma
+
+
+def tso_window_upper_bound(gamma: int) -> float:
+    """Theorem 4.1's TSO upper bound: lower bound + ``(2/21)·2^{-γ}``."""
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    if gamma == 0:
+        return 2.0 / 3.0
+    return (6.0 / 7.0) * 4.0**-gamma + (2.0 / 21.0) * 2.0**-gamma
+
+
+def _check_settle(settle: float) -> None:
+    if not 0.0 <= settle < 1.0:
+        raise ValueError(f"settle probability must lie in [0, 1), got {settle}")

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+from misuse of the Python API, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelDefinitionError",
+    "ProgramError",
+    "DistributionError",
+    "TruncationError",
+    "SimulationError",
+    "LitmusError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelDefinitionError(ReproError):
+    """An invalid memory-model definition was supplied.
+
+    Raised, for example, when a reorder matrix names an unknown
+    instruction-type pair, or when a settle probability lies outside
+    ``[0, 1]``.
+    """
+
+
+class ProgramError(ReproError):
+    """A program violates the structural requirements of the model.
+
+    The program model of the paper (Appendix A.1) requires a unique
+    critical load followed by a unique critical store, accessing the same
+    location, with every other instruction accessing a distinct location.
+    """
+
+
+class DistributionError(ReproError):
+    """A probability distribution is malformed.
+
+    Raised when a PMF has negative mass, does not (approximately) sum to
+    one, or is queried outside its support in a context where that is not
+    meaningful.
+    """
+
+
+class TruncationError(ReproError):
+    """An adaptively truncated infinite sum failed to meet its tolerance.
+
+    The analytic modules evaluate infinite series by truncation with
+    explicit geometric tail bounds.  If a requested tolerance cannot be
+    achieved within the configured maximum number of terms, this error is
+    raised rather than silently returning an inaccurate value.
+    """
+
+
+class SimulationError(ReproError):
+    """The multiprocessor simulator reached an inconsistent state.
+
+    This always indicates a bug in a core model or a malformed machine
+    program (e.g. a load from a register that was never written), never
+    an expected runtime condition.
+    """
+
+
+class LitmusError(ReproError):
+    """A litmus test definition is malformed or cannot be enumerated."""

@@ -1,0 +1,53 @@
+"""Litmus-test substrate: classic tests, exact enumeration, verdicts.
+
+Validates that the relaxation-based semantics of the paper's Table 1
+reproduces the architecture literature's allowed/forbidden outcomes
+(experiment E11).
+"""
+
+from .atomicity import enumerate_outcomes_non_atomic
+from .checker import LitmusVerdict, check_all, check_test, outcome_to_string
+from .enumerator import Outcome, enumerate_outcomes, legal_reorderings
+from .tests import (
+    ALL_TESTS,
+    COHERENCE_RR,
+    IRIW,
+    LOAD_BUFFERING,
+    MESSAGE_PASSING,
+    MESSAGE_PASSING_FENCED,
+    R_SHAPE,
+    S_SHAPE,
+    WRC,
+    STORE_BUFFERING,
+    STORE_BUFFERING_FENCED,
+    STORE_BUFFERING_HALF_FENCED,
+    TWO_PLUS_TWO_W,
+    LitmusTest,
+    get_test,
+)
+
+__all__ = [
+    "ALL_TESTS",
+    "COHERENCE_RR",
+    "IRIW",
+    "LOAD_BUFFERING",
+    "LitmusTest",
+    "LitmusVerdict",
+    "MESSAGE_PASSING",
+    "MESSAGE_PASSING_FENCED",
+    "Outcome",
+    "R_SHAPE",
+    "S_SHAPE",
+    "STORE_BUFFERING",
+    "STORE_BUFFERING_FENCED",
+    "STORE_BUFFERING_HALF_FENCED",
+    "TWO_PLUS_TWO_W",
+    "WRC",
+    "check_all",
+    "check_test",
+    "enumerate_outcomes",
+    "enumerate_outcomes_non_atomic",
+    "get_test",
+    "legal_reorderings",
+    "outcome_to_string",
+]

@@ -1,0 +1,88 @@
+"""Verdicts: does each memory model allow each litmus test's relaxed outcome?
+
+The checker runs the exact enumerator over a litmus test for each paper
+model and compares the reachable-outcome set against the literature
+expectation recorded on the test (experiment E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.memory_models import PAPER_MODELS, MemoryModel
+from .enumerator import Outcome, enumerate_outcomes
+from .tests import LitmusTest
+
+__all__ = ["LitmusVerdict", "check_test", "check_all", "outcome_to_string"]
+
+
+@dataclass(frozen=True)
+class LitmusVerdict:
+    """The enumerated result of one (test, model) pair."""
+
+    test: LitmusTest
+    model: MemoryModel
+    outcomes: frozenset[Outcome]
+    relaxed_reachable: bool
+    expected: bool
+
+    @property
+    def matches_literature(self) -> bool:
+        """Whether the enumeration agrees with the recorded expectation."""
+        return self.relaxed_reachable == self.expected
+
+    def __str__(self) -> str:
+        status = "allowed" if self.relaxed_reachable else "forbidden"
+        agreement = "OK" if self.matches_literature else "MISMATCH"
+        return (
+            f"{self.test.name} under {self.model.name}: relaxed outcome {status} "
+            f"({len(self.outcomes)} reachable outcomes) [{agreement}]"
+        )
+
+
+def check_test(test: LitmusTest, model: MemoryModel) -> LitmusVerdict:
+    """Enumerate one test under one model and compare with expectations."""
+    outcomes = enumerate_outcomes(
+        list(test.programs),
+        model,
+        initial_memory=test.initial_memory,
+        observed_locations=test.observed_locations,
+    )
+    relevant = {_restrict(outcome, test.relaxed_outcome) for outcome in outcomes}
+    reachable = test.relaxed_outcome in relevant
+    return LitmusVerdict(
+        test=test,
+        model=model,
+        outcomes=frozenset(outcomes),
+        relaxed_reachable=reachable,
+        expected=test.allowed[model.name],
+    )
+
+
+def _restrict(outcome: Outcome, reference: Outcome) -> Outcome:
+    """Project an outcome onto the keys mentioned by the reference outcome.
+
+    Tests name only the registers/locations that matter; reachable outcomes
+    carry every register, so comparison projects first.
+    """
+    keys = {key for key, _ in reference}
+    return tuple(sorted((key, value) for key, value in outcome if key in keys))
+
+
+def check_all(
+    tests: tuple[LitmusTest, ...] | list[LitmusTest] | None = None,
+    models: tuple[MemoryModel, ...] = PAPER_MODELS,
+) -> list[LitmusVerdict]:
+    """Check every (test, model) pair; used by the E11 bench and tests."""
+    from .tests import ALL_TESTS
+
+    verdicts = []
+    for test in tests if tests is not None else ALL_TESTS:
+        for model in models:
+            verdicts.append(check_test(test, model))
+    return verdicts
+
+
+def outcome_to_string(outcome: Outcome) -> str:
+    """Human-readable rendering, e.g. ``"T0:r1=0 T1:r2=0"``."""
+    return " ".join(f"{key}={value}" for key, value in outcome)

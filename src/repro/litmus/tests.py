@@ -1,0 +1,239 @@
+"""The classic litmus tests, with literature expectations per memory model.
+
+Each test names a *relaxed outcome* — the final state that distinguishes
+weak models from strong ones — and records, per paper model, whether the
+architecture literature allows it (under the paper's store-atomic,
+reordering-only semantics of §2.1):
+
+========  ==========================================  ====  ====  ====  ====
+Test      Relaxed outcome                             SC    TSO   PSO   WO
+========  ==========================================  ====  ====  ====  ====
+SB        r1 = r2 = 0 (both loads before stores)       ✗     ✓     ✓     ✓
+MP        r1 = 1, r2 = 0 (stores or loads reorder)     ✗     ✗     ✓     ✓
+LB        r1 = r2 = 1 (loads after later stores)       ✗     ✗     ✗     ✓
+CoRR      r1 = 1, r2 = 0 (same-address loads swap)     ✗     ✗     ✗     ✗
+2+2W      x = 1, y = 1 (write pairs fully reorder)     ✗     ✗     ✓     ✓
+IRIW      readers disagree on the write order          ✗     ✗     ✗     ✓*
+S         r1 = 1 yet x keeps the early value           ✗     ✗     ✓     ✓
+R         r1 = 0 yet y keeps the late value            ✗     ✓     ✓     ✓
+WRC       causality chain broken at a third thread     ✗     ✗     ✗     ✓
+SB+FF     SB with fences in both threads               ✗     ✗     ✗     ✗
+SB+F      SB fenced in ONE thread (the pitfall)        ✗     ✓     ✓     ✓
+MP+FF     MP with fences on both edges                 ✗     ✗     ✗     ✗
+========  ==========================================  ====  ====  ====  ====
+
+(*) IRIW under WO: with store-atomic memory, disagreement requires the
+reader threads' own LD/LD pairs to reorder — which WO's LD→LD relaxation
+provides.  (On real non-store-atomic machines IRIW is more subtle; the
+paper, and hence this library, assumes store atomicity.)
+
+CoRR is a *negative control*: same-address operations never reorder in any
+model, so the exotic outcome must be forbidden everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.isa import Fence, Load, Store, ThreadProgram
+from .enumerator import Outcome
+
+__all__ = ["LitmusTest", "ALL_TESTS", "get_test"]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A litmus test plus its distinguished relaxed outcome.
+
+    ``relaxed_outcome`` uses the enumerator's key convention:
+    ``"T<k>:<register>"`` for registers, ``"mem:<location>"`` for observed
+    memory locations.  ``allowed`` maps paper-model names to whether the
+    relaxed outcome is reachable.
+    """
+
+    name: str
+    description: str
+    programs: tuple[ThreadProgram, ...]
+    relaxed_outcome: Outcome
+    allowed: dict[str, bool]
+    observed_locations: tuple[str, ...] = ()
+    initial_memory: dict[str, int] = field(default_factory=dict)
+
+
+def _outcome(*entries: tuple[str, int]) -> Outcome:
+    return tuple(sorted(entries))
+
+
+STORE_BUFFERING = LitmusTest(
+    name="SB",
+    description="Store buffering: each thread stores then loads the other's flag.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Load("r1", "y"))),
+        ThreadProgram("T1", (Store("y", value=1), Load("r2", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T0:r1", 0), ("T1:r2", 0)),
+    allowed={"SC": False, "TSO": True, "PSO": True, "WO": True},
+)
+
+MESSAGE_PASSING = LitmusTest(
+    name="MP",
+    description="Message passing: data store then flag store vs flag load then data load.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Store("y", value=1))),
+        ThreadProgram("T1", (Load("r1", "y"), Load("r2", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T1:r1", 1), ("T1:r2", 0)),
+    allowed={"SC": False, "TSO": False, "PSO": True, "WO": True},
+)
+
+LOAD_BUFFERING = LitmusTest(
+    name="LB",
+    description="Load buffering: each thread loads the other's flag then stores its own.",
+    programs=(
+        ThreadProgram("T0", (Load("r1", "x"), Store("y", value=1))),
+        ThreadProgram("T1", (Load("r2", "y"), Store("x", value=1))),
+    ),
+    relaxed_outcome=_outcome(("T0:r1", 1), ("T1:r2", 1)),
+    allowed={"SC": False, "TSO": False, "PSO": False, "WO": True},
+)
+
+COHERENCE_RR = LitmusTest(
+    name="CoRR",
+    description="Coherence of same-address reads: two loads of one location never swap.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1),)),
+        ThreadProgram("T1", (Load("r1", "x"), Load("r2", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T1:r1", 1), ("T1:r2", 0)),
+    allowed={"SC": False, "TSO": False, "PSO": False, "WO": False},
+)
+
+TWO_PLUS_TWO_W = LitmusTest(
+    name="2+2W",
+    description="Write reordering: both threads write both locations in opposite orders.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Store("y", value=2))),
+        ThreadProgram("T1", (Store("y", value=1), Store("x", value=2))),
+    ),
+    # Both *first* writes land last: x and y both end at 1.
+    relaxed_outcome=_outcome(("mem:x", 1), ("mem:y", 1)),
+    allowed={"SC": False, "TSO": False, "PSO": True, "WO": True},
+    observed_locations=("x", "y"),
+)
+
+IRIW = LitmusTest(
+    name="IRIW",
+    description="Independent reads of independent writes: readers disagree on order.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1),)),
+        ThreadProgram("T1", (Store("y", value=1),)),
+        ThreadProgram("T2", (Load("r1", "x"), Load("r2", "y"))),
+        ThreadProgram("T3", (Load("r3", "y"), Load("r4", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T2:r1", 1), ("T2:r2", 0), ("T3:r3", 1), ("T3:r4", 0)),
+    allowed={"SC": False, "TSO": False, "PSO": False, "WO": True},
+)
+
+S_SHAPE = LitmusTest(
+    name="S",
+    description="S: write pair vs read-then-overwrite on the first location.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=2), Store("y", value=1))),
+        ThreadProgram("T1", (Load("r1", "y"), Store("x", value=1))),
+    ),
+    # r1 observed T0's flag, yet T0's data store lands after T1's overwrite:
+    # needs T0's ST/ST pair to reorder.
+    relaxed_outcome=_outcome(("T1:r1", 1), ("mem:x", 2)),
+    allowed={"SC": False, "TSO": False, "PSO": True, "WO": True},
+    observed_locations=("x",),
+)
+
+R_SHAPE = LitmusTest(
+    name="R",
+    description="R: write pair vs overwrite-then-read on the first location.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Store("y", value=1))),
+        ThreadProgram("T1", (Store("y", value=2), Load("r1", "x"))),
+    ),
+    # T1's load misses T0's x although T1's y-write won the final value:
+    # needs T1's ST/LD pair to reorder.
+    relaxed_outcome=_outcome(("T1:r1", 0), ("mem:y", 2)),
+    allowed={"SC": False, "TSO": True, "PSO": True, "WO": True},
+    observed_locations=("y",),
+)
+
+WRC = LitmusTest(
+    name="WRC",
+    description="Write-to-read causality: a reader republishes, a third thread disagrees.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1),)),
+        ThreadProgram("T1", (Load("r1", "x"), Store("y", value=1))),
+        ThreadProgram("T2", (Load("r2", "y"), Load("r3", "x"))),
+    ),
+    # T1 saw x and published y; T2 saw y but not x: needs T1's LD/ST or
+    # T2's LD/LD to reorder (store-atomic memory keeps causality otherwise).
+    relaxed_outcome=_outcome(("T1:r1", 1), ("T2:r2", 1), ("T2:r3", 0)),
+    allowed={"SC": False, "TSO": False, "PSO": False, "WO": True},
+)
+
+STORE_BUFFERING_FENCED = LitmusTest(
+    name="SB+FF",
+    description="Store buffering with a full fence in each thread: restored.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Fence(), Load("r1", "y"))),
+        ThreadProgram("T1", (Store("y", value=1), Fence(), Load("r2", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T0:r1", 0), ("T1:r2", 0)),
+    allowed={"SC": False, "TSO": False, "PSO": False, "WO": False},
+)
+
+STORE_BUFFERING_HALF_FENCED = LitmusTest(
+    name="SB+F",
+    description=(
+        "Store buffering fenced in ONE thread only: still relaxed — the "
+        "other thread's reordering alone suffices (the classic pitfall)."
+    ),
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Fence(), Load("r1", "y"))),
+        ThreadProgram("T1", (Store("y", value=1), Load("r2", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T0:r1", 0), ("T1:r2", 0)),
+    allowed={"SC": False, "TSO": True, "PSO": True, "WO": True},
+)
+
+MESSAGE_PASSING_FENCED = LitmusTest(
+    name="MP+FF",
+    description="Message passing with fences around both critical edges.",
+    programs=(
+        ThreadProgram("T0", (Store("x", value=1), Fence(), Store("y", value=1))),
+        ThreadProgram("T1", (Load("r1", "y"), Fence(), Load("r2", "x"))),
+    ),
+    relaxed_outcome=_outcome(("T1:r1", 1), ("T1:r2", 0)),
+    allowed={"SC": False, "TSO": False, "PSO": False, "WO": False},
+)
+
+ALL_TESTS: tuple[LitmusTest, ...] = (
+    STORE_BUFFERING,
+    MESSAGE_PASSING,
+    LOAD_BUFFERING,
+    COHERENCE_RR,
+    TWO_PLUS_TWO_W,
+    IRIW,
+    S_SHAPE,
+    R_SHAPE,
+    WRC,
+    STORE_BUFFERING_FENCED,
+    STORE_BUFFERING_HALF_FENCED,
+    MESSAGE_PASSING_FENCED,
+)
+
+_REGISTRY = {test.name.upper(): test for test in ALL_TESTS}
+
+
+def get_test(name: str) -> LitmusTest:
+    """Look up a litmus test by name, case-insensitively (``"SB"``, ``"CoRR"``, …)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(test.name for test in ALL_TESTS))
+        raise KeyError(f"unknown litmus test {name!r}; known: {known}") from None

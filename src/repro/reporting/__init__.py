@@ -1,0 +1,21 @@
+"""Table/figure rendering and the experiment registry."""
+
+from .experiments import EXPERIMENTS, Experiment, get_experiment
+from .figures import ascii_bars, ascii_plot
+from .io import read_rows, rows_to_json, write_rows
+from .tables import format_cell, print_table, render_markdown_table, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ascii_bars",
+    "ascii_plot",
+    "format_cell",
+    "get_experiment",
+    "print_table",
+    "read_rows",
+    "render_markdown_table",
+    "render_table",
+    "rows_to_json",
+    "write_rows",
+]

@@ -1,0 +1,72 @@
+"""Machine-readable experiment output: JSON serialisation of result rows.
+
+The benches and the CLI print human tables; downstream tooling (plotting,
+regression tracking across runs) wants the same rows as data.  These
+helpers serialise the library's universal "list of row dicts" shape, with
+numpy scalars and the library's value types coerced to plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["rows_to_json", "write_rows", "read_rows"]
+
+
+def _coerce(value: Any) -> Any:
+    """Best-effort conversion of a cell to a JSON-serialisable value."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_coerce(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _coerce(item) for key, item in value.items()}
+    # Library value types expose .value / .estimate; fall back to str.
+    for attribute in ("value", "estimate"):
+        inner = getattr(value, attribute, None)
+        if isinstance(inner, (int, float)):
+            return inner
+    return str(value)
+
+
+def rows_to_json(
+    rows: list[dict[str, object]],
+    metadata: dict[str, object] | None = None,
+    indent: int = 2,
+) -> str:
+    """Serialise result rows (plus optional metadata) to a JSON document."""
+    document: dict[str, Any] = {}
+    if metadata:
+        document["metadata"] = _coerce(metadata)
+    document["rows"] = [_coerce(row) for row in rows]
+    return json.dumps(document, indent=indent)
+
+
+def write_rows(
+    path: str | Path,
+    rows: list[dict[str, object]],
+    metadata: dict[str, object] | None = None,
+) -> Path:
+    """Write rows to a JSON file; returns the resolved path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rows_to_json(rows, metadata) + "\n", encoding="utf-8")
+    return target.resolve()
+
+
+def read_rows(path: str | Path) -> tuple[list[dict[str, object]], dict[str, object]]:
+    """Read rows (and metadata) back from a JSON file."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return document.get("rows", []), document.get("metadata", {})

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows the paper's tables report; this module
+turns lists of row dicts into aligned ASCII (and markdown) without any
+third-party dependency.  Floats are formatted to a configurable precision;
+booleans render as ``yes``/``no``; everything else via ``str``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_markdown_table", "format_cell"]
+
+
+def format_cell(value: object, precision: int = 6) -> str:
+    """Render one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _normalise(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None,
+    precision: int,
+) -> tuple[list[str], list[list[str]]]:
+    if not rows:
+        raise ValueError("cannot render an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    body = [[format_cell(row.get(column, ""), precision) for column in columns] for row in rows]
+    return list(columns), body
+
+
+def render_table(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 6,
+    title: str | None = None,
+) -> str:
+    """Aligned ASCII table.
+
+    >>> print(render_table([{"model": "SC", "Pr[A]": 1/6}], precision=4))
+    model  Pr[A]
+    -----  ------
+    SC     0.1667
+    """
+    header, body = _normalise(rows, columns, precision)
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))).rstrip())
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))).rstrip())
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 6,
+) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md snippets)."""
+    header, body = _normalise(rows, columns, precision)
+    lines = ["| " + " | ".join(header) + " |", "| " + " | ".join("---" for _ in header) + " |"]
+    for line in body:
+        lines.append("| " + " | ".join(line) + " |")
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 6,
+    title: str | None = None,
+) -> None:
+    """Convenience: render and print."""
+    print(render_table(rows, columns, precision, title))
+
+
+__all__.append("print_table")

@@ -1,0 +1,95 @@
+"""The multiprocessor simulator substrate.
+
+The abstract model of the paper idealises real hardware; this subpackage
+builds that hardware in miniature — per-model cores with the
+microarchitectural relaxation that motivates each memory model (store
+buffers for TSO/PSO, out-of-order issue for WO), a shared memory with
+store atomicity, and interleaving schedulers — so the canonical bug can be
+*run*, not just analysed.
+"""
+
+from .cpu import (
+    CORE_KINDS,
+    DEFAULT_DRAIN_PROBABILITY,
+    DEFAULT_WINDOW_SIZE,
+    Core,
+    PSOCore,
+    SCCore,
+    TSOCore,
+    WOCore,
+    make_core,
+)
+from .executor import CanonicalBugResult, run_canonical_bug
+from .isa import (
+    Add,
+    AddImmediate,
+    Fence,
+    FetchAdd,
+    Load,
+    LoadImmediate,
+    Nop,
+    Operation,
+    Store,
+    ThreadProgram,
+    is_memory_operation,
+)
+from .machine import Machine, MachineResult
+from .measurement import WindowMeasurement, extract_windows, measure_critical_windows
+from .memory import AccessKind, AccessRecord, SharedMemory
+from .programs import (
+    SHARED_COUNTER,
+    canonical_increment,
+    canonical_increment_atomic,
+    canonical_increment_fenced,
+    padded_body,
+    sample_body_types,
+)
+from .scheduler import (
+    GeometricLaunchScheduler,
+    LockStepScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "AccessKind",
+    "AccessRecord",
+    "Add",
+    "AddImmediate",
+    "CORE_KINDS",
+    "CanonicalBugResult",
+    "Core",
+    "DEFAULT_DRAIN_PROBABILITY",
+    "DEFAULT_WINDOW_SIZE",
+    "Fence",
+    "FetchAdd",
+    "GeometricLaunchScheduler",
+    "Load",
+    "LoadImmediate",
+    "LockStepScheduler",
+    "Machine",
+    "MachineResult",
+    "Nop",
+    "Operation",
+    "PSOCore",
+    "RandomScheduler",
+    "SCCore",
+    "SHARED_COUNTER",
+    "SharedMemory",
+    "Scheduler",
+    "Store",
+    "TSOCore",
+    "ThreadProgram",
+    "WOCore",
+    "WindowMeasurement",
+    "canonical_increment",
+    "canonical_increment_atomic",
+    "canonical_increment_fenced",
+    "is_memory_operation",
+    "extract_windows",
+    "make_core",
+    "measure_critical_windows",
+    "padded_body",
+    "run_canonical_bug",
+    "sample_body_types",
+]

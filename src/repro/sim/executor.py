@@ -1,0 +1,130 @@
+"""Experiment drivers for the machine substrate (experiment E10).
+
+:func:`run_canonical_bug` executes the §2.2 counter-increment race on the
+simulated multiprocessor many times and reports how often it manifests
+(final counter below the thread count).  The benches use it to check the
+machine-level ordering of the memory models against the abstract model's
+predictions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..stats.intervals import Proportion, wilson_interval
+from ..stats.rng import RandomSource
+from .machine import Machine
+from .programs import (
+    SHARED_COUNTER,
+    canonical_increment,
+    canonical_increment_atomic,
+    canonical_increment_fenced,
+    sample_body_types,
+)
+from .scheduler import GeometricLaunchScheduler, Scheduler
+
+__all__ = ["CanonicalBugResult", "run_canonical_bug"]
+
+
+@dataclass(frozen=True)
+class CanonicalBugResult:
+    """Outcome statistics of the canonical-bug machine experiment."""
+
+    model: str
+    threads: int
+    trials: int
+    final_values: dict[int, int]
+    confidence: float
+
+    @property
+    def manifestations(self) -> int:
+        """Trials whose final counter fell short of the thread count."""
+        return sum(count for value, count in self.final_values.items() if value < self.threads)
+
+    @property
+    def manifestation(self) -> Proportion:
+        """Manifestation probability with confidence interval."""
+        return wilson_interval(self.manifestations, self.trials, self.confidence)
+
+    @property
+    def survival(self) -> Proportion:
+        """Non-manifestation (the machine analogue of the paper's Pr[A])."""
+        return wilson_interval(
+            self.trials - self.manifestations, self.trials, self.confidence
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model} n={self.threads}: bug manifests {self.manifestation} "
+            f"(final values {dict(sorted(self.final_values.items()))})"
+        )
+
+
+def run_canonical_bug(
+    model_name: str,
+    threads: int,
+    trials: int,
+    seed: int | None = 0,
+    body_length: int = 8,
+    scheduler: Scheduler | None = None,
+    fenced: bool = False,
+    atomic: bool = False,
+    confidence: float = 0.99,
+    **core_options,
+) -> CanonicalBugResult:
+    """Run the canonical increment race ``trials`` times on the machine.
+
+    Parameters
+    ----------
+    model_name:
+        Core model (``"SC"``, ``"TSO"``, ``"PSO"``, ``"WO"``).
+    threads:
+        Number of racing incrementers.
+    body_length:
+        Private-body padding per thread (per-trial random types, mirroring
+        §3.1.1's program generation).
+    scheduler:
+        Interleaving policy; defaults to the geometric-launch scheduler,
+        the machine analogue of the shift process.
+    fenced:
+        Bracket each critical section with fences (§7 extension).
+    atomic:
+        Replace the racy load/increment/store with one atomic fetch-and-add
+        (the bug's fix; mutually exclusive with ``fenced``).
+    core_options:
+        Forwarded to the core constructor (e.g. ``drain_probability``).
+    """
+    if threads < 2:
+        raise ValueError(f"the race needs at least 2 threads, got {threads}")
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if fenced and atomic:
+        raise ValueError("fenced and atomic variants are mutually exclusive")
+    root = RandomSource(seed)
+    if atomic:
+        builder = canonical_increment_atomic
+    elif fenced:
+        builder = canonical_increment_fenced
+    else:
+        builder = canonical_increment
+    outcomes: Counter[int] = Counter()
+    for _ in range(trials):
+        trial_source = root.child()
+        body_types = sample_body_types(body_length, trial_source.child())
+        programs = [builder(thread, body_types) for thread in range(threads)]
+        machine = Machine(
+            model_name,
+            programs,
+            scheduler=scheduler if scheduler is not None else GeometricLaunchScheduler(),
+            **core_options,
+        )
+        result = machine.run(trial_source.child())
+        outcomes[result.location(SHARED_COUNTER)] += 1
+    return CanonicalBugResult(
+        model=model_name,
+        threads=threads,
+        trials=trials,
+        final_values=dict(outcomes),
+        confidence=confidence,
+    )

@@ -1,0 +1,274 @@
+"""A tiny register-machine ISA for the multiprocessor substrate.
+
+The abstract model of the paper reduces programs to LD/ST streams; the
+mechanistic simulator needs just enough more to *run* the canonical
+atomicity violation of §2.2 and the standard litmus tests:
+
+* ``Load`` / ``Store`` — the shared-memory operations,
+* ``LoadImmediate`` / ``AddImmediate`` / ``Add`` — local register
+  arithmetic (line 2 of the canonical bug),
+* ``Fence`` — the §7 extension: a full barrier that no memory operation
+  may reorder across (and that drains store buffers).
+
+Programs are straight-line (no branches): every workload in the paper and
+every classic litmus shape is loop-free, and straight-line code keeps the
+litmus enumerator exact.
+
+Registers are named strings (``"r0"``, ``"r1"``, …); memory locations are
+symbolic strings (``"x"``, ``"y"``).  Values are Python ints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Operation",
+    "Load",
+    "Store",
+    "LoadImmediate",
+    "Add",
+    "AddImmediate",
+    "Fence",
+    "FetchAdd",
+    "Nop",
+    "ThreadProgram",
+    "is_memory_operation",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for ISA operations.
+
+    Subclasses declare their register reads/writes so cores can honour
+    data dependencies, and whether they touch memory so cores can honour
+    the memory model's ordering rules.
+    """
+
+    def reads(self) -> tuple[str, ...]:
+        """Registers this operation reads."""
+        return ()
+
+    def writes(self) -> tuple[str, ...]:
+        """Registers this operation writes."""
+        return ()
+
+    @property
+    def address(self) -> str | None:
+        """Memory location touched, or ``None`` for local operations."""
+        return None
+
+    @property
+    def is_load(self) -> bool:
+        return False
+
+    @property
+    def is_store(self) -> bool:
+        return False
+
+    @property
+    def is_fence(self) -> bool:
+        return False
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Load(Operation):
+    """``dst ← memory[location]``."""
+
+    dst: str
+    location: str
+
+    def reads(self) -> tuple[str, ...]:
+        return ()
+
+    def writes(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+    @property
+    def address(self) -> str:
+        return self.location
+
+    @property
+    def is_load(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = LD {self.location}"
+
+
+@dataclass(frozen=True)
+class Store(Operation):
+    """``memory[location] ← src register`` (or an immediate value).
+
+    Exactly one of ``src`` / ``value`` must be given.
+    """
+
+    location: str
+    src: str | None = None
+    value: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.src is None) == (self.value is None):
+            raise SimulationError("Store needs exactly one of src register or immediate value")
+
+    def reads(self) -> tuple[str, ...]:
+        return (self.src,) if self.src is not None else ()
+
+    @property
+    def address(self) -> str:
+        return self.location
+
+    @property
+    def is_store(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        what = self.src if self.src is not None else str(self.value)
+        return f"ST {self.location} = {what}"
+
+
+@dataclass(frozen=True)
+class LoadImmediate(Operation):
+    """``dst ← constant`` (purely local)."""
+
+    dst: str
+    value: int
+
+    def writes(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Add(Operation):
+    """``dst ← a + b`` (purely local)."""
+
+    dst: str
+    a: str
+    b: str
+
+    def reads(self) -> tuple[str, ...]:
+        return (self.a, self.b)
+
+    def writes(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.a} + {self.b}"
+
+
+@dataclass(frozen=True)
+class AddImmediate(Operation):
+    """``dst ← src + constant`` (line 2 of the canonical bug)."""
+
+    dst: str
+    src: str
+    value: int
+
+    def reads(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src} + {self.value}"
+
+
+@dataclass(frozen=True)
+class Fence(Operation):
+    """A full memory barrier: nothing reorders across it; buffers drain."""
+
+    @property
+    def is_fence(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "FENCE"
+
+
+@dataclass(frozen=True)
+class FetchAdd(Operation):
+    """``dst ← memory[location]; memory[location] += value`` — atomically.
+
+    The x86 ``lock xadd`` shape: the read and the write are one indivisible
+    memory event, and the operation is a full barrier (cores drain their
+    store buffers before it and nothing reorders across it).  This is the
+    *fix* for the §2.2 canonical bug; the executor's atomic variant of the
+    counter race uses it to show the races disappear on every core model.
+    """
+
+    dst: str
+    location: str
+    value: int = 1
+
+    def reads(self) -> tuple[str, ...]:
+        return ()
+
+    def writes(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+    @property
+    def address(self) -> str:
+        return self.location
+
+    @property
+    def is_atomic(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = FETCH_ADD {self.location}, {self.value}"
+
+
+@dataclass(frozen=True)
+class Nop(Operation):
+    """Does nothing; occupies one issue slot (timing filler)."""
+
+    def __str__(self) -> str:
+        return "NOP"
+
+
+def is_memory_operation(operation: Operation) -> bool:
+    """Whether the operation reads or writes shared memory."""
+    return operation.is_load or operation.is_store or operation.is_atomic
+
+
+@dataclass(frozen=True)
+class ThreadProgram:
+    """A named straight-line program for one hardware thread."""
+
+    name: str
+    operations: tuple[Operation, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operations", tuple(self.operations))
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def memory_operations(self) -> list[Operation]:
+        return [operation for operation in self.operations if is_memory_operation(operation)]
+
+    def registers(self) -> set[str]:
+        """All registers the program mentions."""
+        names: set[str] = set()
+        for operation in self.operations:
+            names.update(operation.reads())
+            names.update(operation.writes())
+        return names
+
+    def __str__(self) -> str:
+        body = "; ".join(str(operation) for operation in self.operations)
+        return f"{self.name}: {body}"

@@ -1,0 +1,127 @@
+"""The cycle-driven multiprocessor: cores + shared memory + scheduler.
+
+A :class:`Machine` owns one :class:`~repro.sim.memory.SharedMemory`, one
+core per thread program (all implementing the same memory model), and a
+:class:`~repro.sim.scheduler.Scheduler`.  :meth:`Machine.run` advances
+cycles until every core has fully retired and drained, then force-flushes
+any residue (a real program would fence before exiting) and returns a
+:class:`MachineResult` with the final memory, registers, and access log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..stats.rng import RandomSource
+from .cpu import Core, make_core
+from .isa import ThreadProgram
+from .memory import AccessRecord, SharedMemory
+from .scheduler import LockStepScheduler, Scheduler
+
+__all__ = ["Machine", "MachineResult"]
+
+#: Hard cap on cycles; straight-line programs finish in O(length), so
+#: hitting this always indicates a simulator bug.
+MAX_CYCLES = 1_000_000
+
+
+@dataclass(frozen=True)
+class MachineResult:
+    """Outcome of one machine run."""
+
+    memory: dict[str, int]
+    registers: dict[str, dict[str, int]]
+    cycles: int
+    log: list[AccessRecord]
+
+    def register(self, core: str, name: str) -> int:
+        """Final value of one core's register."""
+        return self.registers[core][name]
+
+    def location(self, location: str) -> int:
+        """Final value of one memory location."""
+        return self.memory.get(location, 0)
+
+
+class Machine:
+    """A shared-memory multiprocessor running one memory model.
+
+    Parameters
+    ----------
+    model_name:
+        One of ``"SC"``, ``"TSO"``, ``"PSO"``, ``"WO"`` (see
+        :data:`repro.sim.cpu.CORE_KINDS`).
+    programs:
+        One straight-line :class:`~repro.sim.isa.ThreadProgram` per core.
+    scheduler:
+        Interleaving policy; defaults to lock-step.
+    initial_memory:
+        Starting memory contents (unlisted locations read 0).
+    log_accesses:
+        Record every read/commit in the result's log (off by default).
+    core_options:
+        Extra keyword arguments forwarded to the core constructor (e.g.
+        ``drain_probability`` for TSO/PSO, ``window_size`` for WO).
+    """
+
+    def __init__(
+        self,
+        model_name: str,
+        programs: list[ThreadProgram],
+        scheduler: Scheduler | None = None,
+        initial_memory: dict[str, int] | None = None,
+        log_accesses: bool = False,
+        **core_options,
+    ):
+        if not programs:
+            raise SimulationError("a machine needs at least one thread program")
+        self._model_name = model_name
+        self._programs = list(programs)
+        self._scheduler = scheduler if scheduler is not None else LockStepScheduler()
+        self._initial_memory = dict(initial_memory or {})
+        self._log_accesses = log_accesses
+        self._core_options = core_options
+
+    def run(self, source: RandomSource) -> MachineResult:
+        """Execute to completion and return the final state."""
+        memory = SharedMemory(self._initial_memory, log_accesses=self._log_accesses)
+        core_sources = source.spawn(len(self._programs) + 1)
+        scheduler_source = core_sources[-1]
+        cores: list[Core] = [
+            make_core(
+                self._model_name,
+                program.name,
+                program,
+                memory,
+                core_source,
+                **self._core_options,
+            )
+            for program, core_source in zip(self._programs, core_sources)
+        ]
+        self._scheduler.prepare(len(cores), scheduler_source)
+
+        cycle = 0
+        # Run until every core has issued everything; once all cores are
+        # retired no further reads can happen, so draining the remaining
+        # buffered stores immediately is observationally equivalent.
+        while not all(core.retired for core in cores):
+            if cycle >= MAX_CYCLES:
+                raise SimulationError(
+                    f"machine did not finish within {MAX_CYCLES} cycles — simulator bug"
+                )
+            for index, core in enumerate(cores):
+                if not core.retired and self._scheduler.scheduled(index, cycle, scheduler_source):
+                    core.step(cycle)
+                core.background_step(cycle)
+            cycle += 1
+
+        for core in cores:
+            core.flush(cycle)
+
+        return MachineResult(
+            memory=memory.snapshot(),
+            registers={core.name: dict(core.registers) for core in cores},
+            cycles=cycle,
+            log=memory.log,
+        )

@@ -1,0 +1,76 @@
+"""Shared memory with a global access log.
+
+The simulated multiprocessor uses a single flat memory (store atomicity is
+assumed, exactly as the paper assumes away non-atomic stores in §2.1).
+Every commit and read is logged with its cycle, which the executor uses to
+reconstruct interleavings and the tests use to assert ordering invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessKind", "AccessRecord", "SharedMemory"]
+
+
+class AccessKind:
+    """Log-record kinds (plain constants; no enum overhead in hot loops)."""
+
+    READ = "READ"
+    COMMIT = "COMMIT"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One logged memory access."""
+
+    cycle: int
+    core: str
+    kind: str
+    location: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>4}] {self.core}: {self.kind} {self.location} = {self.value}"
+
+
+class SharedMemory:
+    """Flat symbolic-address memory, zero-initialised, with an access log."""
+
+    def __init__(self, initial: dict[str, int] | None = None, log_accesses: bool = False):
+        self._values: dict[str, int] = dict(initial or {})
+        self._log: list[AccessRecord] = []
+        self._log_accesses = log_accesses
+
+    def read(self, location: str, cycle: int, core: str) -> int:
+        """Read a location (uninitialised locations read 0)."""
+        value = self._values.get(location, 0)
+        if self._log_accesses:
+            self._log.append(AccessRecord(cycle, core, AccessKind.READ, location, value))
+        return value
+
+    def commit(self, location: str, value: int, cycle: int, core: str) -> None:
+        """Make a store globally visible."""
+        self._values[location] = value
+        if self._log_accesses:
+            self._log.append(AccessRecord(cycle, core, AccessKind.COMMIT, location, value))
+
+    def peek(self, location: str) -> int:
+        """Read without logging (for assertions and final-state checks)."""
+        return self._values.get(location, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the current memory contents."""
+        return dict(self._values)
+
+    @property
+    def log(self) -> list[AccessRecord]:
+        return list(self._log)
+
+    def commits_to(self, location: str) -> list[AccessRecord]:
+        """All commit records for one location, in time order."""
+        return [
+            record
+            for record in self._log
+            if record.kind == AccessKind.COMMIT and record.location == location
+        ]

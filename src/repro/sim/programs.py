@@ -1,0 +1,99 @@
+"""Workload builders: the canonical bug of §2.2 and body padding.
+
+The canonical atomicity violation is the paper's running example::
+
+    Thread k:   loc = x;  loc = loc + 1;  x = loc;
+
+Each thread increments the shared counter ``x`` without synchronisation;
+the programmer intent is a final value of ``n`` for ``n`` threads, and any
+smaller value means the bug manifested.
+
+Following §6 ("all threads are assumed to initially be identical copies of
+a single program"), the body *type sequence* is drawn once per experiment
+and shared by every thread; the body locations are thread-private
+(``t<k>_a<i>``), honouring the model's distinct-location assumption, so
+bodies stress each core's buffers without creating cross-thread traffic.
+"""
+
+from __future__ import annotations
+
+from ..stats.rng import RandomSource
+from .isa import AddImmediate, Fence, FetchAdd, Load, Operation, Store, ThreadProgram
+
+__all__ = [
+    "sample_body_types",
+    "padded_body",
+    "canonical_increment",
+    "canonical_increment_fenced",
+    "canonical_increment_atomic",
+    "SHARED_COUNTER",
+]
+
+#: The shared location the canonical bug races on.
+SHARED_COUNTER = "x"
+
+
+def sample_body_types(
+    length: int, source: RandomSource, store_probability: float = 0.5
+) -> list[bool]:
+    """Draw one shared body type sequence (``True`` marks a store), §3.1.1."""
+    return [source.bernoulli(store_probability) for _ in range(length)]
+
+
+def padded_body(thread: int, body_types: list[bool]) -> list[Operation]:
+    """Materialise a body type sequence on thread-private locations."""
+    operations: list[Operation] = []
+    for index, is_store in enumerate(body_types):
+        location = f"t{thread}_a{index}"
+        if is_store:
+            operations.append(Store(location, value=1))
+        else:
+            operations.append(Load("scratch", location))
+    return operations
+
+
+def canonical_increment(thread: int, body_types: list[bool] = ()) -> ThreadProgram:
+    """One thread of the canonical §2.2 bug, with optional body padding.
+
+    The critical section is ``loc = LD x; loc = loc + 1; ST x = loc`` on a
+    thread-private register.
+    """
+    operations = padded_body(thread, list(body_types))
+    operations += [
+        Load("loc", SHARED_COUNTER),
+        AddImmediate("loc", "loc", 1),
+        Store(SHARED_COUNTER, src="loc"),
+    ]
+    return ThreadProgram(f"T{thread}", tuple(operations))
+
+
+def canonical_increment_atomic(thread: int, body_types: list[bool] = ()) -> ThreadProgram:
+    """The *fixed* canonical increment: one atomic fetch-and-add.
+
+    Collapsing the racy load/increment/store into a single indivisible
+    read-modify-write removes the critical window entirely — the machine
+    benches use this as the positive control: the final counter always
+    equals the thread count, under every core model.
+    """
+    operations = padded_body(thread, list(body_types))
+    operations.append(FetchAdd("loc", SHARED_COUNTER, 1))
+    return ThreadProgram(f"T{thread}", tuple(operations))
+
+
+def canonical_increment_fenced(thread: int, body_types: list[bool] = ()) -> ThreadProgram:
+    """The canonical increment bracketed by fences (§7's extension).
+
+    Fences pin the critical pair against reordering with the body — the
+    machine-level counterpart of the "fences make concurrency bugs less
+    likely" remark.  They do *not* fix the race itself: the critical
+    sections of different threads can still interleave.
+    """
+    operations = padded_body(thread, list(body_types))
+    operations += [
+        Fence(),
+        Load("loc", SHARED_COUNTER),
+        AddImmediate("loc", "loc", 1),
+        Store(SHARED_COUNTER, src="loc"),
+        Fence(),
+    ]
+    return ThreadProgram(f"T{thread}", tuple(operations))

@@ -1,0 +1,80 @@
+"""Interleaving policies for the simulated multiprocessor.
+
+The abstract model's *shift process* (§5) captures the relative progress
+of threads with geometric offsets; on the machine side the scheduler plays
+that role.  Three policies:
+
+* :class:`LockStepScheduler` — every core steps every cycle (the paper's
+  "instructions begin and end synchronously across all threads").
+* :class:`RandomScheduler` — each cycle, every core independently steps
+  with a given probability (uniform asynchrony).
+* :class:`GeometricLaunchScheduler` — core ``k`` begins executing only
+  after a geometric delay, then runs lock-step: the direct machine
+  analogue of Definition 1's shifts, used by the canonical-bug bench to
+  tie the machine results back to the shift model.
+"""
+
+from __future__ import annotations
+
+from ..stats.rng import RandomSource
+
+__all__ = [
+    "Scheduler",
+    "LockStepScheduler",
+    "RandomScheduler",
+    "GeometricLaunchScheduler",
+]
+
+
+class Scheduler:
+    """Decides which cores make pipeline progress on each cycle."""
+
+    def prepare(self, core_count: int, source: RandomSource) -> None:
+        """Called once before the run starts."""
+
+    def scheduled(self, core_index: int, cycle: int, source: RandomSource) -> bool:
+        """Whether core ``core_index`` steps on ``cycle``."""
+        raise NotImplementedError
+
+
+class LockStepScheduler(Scheduler):
+    """All cores step every cycle."""
+
+    def scheduled(self, core_index: int, cycle: int, source: RandomSource) -> bool:
+        return True
+
+
+class RandomScheduler(Scheduler):
+    """Each core independently steps with probability ``rate`` per cycle."""
+
+    def __init__(self, rate: float = 0.5):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self._rate = rate
+
+    def scheduled(self, core_index: int, cycle: int, source: RandomSource) -> bool:
+        return source.bernoulli(self._rate)
+
+
+class GeometricLaunchScheduler(Scheduler):
+    """Core ``k`` starts after an i.i.d. geometric delay, then runs lock-step.
+
+    ``Pr[delay = d] = (1 - beta) * beta**d`` — Definition 1's shift law.
+    """
+
+    def __init__(self, beta: float = 0.5):
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must lie in [0, 1), got {beta}")
+        self._beta = beta
+        self._delays: list[int] = []
+
+    def prepare(self, core_count: int, source: RandomSource) -> None:
+        self._delays = [source.geometric(self._beta) for _ in range(core_count)]
+
+    @property
+    def delays(self) -> list[int]:
+        """The sampled launch delays (available after :meth:`prepare`)."""
+        return list(self._delays)
+
+    def scheduled(self, core_index: int, cycle: int, source: RandomSource) -> bool:
+        return cycle >= self._delays[core_index]

@@ -1,0 +1,50 @@
+"""Statistics substrate: seeded RNG streams, intervals, Monte-Carlo harness.
+
+This subpackage is the only place in the library that touches
+:mod:`numpy.random`; every stochastic model takes a
+:class:`~repro.stats.rng.RandomSource` so experiments are reproducible and
+splittable.
+"""
+
+from .bootstrap import BootstrapInterval, bootstrap_mean_interval
+from .convergence import BatchSummary, required_trials, standard_error, summarise_batches
+from .intervals import (
+    Proportion,
+    clopper_pearson_interval,
+    normal_quantile,
+    wilson_interval,
+)
+from .montecarlo import (
+    BernoulliResult,
+    CategoricalResult,
+    estimate_event,
+    merge_bernoulli,
+    run_bernoulli_trials,
+    run_categorical_trials,
+)
+from .rng import DEFAULT_SEED, RandomSource, iter_batches, spawn_sources
+from .sequential import estimate_to_precision
+
+__all__ = [
+    "BatchSummary",
+    "BootstrapInterval",
+    "bootstrap_mean_interval",
+    "BernoulliResult",
+    "CategoricalResult",
+    "DEFAULT_SEED",
+    "Proportion",
+    "RandomSource",
+    "clopper_pearson_interval",
+    "estimate_event",
+    "estimate_to_precision",
+    "iter_batches",
+    "merge_bernoulli",
+    "normal_quantile",
+    "required_trials",
+    "run_bernoulli_trials",
+    "run_categorical_trials",
+    "spawn_sources",
+    "standard_error",
+    "summarise_batches",
+    "wilson_interval",
+]

@@ -1,0 +1,87 @@
+"""Convergence diagnostics for Monte-Carlo estimates.
+
+The benchmark harness does not just print point estimates; it checks that
+each empirical estimate has *stabilised* (batch means agree within noise)
+and reports how many trials a target resolution would need.  These helpers
+keep that logic in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .intervals import normal_quantile
+
+__all__ = [
+    "required_trials",
+    "standard_error",
+    "BatchSummary",
+    "summarise_batches",
+]
+
+
+def standard_error(probability: float, trials: int) -> float:
+    """Standard error of a binomial proportion estimate."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    probability = min(max(probability, 0.0), 1.0)
+    return math.sqrt(probability * (1.0 - probability) / trials)
+
+
+def required_trials(
+    probability: float, half_width: float, confidence: float = 0.99
+) -> int:
+    """Trials needed so a Wilson interval has roughly the given half-width.
+
+    Uses the normal-approximation sizing formula
+    ``n = z^2 p (1 - p) / w^2`` with the worst case ``p (1 - p) <= 1/4``
+    when ``probability`` is 0 or 1 (i.e. unknown).
+    """
+    if half_width <= 0.0:
+        raise ValueError(f"half_width must be positive, got {half_width}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = normal_quantile(0.5 + confidence / 2.0)
+    variance = probability * (1.0 - probability)
+    if variance == 0.0:
+        variance = 0.25
+    return max(1, math.ceil(z * z * variance / (half_width * half_width)))
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Agreement diagnostics across independent estimate batches."""
+
+    batch_estimates: tuple[float, ...]
+    pooled_estimate: float
+    max_deviation: float
+    tolerance: float
+
+    @property
+    def converged(self) -> bool:
+        """Whether every batch mean lies within tolerance of the pool."""
+        return self.max_deviation <= self.tolerance
+
+
+def summarise_batches(
+    batch_estimates: list[float],
+    batch_trials: int,
+    confidence: float = 0.99,
+) -> BatchSummary:
+    """Check that independent batch estimates of one probability agree.
+
+    The tolerance is the ``confidence``-level normal radius for a single
+    batch around the pooled estimate; disagreement beyond it flags either
+    insufficient trials or (more usefully in development) a seeding bug
+    making batches dependent.
+    """
+    if not batch_estimates:
+        raise ValueError("need at least one batch")
+    if batch_trials <= 0:
+        raise ValueError(f"batch_trials must be positive, got {batch_trials}")
+    pooled = sum(batch_estimates) / len(batch_estimates)
+    z = normal_quantile(0.5 + confidence / 2.0)
+    tolerance = z * standard_error(pooled, batch_trials) + 1e-12
+    max_deviation = max(abs(estimate - pooled) for estimate in batch_estimates)
+    return BatchSummary(tuple(batch_estimates), pooled, max_deviation, tolerance)

@@ -1,0 +1,187 @@
+"""A small Monte-Carlo harness used by every empirical experiment.
+
+The harness standardises three things across the library:
+
+1. **Seeding discipline** — a run takes one experiment seed and derives
+   per-batch child streams, so results are reproducible and trial batches
+   are independent.
+2. **Counting** — trials are Bernoulli (event counters) or categorical
+   (PMF estimation over a countable support); both produce estimates with
+   confidence intervals from :mod:`repro.stats.intervals`.
+3. **Reporting** — results carry enough metadata (trial counts, seeds,
+   confidence level) for the benchmark harness to print self-describing
+   rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from .intervals import Proportion, wilson_interval
+from .rng import RandomSource, iter_batches
+
+__all__ = [
+    "BernoulliResult",
+    "CategoricalResult",
+    "run_bernoulli_trials",
+    "run_categorical_trials",
+    "estimate_event",
+]
+
+#: Default number of trials per vectorised batch.
+DEFAULT_BATCH_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class BernoulliResult:
+    """Outcome of a Bernoulli Monte-Carlo estimation."""
+
+    successes: int
+    trials: int
+    confidence: float
+    seed: int | None
+
+    @property
+    def proportion(self) -> Proportion:
+        """The estimate with its Wilson confidence interval."""
+        return wilson_interval(self.successes, self.trials, self.confidence)
+
+    @property
+    def estimate(self) -> float:
+        return self.successes / self.trials
+
+    def agrees_with(self, value: float) -> bool:
+        """Whether the analytic ``value`` lies inside the interval."""
+        return self.proportion.contains(value)
+
+    def __str__(self) -> str:
+        return str(self.proportion)
+
+
+@dataclass(frozen=True)
+class CategoricalResult:
+    """Outcome of a categorical Monte-Carlo estimation (an empirical PMF)."""
+
+    counts: dict[int, int]
+    trials: int
+    confidence: float
+    seed: int | None
+    _cache: dict[int, Proportion] = field(default_factory=dict, compare=False, repr=False)
+
+    def probability(self, category: int) -> Proportion:
+        """Estimate (with interval) of the probability of one category."""
+        if category not in self._cache:
+            self._cache[category] = wilson_interval(
+                self.counts.get(category, 0), self.trials, self.confidence
+            )
+        return self._cache[category]
+
+    def estimate(self, category: int) -> float:
+        return self.counts.get(category, 0) / self.trials
+
+    @property
+    def support(self) -> list[int]:
+        """Observed categories, sorted."""
+        return sorted(self.counts)
+
+    def tail_probability(self, category: int) -> Proportion:
+        """Estimate of ``Pr[X >= category]`` with interval."""
+        successes = sum(count for value, count in self.counts.items() if value >= category)
+        return wilson_interval(successes, self.trials, self.confidence)
+
+    def mean(self) -> float:
+        """Empirical mean of the category values."""
+        return sum(value * count for value, count in self.counts.items()) / self.trials
+
+
+def run_bernoulli_trials(
+    trial: Callable[[RandomSource], bool],
+    trials: int,
+    seed: int | None = 0,
+    confidence: float = 0.99,
+) -> BernoulliResult:
+    """Run ``trials`` independent Bernoulli trials of ``trial``.
+
+    ``trial`` receives a fresh independent :class:`RandomSource` for each
+    invocation and returns whether the event occurred.
+    """
+    _check_trials(trials)
+    root = RandomSource(seed)
+    successes = 0
+    for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
+        batch_source = root.child()
+        sources = batch_source.spawn(batch)
+        successes += sum(1 for source in sources if trial(source))
+    return BernoulliResult(successes, trials, confidence, seed)
+
+
+def run_categorical_trials(
+    trial: Callable[[RandomSource], int],
+    trials: int,
+    seed: int | None = 0,
+    confidence: float = 0.99,
+) -> CategoricalResult:
+    """Run ``trials`` independent categorical trials of ``trial``.
+
+    ``trial`` returns an integer category (e.g. the observed critical-window
+    growth γ); the result aggregates the counts into an empirical PMF.
+    """
+    _check_trials(trials)
+    root = RandomSource(seed)
+    counts: Counter[int] = Counter()
+    for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
+        batch_source = root.child()
+        sources = batch_source.spawn(batch)
+        counts.update(trial(source) for source in sources)
+    return CategoricalResult(dict(counts), trials, confidence, seed)
+
+
+def estimate_event(
+    batch_trial: Callable[[RandomSource, int], int],
+    trials: int,
+    seed: int | None = 0,
+    confidence: float = 0.99,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> BernoulliResult:
+    """Vectorised Bernoulli estimation.
+
+    ``batch_trial(source, size)`` must run ``size`` independent trials using
+    ``source`` and return the number of successes.  This is the fast path
+    for numpy-vectorisable events (e.g. shift-process disjointness), where
+    spawning one :class:`RandomSource` per trial would dominate runtime.
+    """
+    _check_trials(trials)
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    root = RandomSource(seed)
+    successes = 0
+    for batch in iter_batches(trials, batch_size):
+        successes += int(batch_trial(root.child(), batch))
+    return BernoulliResult(successes, trials, confidence, seed)
+
+
+def merge_bernoulli(results: Iterable[BernoulliResult]) -> BernoulliResult:
+    """Pool several independent Bernoulli results into one.
+
+    All inputs must share a confidence level.  The pooled seed is ``None``
+    because the merged result no longer corresponds to a single stream.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("cannot merge an empty collection of results")
+    confidence = results[0].confidence
+    if any(result.confidence != confidence for result in results):
+        raise ValueError("cannot merge results with differing confidence levels")
+    successes = sum(result.successes for result in results)
+    trials = sum(result.trials for result in results)
+    return BernoulliResult(successes, trials, confidence, None)
+
+
+def _check_trials(trials: int) -> None:
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+
+
+__all__.append("merge_bernoulli")

@@ -1,0 +1,173 @@
+"""Seeded random-number streams and the geometric sampling primitives.
+
+Every stochastic component of the library draws randomness through this
+module rather than calling :mod:`numpy.random` directly.  That gives us:
+
+* **Reproducibility** — every experiment takes a seed and produces the same
+  output for the same seed, across processes.
+* **Independent substreams** — a single experiment seed can be split into
+  arbitrarily many statistically independent child streams (one per thread,
+  per trial batch, per process stage) using ``numpy``'s ``SeedSequence``
+  spawning, so adding a new consumer of randomness never perturbs existing
+  ones.
+* **The paper's distributions as first-class samplers** — the settling
+  process consumes Bernoulli(s) swap outcomes and the shift process consumes
+  geometric shifts with ``Pr[s_i = k] = (1 - beta) * beta**k``; both are
+  provided here in scalar and vectorised forms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["RandomSource", "spawn_sources", "DEFAULT_SEED"]
+
+#: Seed used by convenience constructors when the caller does not supply one.
+DEFAULT_SEED = 0x5EED
+
+
+class RandomSource:
+    """A seeded, splittable stream of the random primitives the models need.
+
+    Parameters
+    ----------
+    seed:
+        Any value acceptable to :class:`numpy.random.SeedSequence` — an int,
+        a sequence of ints, or an existing ``SeedSequence``.  ``None`` draws
+        entropy from the OS (non-reproducible; discouraged outside
+        exploratory use).
+
+    Examples
+    --------
+    >>> src = RandomSource(7)
+    >>> flip = src.bernoulli(0.5)
+    >>> isinstance(flip, bool)
+    True
+    >>> shifts = src.geometric_array(0.5, size=4)
+    >>> shifts.shape
+    (4,)
+    """
+
+    def __init__(self, seed: int | np.random.SeedSequence | None = DEFAULT_SEED):
+        if isinstance(seed, np.random.SeedSequence):
+            self._sequence = seed
+        else:
+            self._sequence = np.random.SeedSequence(seed)
+        self._generator = np.random.Generator(np.random.PCG64(self._sequence))
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying :class:`numpy.random.Generator`."""
+        return self._generator
+
+    def spawn(self, count: int) -> list["RandomSource"]:
+        """Split off ``count`` statistically independent child sources."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [RandomSource(child) for child in self._sequence.spawn(count)]
+
+    def child(self) -> "RandomSource":
+        """Split off a single independent child source."""
+        return self.spawn(1)[0]
+
+    # ------------------------------------------------------------------
+    # Scalar primitives
+    # ------------------------------------------------------------------
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return ``True`` with the given probability.
+
+        Probabilities of exactly 0 and 1 short-circuit without consuming
+        randomness, so deterministic memory models (``s = 0`` pairs under
+        SC) do not advance the stream.
+        """
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return bool(self._generator.random() < probability)
+
+    def geometric(self, beta: float) -> int:
+        """Sample ``k >= 0`` with ``Pr[k] = (1 - beta) * beta**k``.
+
+        This is the "shift" distribution of Definition 1 in the paper; for
+        ``beta = 1/2`` it is ``Pr[k] = 2**-(k+1)``.  The distribution counts
+        *failures before the first success* of a Bernoulli(1 - beta)
+        process, hence the ``- 1`` relative to numpy's 1-based geometric.
+        """
+        _check_beta(beta)
+        if beta == 0.0:
+            return 0
+        return int(self._generator.geometric(1.0 - beta)) - 1
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """Sample an integer uniformly from ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return int(self._generator.integers(low, high + 1))
+
+    # ------------------------------------------------------------------
+    # Vectorised primitives
+    # ------------------------------------------------------------------
+
+    def bernoulli_array(self, probability: float, size: int | tuple[int, ...]) -> np.ndarray:
+        """Vectorised :meth:`bernoulli`; returns a boolean array."""
+        if probability <= 0.0:
+            return np.zeros(size, dtype=bool)
+        if probability >= 1.0:
+            return np.ones(size, dtype=bool)
+        return self._generator.random(size) < probability
+
+    def geometric_array(self, beta: float, size: int | tuple[int, ...]) -> np.ndarray:
+        """Vectorised :meth:`geometric`; returns an int64 array of shifts."""
+        _check_beta(beta)
+        if beta == 0.0:
+            return np.zeros(size, dtype=np.int64)
+        return self._generator.geometric(1.0 - beta, size=size).astype(np.int64) - 1
+
+    def type_array(self, store_probability: float, size: int) -> np.ndarray:
+        """Sample an instruction-type vector: ``True`` marks a store.
+
+        This is the program-generation primitive of §3.1.1: each of the
+        ``size`` body instructions is a ST with probability ``p``
+        independently.
+        """
+        return self.bernoulli_array(store_probability, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomSource(entropy={self._sequence.entropy!r})"
+
+
+def spawn_sources(seed: int | None, count: int) -> list[RandomSource]:
+    """Create ``count`` independent sources from one experiment seed."""
+    return RandomSource(seed).spawn(count)
+
+
+def _check_beta(beta: float) -> None:
+    if not 0.0 <= beta < 1.0:
+        raise ValueError(f"geometric ratio beta must lie in [0, 1), got {beta}")
+
+
+def iter_batches(total: int, batch_size: int) -> Iterator[int]:
+    """Yield batch sizes covering ``total`` trials in ``batch_size`` chunks.
+
+    A convenience for Monte-Carlo loops that want vectorised batches with an
+    exact total:
+
+    >>> list(iter_batches(10, 4))
+    [4, 4, 2]
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    remaining = total
+    while remaining > 0:
+        step = min(batch_size, remaining)
+        yield step
+        remaining -= step
+
+
+__all__.append("iter_batches")

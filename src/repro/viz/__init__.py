@@ -1,0 +1,11 @@
+"""Text renderings of the paper's process figures (Figures 1 and 2)."""
+
+from .settling_trace import describe_settling, render_settling_trace
+from .shift_diagram import render_shift_diagram, shift_outcome_probability
+
+__all__ = [
+    "describe_settling",
+    "render_settling_trace",
+    "render_shift_diagram",
+    "shift_outcome_probability",
+]

@@ -1,0 +1,72 @@
+"""Render a settling trace as text — the reproduction of Figure 1.
+
+Figure 1 of the paper shows the program order after each settling round
+under TSO, with the currently-settling instruction highlighted and the
+critical pair in black boxes.  :func:`render_settling_trace` produces the
+same picture as a character grid: one column per round (the state *after*
+that round), one row per program position, ``LD``/``ST`` cells, ``*``
+marking the critical pair and ``[...]`` marking the instruction that
+settled in that round.
+"""
+
+from __future__ import annotations
+
+from ..core.settling import SettlingResult
+
+__all__ = ["render_settling_trace", "describe_settling"]
+
+
+def render_settling_trace(result: SettlingResult, max_rounds: int | None = None) -> str:
+    """Draw the per-round program orders of a traced settling run.
+
+    Requires the result to have been produced with ``record_trace=True``;
+    raises otherwise.  ``max_rounds`` limits the rendered columns (the
+    final rounds are kept — they contain the critical pair's settling).
+    """
+    trace = result.trace
+    if trace is None:
+        raise ValueError("settling result carries no trace; settle with record_trace=True")
+    program = result.program
+    steps = list(trace)
+    if max_rounds is not None and len(steps) > max_rounds:
+        steps = steps[-max_rounds:]
+
+    critical = {program.length - 1, program.length}
+
+    def cell(index: int, settled: bool) -> str:
+        mnemonic = program.type_of(index).mnemonic
+        marker = "*" if index in critical else " "
+        text = f"{mnemonic}{marker}"
+        return f"[{text}]" if settled else f" {text} "
+
+    height = len(trace)  # final program length = total rounds
+    columns: list[list[str]] = []
+    headers: list[str] = []
+    for step in steps:
+        headers.append(f"r{step.round_index}")
+        column = [cell(index, index == step.round_index) for index in step.order]
+        column += ["     "] * (height - len(column))
+        columns.append(column)
+
+    width = max(len(text) for column in columns for text in column)
+    lines = ["  ".join(header.ljust(width) for header in headers).rstrip()]
+    for row in range(height):
+        lines.append("  ".join(column[row].ljust(width) for column in columns).rstrip())
+    window = result.window_indices()
+    lines.append(
+        f"critical window: positions {window[0]}..{window[-1]} "
+        f"(growth gamma = {result.window_growth})"
+    )
+    return "\n".join(lines)
+
+
+def describe_settling(result: SettlingResult) -> str:
+    """One-line summary: final order as mnemonics with the window bracketed."""
+    pieces = []
+    window = set(result.window_indices())
+    for position, index in enumerate(result.order, start=1):
+        mnemonic = result.program.type_of(index).mnemonic
+        if result.program.instruction(index).is_critical:
+            mnemonic += "*"
+        pieces.append(f"<{mnemonic}>" if position in window else mnemonic)
+    return " ".join(pieces)

@@ -1,0 +1,72 @@
+"""Render a shift-process instantiation as text — the reproduction of Figure 2.
+
+Figure 2 of the paper draws three segments of lengths (3, 2, 5) shifted to
+(8, 0, 2) on a vertical number line, notes that this particular outcome has
+probability ``2^{-8-1} · 2^{-0-1} · 2^{-2-1} = 2^{-13}``, and observes the
+disjointness event holds.  :func:`render_shift_diagram` draws the same
+diagram for any shifts/lengths and reports the outcome probability and the
+disjointness verdict.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.shift import segments_disjoint
+
+__all__ = ["render_shift_diagram", "shift_outcome_probability"]
+
+
+def shift_outcome_probability(shifts: list[int], beta: float = 0.5) -> float:
+    """Probability of one exact shift outcome: ``Π (1-β) β^{s_i}``.
+
+    Figure 2's caption: shifts (8, 0, 2) at β = 1/2 give ``2^{-13}``.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must lie in (0, 1), got {beta}")
+    if any(shift < 0 for shift in shifts):
+        raise ValueError("shifts must be non-negative")
+    return math.prod((1.0 - beta) * beta**shift for shift in shifts)
+
+
+def render_shift_diagram(
+    shifts: list[int], lengths: list[int], beta: float = 0.5
+) -> str:
+    """Draw shifted closed segments ``[s_i, s_i + γ_i]`` on a number line.
+
+    One column per segment, rows from 0 (bottom of the diagram, printed
+    last) upward; ``#`` marks covered integer points; the footer reports
+    the outcome probability and the disjointness verdict under both the
+    theorem (closed) convention and Figure 2's half-open reading.
+    """
+    if len(shifts) != len(lengths):
+        raise ValueError("shifts and lengths must have equal length")
+    if not shifts:
+        raise ValueError("need at least one segment")
+    if any(length < 0 for length in lengths):
+        raise ValueError("segment lengths must be non-negative")
+    top = max(shift + length for shift, length in zip(shifts, lengths))
+    width = max(len(f"g{i + 1}") for i in range(len(shifts)))
+
+    header = "     " + " ".join(f"g{i + 1}".center(width) for i in range(len(shifts)))
+    lines = [header]
+    for level in range(top, -1, -1):
+        cells = []
+        for shift, length in zip(shifts, lengths):
+            covered = shift <= level <= shift + length
+            cells.append(("#" * width) if covered else ("." * width))
+        lines.append(f"{level:>4} " + " ".join(cells))
+
+    probability = shift_outcome_probability(list(shifts), beta)
+    exponent = math.log(probability, beta) if 0 < beta < 1 else float("nan")
+    closed = segments_disjoint(shifts, lengths, closed=True)
+    half_open = segments_disjoint(shifts, lengths, closed=False)
+    lines.append(
+        f"outcome probability = {probability:.3e}"
+        + (f" (= beta^{exponent:.0f})" if math.isfinite(exponent) else "")
+    )
+    lines.append(
+        f"disjointness event A: {'yes' if closed else 'no'} (closed/theorem "
+        f"convention), {'yes' if half_open else 'no'} (half-open/Figure-2 reading)"
+    )
+    return "\n".join(lines)

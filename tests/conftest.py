@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PAPER_MODELS, PSO, SC, TSO, WO
+from repro.stats import RandomSource
+
+
+@pytest.fixture
+def source() -> RandomSource:
+    """A fresh deterministic randomness source per test."""
+    return RandomSource(2011)
+
+
+@pytest.fixture(params=PAPER_MODELS, ids=lambda model: model.name)
+def paper_model(request):
+    """Parametrises a test over SC, TSO, PSO, WO."""
+    return request.param
+
+
+@pytest.fixture(params=(TSO, PSO), ids=lambda model: model.name)
+def store_buffer_model(request):
+    """Parametrises over the models with the trailing-run structure."""
+    return request.param
+
+
+@pytest.fixture(params=(SC, TSO, WO), ids=lambda model: model.name)
+def theorem_41_model(request):
+    """The three models Theorem 4.1 covers explicitly."""
+    return request.param

@@ -1,0 +1,170 @@
+"""Tests for repro.analysis: sweeps, asymptotics, comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    beta_sweep,
+    compare_model_and_machine,
+    exponent_curve,
+    exponent_gap_curve,
+    limiting_exponent,
+    monte_carlo_check,
+    ordering_consistent,
+    relative_gap_two_threads,
+    settle_sweep,
+    store_probability_sweep,
+    thread_sweep,
+    window_pmf_table,
+)
+from repro.core import PAPER_MODELS, PSO, SC, TSO, WO
+
+
+class TestThreadSweep:
+    def test_row_per_thread_count(self):
+        rows = thread_sweep([2, 4, 8])
+        assert [row["n"] for row in rows] == [2, 4, 8]
+
+    def test_contains_all_models(self):
+        row = thread_sweep([2])[0]
+        for model in PAPER_MODELS:
+            assert f"ln Pr[A] {model.name}" in row
+
+    def test_values_decrease_with_n(self):
+        rows = thread_sweep([2, 8])
+        assert rows[1]["ln Pr[A] SC"] < rows[0]["ln Pr[A] SC"]
+
+    def test_sc_dominates_every_row(self):
+        for row in thread_sweep([2, 4, 16]):
+            assert row["ln Pr[A] SC"] >= row["ln Pr[A] WO"]
+
+
+class TestSettleSweep:
+    def test_zero_settle_collapses_models(self):
+        row = settle_sweep([0.0])[0]
+        values = {row[f"Pr[bug] {model.name}"] for model in PAPER_MODELS}
+        assert max(values) - min(values) < 1e-12
+
+    def test_models_separate_at_high_settle(self):
+        row = settle_sweep([0.8])[0]
+        assert row["Pr[bug] WO"] > row["Pr[bug] SC"]
+
+    def test_sc_flat_in_settle(self):
+        rows = settle_sweep([0.1, 0.9])
+        assert rows[0]["Pr[bug] SC"] == pytest.approx(rows[1]["Pr[bug] SC"])
+
+    def test_wo_bug_rate_increases_with_settle(self):
+        rows = settle_sweep([0.1, 0.5, 0.9])
+        values = [row["Pr[bug] WO"] for row in rows]
+        assert values == sorted(values)
+
+
+class TestStoreProbabilitySweep:
+    def test_sc_and_wo_flat_in_p(self):
+        rows = store_probability_sweep([0.2, 0.8])
+        for name in ("SC", "WO"):
+            assert rows[0][f"Pr[bug] {name}"] == pytest.approx(rows[1][f"Pr[bug] {name}"])
+
+    def test_tso_bug_rate_increases_with_p(self):
+        rows = store_probability_sweep([0.1, 0.5, 0.9])
+        values = [row["Pr[bug] TSO"] for row in rows]
+        assert values == sorted(values)
+
+
+class TestBetaSweep:
+    def test_survival_monotone_in_beta(self):
+        """More desynchronisation (larger beta) -> more survival, all models."""
+        rows = beta_sweep([0.1, 0.5, 0.9])
+        for model in PAPER_MODELS:
+            values = [row[f"Pr[A] {model.name}"] for row in rows]
+            assert values == sorted(values)
+
+    def test_ordering_preserved_at_every_beta(self):
+        for row in beta_sweep([0.2, 0.5, 0.8]):
+            assert row["Pr[A] WO"] <= row["Pr[A] TSO"] <= row["Pr[A] SC"]
+
+    def test_paper_beta_matches_theorem62(self):
+        row = beta_sweep([0.5])[0]
+        assert row["Pr[A] SC"] == pytest.approx(1 / 6)
+        assert row["SC/WO ratio"] == pytest.approx(9 / 7)
+
+    def test_model_gap_shrinks_with_desynchronisation(self):
+        """Heavily staggered threads blur the model distinction."""
+        rows = beta_sweep([0.2, 0.5, 0.9])
+        ratios = [row["SC/WO ratio"] for row in rows]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestWindowPmfTable:
+    def test_gamma_zero_row(self):
+        row = window_pmf_table([0])[0]
+        assert row["Pr[B] SC"] == 1.0
+        assert row["Pr[B] WO"] == pytest.approx(2 / 3)
+
+
+class TestAsymptotics:
+    def test_limiting_exponent_paper_value(self):
+        assert limiting_exponent() == pytest.approx(1.5 * math.log(2))
+
+    def test_limiting_exponent_validation(self):
+        with pytest.raises(ValueError):
+            limiting_exponent(0.0)
+
+    def test_exponent_curve_converges(self):
+        rows = exponent_curve([4, 16, 64])
+        final = rows[-1]
+        for model in PAPER_MODELS:
+            assert final[f"exponent {model.name}"] == pytest.approx(
+                final["limit"], rel=0.15
+            )
+
+    def test_gap_curve_ratio_monotone_to_one(self):
+        rows = exponent_gap_curve([2, 8, 32], weak_model=WO)
+        ratios = [row["log-ratio"] for row in rows]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 0.95
+
+    def test_gap_curve_survival_ratio_grows(self):
+        """Absolute advantage grows even as relative advantage vanishes."""
+        rows = exponent_gap_curve([2, 8, 32], weak_model=WO)
+        survival_ratios = [row["survival ratio"] for row in rows]
+        assert survival_ratios == sorted(survival_ratios)
+
+    def test_relative_gap_two_threads_paper_value(self):
+        assert relative_gap_two_threads(WO) == pytest.approx(9 / 7)
+        assert relative_gap_two_threads(SC) == pytest.approx(1.0)
+
+
+class TestMonteCarloCheck:
+    def test_rows_agree(self):
+        rows = monte_carlo_check([SC, WO], n=2, trials=60_000, seed=5)
+        assert all(row["agrees"] for row in rows)
+
+
+class TestModelMachineComparison:
+    def test_comparison_rows(self):
+        comparison = compare_model_and_machine(SC, threads=2, trials=300, seed=7,
+                                               body_length=4)
+        row = comparison.row()
+        assert row["model"] == "SC"
+        assert 0.0 <= comparison.machine_manifestation <= 1.0
+
+    def test_ordering_consistent_trivial(self):
+        a = compare_model_and_machine(SC, threads=2, trials=400, seed=9, body_length=4)
+        b = compare_model_and_machine(WO, threads=2, trials=400, seed=9, body_length=4)
+        assert ordering_consistent([a, b], tolerance=0.05)
+
+    def test_ordering_consistent_detects_flip(self):
+        a = compare_model_and_machine(SC, threads=2, trials=300, seed=11, body_length=4)
+        b = compare_model_and_machine(WO, threads=2, trials=300, seed=11, body_length=4)
+        # Swap the machine results to force an inconsistency.
+        from repro.analysis.comparison import ModelMachineComparison
+
+        swapped = [
+            ModelMachineComparison(a.model, 2, a.abstract_manifestation, b.machine),
+            ModelMachineComparison(b.model, 2, b.abstract_manifestation, a.machine),
+        ]
+        assert not ordering_consistent(swapped)

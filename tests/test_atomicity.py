@@ -1,0 +1,97 @@
+"""Tests for repro.litmus.atomicity: non-atomic store propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SC, TSO, WO
+from repro.errors import LitmusError
+from repro.litmus import enumerate_outcomes, enumerate_outcomes_non_atomic, get_test
+from repro.sim import Load, Store, ThreadProgram
+
+
+def project(outcomes, reference):
+    keys = {key for key, _ in reference}
+    return {
+        tuple(sorted((key, value) for key, value in outcome if key in keys))
+        for outcome in outcomes
+    }
+
+
+def relaxed_reachable(test, model) -> bool:
+    outcomes = enumerate_outcomes_non_atomic(list(test.programs), model)
+    return test.relaxed_outcome in project(outcomes, test.relaxed_outcome)
+
+
+class TestBasics:
+    def test_single_thread_sees_own_writes(self, source):
+        program = ThreadProgram("T0", (Store("x", value=4), Load("r1", "x")))
+        outcomes = enumerate_outcomes_non_atomic([program], SC)
+        assert outcomes == {(("T0:r1", 4),)}
+
+    def test_initial_memory(self):
+        program = ThreadProgram("T0", (Load("r1", "flag"),))
+        outcomes = enumerate_outcomes_non_atomic([program], SC, initial_memory={"flag": 2})
+        assert outcomes == {(("T0:r1", 2),)}
+
+    def test_remote_write_may_or_may_not_be_seen(self):
+        programs = [
+            ThreadProgram("T0", (Store("x", value=1),)),
+            ThreadProgram("T1", (Load("r1", "x"),)),
+        ]
+        outcomes = enumerate_outcomes_non_atomic(programs, SC)
+        assert outcomes == {(("T1:r1", 0),), (("T1:r1", 1),)}
+
+    def test_per_writer_fifo(self):
+        """A reader never sees a writer's second store before its first."""
+        programs = [
+            ThreadProgram("T0", (Store("x", value=1), Store("y", value=1))),
+            ThreadProgram("T1", (Load("r1", "y"), Load("r2", "x"))),
+        ]
+        outcomes = enumerate_outcomes_non_atomic(programs, SC)
+        assert (("T1:r1", 1), ("T1:r2", 0)) not in outcomes
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(LitmusError):
+            enumerate_outcomes_non_atomic([], SC)
+
+
+class TestScopingCheck:
+    """E15: non-atomicity is an orthogonal risk axis."""
+
+    def test_sb_allowed_without_any_reordering(self):
+        assert relaxed_reachable(get_test("SB"), SC)
+
+    def test_iriw_allowed_without_any_reordering(self):
+        assert relaxed_reachable(get_test("IRIW"), SC)
+
+    def test_wrc_allowed_without_any_reordering(self):
+        """Causality is also a multi-copy property: independent channels
+        let T2 see the republished flag before the original write."""
+        assert relaxed_reachable(get_test("WRC"), SC)
+
+    def test_mp_stays_forbidden_under_sc(self):
+        """Per-writer FIFO preserves the message-passing idiom."""
+        assert not relaxed_reachable(get_test("MP"), SC)
+
+    def test_lb_stays_forbidden_under_sc(self):
+        assert not relaxed_reachable(get_test("LB"), SC)
+
+    def test_corr_stays_forbidden_under_sc(self):
+        assert not relaxed_reachable(get_test("CoRR"), SC)
+
+    def test_mp_allowed_once_reordering_added(self):
+        """Composition: WO's reordering reopens MP even with FIFO channels."""
+        assert relaxed_reachable(get_test("MP"), WO)
+
+    def test_non_atomic_superset_of_atomic(self):
+        """Every atomic-memory outcome is reachable non-atomically too
+        (propagate every store immediately)."""
+        for name in ("SB", "MP", "LB"):
+            test = get_test(name)
+            atomic = enumerate_outcomes(list(test.programs), TSO)
+            non_atomic = enumerate_outcomes_non_atomic(list(test.programs), TSO)
+            keys = {key for key, _ in next(iter(atomic))}
+            assert project(atomic, tuple((key, 0) for key in keys)) <= project(
+                non_atomic, tuple((key, 0) for key in keys)
+            ), name

@@ -1,0 +1,96 @@
+"""Tests for the atomic fetch-and-add extension (the canonical bug's fix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    FetchAdd,
+    Load,
+    Machine,
+    SharedMemory,
+    Store,
+    ThreadProgram,
+    TSOCore,
+    canonical_increment_atomic,
+    is_memory_operation,
+    run_canonical_bug,
+)
+from repro.stats import RandomSource
+
+
+class TestFetchAddOperation:
+    def test_metadata(self):
+        op = FetchAdd("r1", "x", 5)
+        assert op.is_atomic
+        assert not op.is_load and not op.is_store
+        assert op.address == "x"
+        assert op.writes() == ("r1",)
+        assert is_memory_operation(op)
+
+    def test_default_increment(self):
+        assert FetchAdd("r1", "x").value == 1
+
+    def test_str(self):
+        assert "FETCH_ADD" in str(FetchAdd("r1", "x"))
+
+
+class TestCoreSemantics:
+    def test_sc_core_atomicity(self, source):
+        program = ThreadProgram("T0", (FetchAdd("r1", "x", 3), FetchAdd("r2", "x", 3)))
+        result = Machine("SC", [program], initial_memory={"x": 10}).run(source)
+        assert result.register("T0", "r1") == 10
+        assert result.register("T0", "r2") == 13
+        assert result.location("x") == 16
+
+    def test_tso_atomic_drains_buffer_first(self):
+        """Lock semantics: the buffered store must be visible before the RMW."""
+        memory = SharedMemory()
+        program = ThreadProgram("T0", (Store("x", value=7), FetchAdd("r1", "x", 1)))
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0)
+        cycle = 0
+        while not core.retired:
+            core.step(cycle)
+            cycle += 1
+        assert core.registers["r1"] == 7  # saw the drained store, not stale 0
+        assert memory.peek("x") == 8
+        assert core.pending_stores() == 0
+
+    def test_wo_atomic_is_a_barrier(self):
+        """No younger operation issues before the atomic, none after precede it."""
+        for seed in range(30):
+            memory = SharedMemory(log_accesses=True)
+            program = ThreadProgram(
+                "T0",
+                (Store("a", value=1), FetchAdd("r1", "x", 1), Store("b", value=1)),
+            )
+            machine = Machine("WO", [program], log_accesses=True)
+            result = machine.run(RandomSource(seed))
+            locations = [record.location for record in result.log
+                         if record.kind == "COMMIT"]
+            assert locations.index("a") < locations.index("x") < locations.index("b")
+
+
+class TestAtomicCanonicalBug:
+    @pytest.mark.parametrize("model", ["SC", "TSO", "PSO", "WO"])
+    def test_never_manifests(self, model):
+        result = run_canonical_bug(model, threads=3, trials=400, seed=7,
+                                   body_length=4, atomic=True)
+        assert result.manifestations == 0
+        assert result.final_values == {3: 400}
+
+    def test_racy_variant_still_manifests(self):
+        """Negative control: without the atomic, the bug is alive."""
+        result = run_canonical_bug("TSO", threads=2, trials=400, seed=7,
+                                   body_length=4, atomic=False)
+        assert result.manifestations > 0
+
+    def test_fenced_and_atomic_exclusive(self):
+        with pytest.raises(ValueError):
+            run_canonical_bug("SC", threads=2, trials=10, fenced=True, atomic=True)
+
+    def test_program_shape(self):
+        program = canonical_increment_atomic(0, [True, False])
+        atomics = [op for op in program if op.is_atomic]
+        assert len(atomics) == 1
+        assert len(program) == 3

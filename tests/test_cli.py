@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "ST/LD" in out
+        assert "TSO" in out
+
+    def test_window_all_models(self, capsys):
+        out = run_cli(capsys, "window", "--max-gamma", "2")
+        assert "Pr[B] SC" in out
+
+    def test_window_single_model(self, capsys):
+        out = run_cli(capsys, "window", "--model", "wo", "--max-gamma", "3")
+        assert "WO" in out
+        assert "0.66667" in out
+
+    def test_thm62_exact_only(self, capsys):
+        out = run_cli(capsys, "thm62")
+        assert "0.166667" in out
+        assert "0.129630" in out
+
+    def test_thm62_with_monte_carlo(self, capsys):
+        out = run_cli(capsys, "thm62", "--trials", "20000", "--seed", "4")
+        assert "monte carlo" in out
+
+    def test_scaling(self, capsys):
+        out = run_cli(capsys, "scaling", "--max-n", "8")
+        assert "ln Pr[A] SC" in out
+        assert "log-ratio" in out
+
+    def test_litmus_matrix(self, capsys):
+        out = run_cli(capsys, "litmus")
+        assert "SB" in out and "IRIW" in out
+
+    def test_litmus_single(self, capsys):
+        out = run_cli(capsys, "litmus", "--test", "MP")
+        assert "Message passing" in out
+        assert "forbidden" in out
+
+    def test_machine(self, capsys):
+        out = run_cli(capsys, "machine", "--model", "SC", "--trials", "50",
+                      "--body-length", "2")
+        assert "SC n=2" in out
+
+    def test_machine_atomic_never_manifests(self, capsys):
+        out = run_cli(capsys, "machine", "--model", "WO", "--trials", "100",
+                      "--atomic", "--body-length", "2")
+        assert "manifests 0.000000" in out
+
+    def test_fences(self, capsys):
+        out = run_cli(capsys, "fences", "--model", "TSO", "--distances", "0", "4")
+        assert "0.166667" in out
+
+    def test_fleet(self, capsys):
+        out = run_cli(capsys, "fleet", "SC", "WO")
+        assert "0.148148" in out
+
+    def test_fleet_approximate_flag(self, capsys):
+        out = run_cli(capsys, "fleet", "TSO", "TSO", "SC", "--approximate")
+        assert "Pr[A]" in out
+
+    def test_critical_section(self, capsys):
+        out = run_cli(capsys, "critical-section", "--lengths", "2", "4")
+        assert "SC/WO ratio" in out
+
+    def test_multibug(self, capsys):
+        out = run_cli(capsys, "multibug", "--bugs", "1", "8")
+        assert "SC/WO ratio" in out
+        assert "0.166667" in out
+
+    def test_experiments(self, capsys):
+        out = run_cli(capsys, "experiments")
+        assert "E1" in out and "E16" in out
+
+    def test_verify(self, capsys):
+        out = run_cli(capsys, "verify")
+        assert "all 11 checks passed" in out
+        assert "FAIL" not in out

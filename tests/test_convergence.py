@@ -1,0 +1,72 @@
+"""Tests for repro.stats.convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import (
+    RandomSource,
+    required_trials,
+    standard_error,
+    summarise_batches,
+)
+
+
+class TestStandardError:
+    def test_half_probability(self):
+        assert standard_error(0.5, 100) == pytest.approx(0.05)
+
+    def test_scales_with_sqrt_trials(self):
+        assert standard_error(0.5, 400) == pytest.approx(standard_error(0.5, 100) / 2)
+
+    def test_degenerate_probability(self):
+        assert standard_error(0.0, 100) == 0.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            standard_error(0.5, 0)
+
+
+class TestRequiredTrials:
+    def test_more_precision_needs_more_trials(self):
+        assert required_trials(0.5, 0.001) > required_trials(0.5, 0.01)
+
+    def test_worst_case_variance_for_unknown_probability(self):
+        assert required_trials(0.0, 0.01) == required_trials(0.5, 0.01)
+
+    def test_known_magnitude(self):
+        # z(99%) ~ 2.576; n = z^2 * 0.25 / 0.01^2 ~ 16587
+        n = required_trials(0.5, 0.01, confidence=0.99)
+        assert 16_000 < n < 17_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_trials(0.5, 0.0)
+        with pytest.raises(ValueError):
+            required_trials(0.5, 0.01, confidence=1.0)
+
+
+class TestBatchSummary:
+    def test_identical_batches_converged(self):
+        summary = summarise_batches([0.5, 0.5, 0.5], batch_trials=1000)
+        assert summary.converged
+        assert summary.max_deviation == 0.0
+
+    def test_wild_batches_flagged(self):
+        summary = summarise_batches([0.1, 0.9], batch_trials=10_000)
+        assert not summary.converged
+
+    def test_real_batches_converge(self):
+        source = RandomSource(5)
+        batches = []
+        for _ in range(8):
+            child = source.child()
+            batches.append(float(child.bernoulli_array(0.3, 5000).mean()))
+        summary = summarise_batches(batches, batch_trials=5000, confidence=0.999)
+        assert summary.converged
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarise_batches([], batch_trials=10)
+        with pytest.raises(ValueError):
+            summarise_batches([0.5], batch_trials=0)

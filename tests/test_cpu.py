@@ -1,0 +1,270 @@
+"""Tests for repro.sim.cpu: the per-model core pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    AddImmediate,
+    Fence,
+    Load,
+    LoadImmediate,
+    PSOCore,
+    SCCore,
+    Store,
+    ThreadProgram,
+    TSOCore,
+    WOCore,
+    SharedMemory,
+    make_core,
+)
+from repro.stats import RandomSource
+
+
+def run_core(core, max_cycles=10_000):
+    cycle = 0
+    while not core.done:
+        if not core.retired:
+            core.step(cycle)
+        core.background_step(cycle)
+        cycle += 1
+        assert cycle < max_cycles, "core did not finish"
+    core.flush(cycle)
+    return cycle
+
+
+class TestSCCore:
+    def test_runs_in_program_order(self, source):
+        memory = SharedMemory(log_accesses=True)
+        program = ThreadProgram(
+            "T0",
+            (Store("x", value=1), Load("r1", "x"), Store("y", value=2)),
+        )
+        core = SCCore("T0", program, memory, source)
+        run_core(core)
+        assert memory.peek("x") == 1
+        assert memory.peek("y") == 2
+        assert core.registers["r1"] == 1
+        kinds = [(record.kind, record.location) for record in memory.log]
+        assert kinds == [("COMMIT", "x"), ("READ", "x"), ("COMMIT", "y")]
+
+    def test_local_arithmetic(self, source):
+        program = ThreadProgram(
+            "T0",
+            (LoadImmediate("r1", 5), AddImmediate("r2", "r1", 3)),
+        )
+        core = SCCore("T0", program, SharedMemory(), source)
+        run_core(core)
+        assert core.registers["r2"] == 8
+
+    def test_no_pending_stores(self, source):
+        program = ThreadProgram("T0", (Store("x", value=1),))
+        core = SCCore("T0", program, SharedMemory(), source)
+        assert core.pending_stores() == 0
+        run_core(core)
+        assert core.pending_stores() == 0
+
+
+class TestTSOCore:
+    def test_store_buffer_delays_commit(self):
+        memory = SharedMemory()
+        program = ThreadProgram("T0", (Store("x", value=1), Load("r1", "y")))
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0)
+        core.step(0)  # store buffered
+        assert memory.peek("x") == 0
+        assert core.pending_stores() == 1
+        core.step(1)  # load completes while the store is still buffered
+        assert core.registers["r1"] == 0
+        core.flush(2)
+        assert memory.peek("x") == 1
+
+    def test_store_to_load_forwarding(self):
+        memory = SharedMemory(initial={"x": 99})
+        program = ThreadProgram("T0", (Store("x", value=7), Load("r1", "x")))
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0)
+        core.step(0)
+        core.step(1)
+        assert core.registers["r1"] == 7  # buffered value, not memory's 99
+
+    def test_forwarding_returns_newest_entry(self):
+        memory = SharedMemory()
+        program = ThreadProgram(
+            "T0", (Store("x", value=1), Store("x", value=2), Load("r1", "x"))
+        )
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0,
+                       buffer_capacity=4)
+        core.step(0)
+        core.step(1)
+        core.step(2)
+        assert core.registers["r1"] == 2
+
+    def test_fifo_drain_order(self):
+        memory = SharedMemory(log_accesses=True)
+        program = ThreadProgram("T0", (Store("x", value=1), Store("y", value=2)))
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0)
+        core.step(0)
+        core.step(1)
+        core.flush(2)
+        commits = [record.location for record in memory.log]
+        assert commits == ["x", "y"]
+
+    def test_fence_drains_buffer(self):
+        memory = SharedMemory()
+        program = ThreadProgram("T0", (Store("x", value=1), Fence(), Load("r1", "y")))
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0)
+        core.step(0)
+        assert core.pending_stores() == 1
+        core.step(1)  # fence stalls, draining one entry
+        assert core.pending_stores() == 0
+        assert memory.peek("x") == 1
+        core.step(2)  # fence completes
+        core.step(3)  # load
+        assert core.retired
+
+    def test_capacity_forces_drain(self):
+        memory = SharedMemory()
+        program = ThreadProgram(
+            "T0", tuple(Store(f"loc{i}", value=i + 1) for i in range(4))
+        )
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=0.0,
+                       buffer_capacity=2)
+        for cycle in range(20):
+            if core.retired:
+                break
+            core.step(cycle)
+        assert core.pending_stores() <= 2
+        assert memory.peek("loc0") == 1  # the oldest entry was force-drained
+
+    def test_background_drain(self):
+        memory = SharedMemory()
+        program = ThreadProgram("T0", (Store("x", value=1),))
+        core = TSOCore("T0", program, memory, RandomSource(0), drain_probability=1.0)
+        core.step(0)
+        core.background_step(1)
+        assert memory.peek("x") == 1
+
+    def test_option_validation(self):
+        program = ThreadProgram("T0", ())
+        with pytest.raises(SimulationError):
+            TSOCore("T0", program, SharedMemory(), RandomSource(0), drain_probability=2.0)
+        with pytest.raises(SimulationError):
+            TSOCore("T0", program, SharedMemory(), RandomSource(0), buffer_capacity=0)
+
+
+class TestPSOCore:
+    def test_cross_address_drain_can_reorder(self):
+        """With two buffered addresses, some seed drains y before x."""
+        program = ThreadProgram("T0", (Store("x", value=1), Store("y", value=2)))
+        orders = set()
+        for seed in range(40):
+            memory = SharedMemory(log_accesses=True)
+            core = PSOCore("T0", program, memory, RandomSource(seed), drain_probability=0.0)
+            core.step(0)
+            core.step(1)
+            core.flush(2)
+            orders.add(tuple(record.location for record in memory.log))
+        assert ("x", "y") in orders
+        assert ("y", "x") in orders  # the PSO relaxation in action
+
+    def test_per_address_order_preserved(self):
+        """Same-address stores drain in order on every seed."""
+        program = ThreadProgram(
+            "T0", (Store("x", value=1), Store("y", value=5), Store("x", value=2))
+        )
+        for seed in range(30):
+            memory = SharedMemory(log_accesses=True)
+            core = PSOCore("T0", program, memory, RandomSource(seed),
+                           drain_probability=0.0, buffer_capacity=8)
+            for cycle in range(3):
+                core.step(cycle)
+            core.flush(3)
+            x_commits = [record.value for record in memory.commits_to("x")]
+            assert x_commits == [1, 2]
+            assert memory.peek("x") == 2
+
+
+class TestWOCore:
+    def test_reorders_independent_operations(self):
+        """Some seed issues the second (independent) store first."""
+        program = ThreadProgram("T0", (Store("x", value=1), Store("y", value=2)))
+        orders = set()
+        for seed in range(40):
+            memory = SharedMemory(log_accesses=True)
+            core = WOCore("T0", program, memory, RandomSource(seed))
+            run_core(core)
+            orders.add(tuple(record.location for record in memory.log))
+        assert orders == {("x", "y"), ("y", "x")}
+
+    def test_respects_register_dependencies(self):
+        """loc = LD x; loc += 1; ST x = loc must execute in order."""
+        for seed in range(20):
+            memory = SharedMemory(initial={"x": 10})
+            program = ThreadProgram(
+                "T0",
+                (Load("loc", "x"), AddImmediate("loc", "loc", 1), Store("x", src="loc")),
+            )
+            core = WOCore("T0", program, memory, RandomSource(seed))
+            run_core(core)
+            assert memory.peek("x") == 11
+
+    def test_respects_same_address_order(self):
+        for seed in range(30):
+            memory = SharedMemory(log_accesses=True)
+            program = ThreadProgram("T0", (Store("x", value=1), Store("x", value=2)))
+            core = WOCore("T0", program, memory, RandomSource(seed))
+            run_core(core)
+            assert memory.peek("x") == 2
+
+    def test_fence_is_two_sided_barrier(self):
+        for seed in range(30):
+            memory = SharedMemory(log_accesses=True)
+            program = ThreadProgram(
+                "T0", (Store("x", value=1), Fence(), Store("y", value=2))
+            )
+            core = WOCore("T0", program, memory, RandomSource(seed))
+            run_core(core)
+            locations = [record.location for record in memory.log]
+            assert locations == ["x", "y"]
+
+    def test_window_limits_lookahead(self):
+        """window_size=1 degenerates to program order."""
+        memory = SharedMemory(log_accesses=True)
+        program = ThreadProgram("T0", (Store("x", value=1), Store("y", value=2)))
+        core = WOCore("T0", program, memory, RandomSource(5), window_size=1)
+        run_core(core)
+        assert [record.location for record in memory.log] == ["x", "y"]
+
+    def test_war_hazard_respected(self):
+        """An older reader of a register blocks a younger writer of it."""
+        for seed in range(20):
+            memory = SharedMemory(initial={"z": 42})
+            program = ThreadProgram(
+                "T0",
+                (
+                    LoadImmediate("r1", 1),
+                    Store("out", src="r1"),
+                    Load("r1", "z"),
+                ),
+            )
+            core = WOCore("T0", program, memory, RandomSource(seed))
+            run_core(core)
+            assert memory.peek("out") == 1  # never the clobbered 42
+
+    def test_option_validation(self):
+        with pytest.raises(SimulationError):
+            WOCore("T0", ThreadProgram("T0", ()), SharedMemory(), RandomSource(0),
+                   window_size=0)
+
+
+class TestMakeCore:
+    @pytest.mark.parametrize("name,kind", [
+        ("SC", SCCore), ("TSO", TSOCore), ("PSO", PSOCore), ("WO", WOCore), ("wo", WOCore),
+    ])
+    def test_registry(self, name, kind, source):
+        core = make_core(name, "T0", ThreadProgram("T0", ()), SharedMemory(), source)
+        assert isinstance(core, kind)
+
+    def test_unknown_model(self, source):
+        with pytest.raises(SimulationError):
+            make_core("RC", "T0", ThreadProgram("T0", ()), SharedMemory(), source)

@@ -1,0 +1,97 @@
+"""Tests for the critical-section-length generalisation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import critical_section_sweep
+from repro.core import (
+    PAPER_MODELS,
+    SC,
+    WO,
+    disjointness_iid,
+    disjointness_probability,
+    estimate_non_manifestation,
+    log_disjointness_iid,
+    non_manifestation_probability,
+    point_mass,
+    wo_window_distribution,
+)
+
+
+class TestLengthOffset:
+    def test_default_matches_paper(self):
+        explicit = non_manifestation_probability(SC, critical_section_length=2).value
+        default = non_manifestation_probability(SC).value
+        assert explicit == default == pytest.approx(1 / 6)
+
+    def test_sc_closed_form_any_length(self):
+        """SC windows of length L: Pr[A] = Theorem 5.1 on [L, L]."""
+        for length in (2, 3, 5, 9):
+            via_iid = non_manifestation_probability(
+                SC, critical_section_length=length
+            ).value
+            via_51 = disjointness_probability([length, length])
+            assert via_iid == pytest.approx(via_51, rel=1e-9), length
+
+    def test_longer_sections_are_riskier(self, paper_model):
+        values = [
+            non_manifestation_probability(
+                paper_model, critical_section_length=length
+            ).value
+            for length in (2, 3, 4, 6)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_model_ratios_invariant_in_length(self):
+        """The clean null result: L scales every model identically."""
+        for length in (3, 5, 8):
+            ratio = (
+                non_manifestation_probability(SC, critical_section_length=length).value
+                / non_manifestation_probability(WO, critical_section_length=length).value
+            )
+            assert ratio == pytest.approx(9 / 7, rel=1e-9), length
+
+    def test_exact_scaling_factor(self):
+        """Pr[A](L) = Pr[A](2) · β^{(L-2)·binom(n,2)} at n = 2: halves per step."""
+        base = non_manifestation_probability(WO).value
+        for length in (3, 4, 5):
+            value = non_manifestation_probability(
+                WO, critical_section_length=length
+            ).value
+            assert value == pytest.approx(base * 0.5 ** (length - 2), rel=1e-9)
+
+    def test_log_form_consistent(self):
+        growth = wo_window_distribution()
+        for n in (2, 4):
+            for length in (2, 5):
+                assert math.exp(log_disjointness_iid(growth, n, length_offset=length)) == (
+                    pytest.approx(disjointness_iid(growth, n, length_offset=length).value,
+                                  rel=1e-9)
+                )
+
+    def test_invalid_offset_rejected(self):
+        with pytest.raises(ValueError):
+            disjointness_iid(point_mass(0), 2, length_offset=0)
+
+    def test_monte_carlo_agreement(self):
+        exact = non_manifestation_probability(WO, critical_section_length=4).value
+        empirical = estimate_non_manifestation(
+            WO, 2, trials=150_000, seed=59, critical_section_length=4
+        )
+        assert empirical.agrees_with(exact)
+
+
+class TestSweep:
+    def test_rows_and_ratio_column(self):
+        rows = critical_section_sweep([2, 4])
+        assert [row["L"] for row in rows] == [2, 4]
+        assert rows[0]["SC/WO ratio"] == pytest.approx(9 / 7)
+        assert rows[1]["SC/WO ratio"] == pytest.approx(9 / 7)
+
+    def test_absolute_risk_grows(self):
+        rows = critical_section_sweep([2, 6])
+        for model in PAPER_MODELS:
+            assert rows[1][f"Pr[A] {model.name}"] < rows[0][f"Pr[A] {model.name}"]

@@ -1,0 +1,172 @@
+"""Tests for repro.core.distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DiscreteDistribution, geometric_distribution, point_mass
+from repro.core.distributions import ValueWithError
+from repro.errors import DistributionError, TruncationError
+
+
+class TestConstruction:
+    def test_exact_from_mapping(self):
+        dist = DiscreteDistribution.from_mapping({0: 0.25, 2: 0.75})
+        assert dist.pmf(0) == 0.25
+        assert dist.pmf(1) == 0.0
+        assert dist.pmf(2) == 0.75
+        assert dist.tail_bound == 0.0
+
+    def test_from_counts(self):
+        dist = DiscreteDistribution.from_counts({0: 3, 1: 1}, trials=4)
+        assert dist.pmf(0) == 0.75
+        assert dist.pmf(1) == 0.25
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([0.5, -0.1, 0.6])
+
+    def test_rejects_excess_mass(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([0.9, 0.3])
+
+    def test_rejects_understated_tail(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([0.5], tail_bound=0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([])
+
+    def test_rejects_negative_support_in_mapping(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution.from_mapping({-1: 1.0})
+
+    def test_from_function_truncates_with_bound(self):
+        dist = DiscreteDistribution.from_function(
+            lambda k: 0.5**(k + 1), tail_ratio=0.5, tolerance=1e-10
+        )
+        assert dist.pmf(0) == 0.5
+        assert dist.pmf(3) == 0.5**4
+        assert 0 < dist.tail_bound <= 1e-10
+
+    def test_from_function_truncation_failure(self):
+        with pytest.raises(TruncationError):
+            DiscreteDistribution.from_function(
+                lambda k: 1e-9, tail_ratio=0.999999, tolerance=1e-30, max_terms=10
+            )
+
+
+class TestQueries:
+    def test_pmf_outside_exact_support_is_zero(self):
+        assert point_mass(2).pmf(10) == 0.0
+        assert point_mass(2).pmf(-1) == 0.0
+
+    def test_pmf_beyond_truncation_raises(self):
+        dist = geometric_distribution(0.5)
+        with pytest.raises(DistributionError):
+            dist.pmf(dist.truncation_point + 5)
+
+    def test_cdf_and_tail_are_complementary(self):
+        dist = geometric_distribution(0.5)
+        below = dist.cdf(3)
+        above = dist.tail(4)
+        assert below.value + above.value == pytest.approx(1.0)
+
+    def test_cdf_exact_values(self):
+        dist = DiscreteDistribution.from_mapping({0: 0.25, 1: 0.25, 2: 0.5})
+        assert dist.cdf(1).value == pytest.approx(0.5)
+        assert dist.cdf(1).error == 0.0
+        assert dist.cdf(-1).value == 0.0
+
+    def test_mean_of_point_mass(self):
+        assert point_mass(7).mean() == 7.0
+
+    def test_mean_of_geometric(self):
+        # E = beta/(1-beta) = 1 for beta = 1/2.
+        assert geometric_distribution(0.5).mean() == pytest.approx(1.0, abs=1e-9)
+
+    def test_prefix_is_copy(self):
+        dist = point_mass(1)
+        prefix = dist.prefix
+        prefix[0] = 0.7
+        assert dist.pmf(0) == 0.0
+
+
+class TestPowerTransform:
+    def test_point_mass(self):
+        assert point_mass(3).power_transform(0.5).value == pytest.approx(0.125)
+
+    def test_geometric_closed_form(self):
+        # E[a^X] = (1-b) / (1 - a b) for X ~ Geom(b).
+        dist = geometric_distribution(0.5)
+        result = dist.power_transform(0.5)
+        assert result.value == pytest.approx(0.5 / 0.75, abs=1e-9)
+        assert result.error <= 1e-9
+
+    def test_base_one_gives_total_mass(self):
+        assert geometric_distribution(0.5).power_transform(1.0).value == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_base_zero_gives_pmf_at_zero(self):
+        assert geometric_distribution(0.5).power_transform(0.0).value == pytest.approx(0.5)
+
+    def test_base_out_of_range(self):
+        with pytest.raises(DistributionError):
+            point_mass(0).power_transform(1.5)
+
+    def test_shifted_transform(self):
+        dist = point_mass(1)
+        assert dist.shifted_power_transform(0.5, 2).value == pytest.approx(0.125)
+
+    def test_shifted_transform_negative_offset(self):
+        with pytest.raises(DistributionError):
+            point_mass(0).shifted_power_transform(0.5, -1)
+
+
+class TestComparison:
+    def test_tvd_of_identical_is_zero(self):
+        dist = geometric_distribution(0.5)
+        assert dist.total_variation_distance(dist).value == 0.0
+
+    def test_tvd_of_disjoint_point_masses_is_one(self):
+        assert point_mass(0).total_variation_distance(point_mass(3)).value == 1.0
+
+    def test_tvd_symmetric(self):
+        a = geometric_distribution(0.5)
+        b = point_mass(0)
+        assert a.total_variation_distance(b).value == pytest.approx(
+            b.total_variation_distance(a).value
+        )
+
+
+class TestValueWithError:
+    def test_agrees_within_error(self):
+        value = ValueWithError(1.0, 0.1)
+        assert value.agrees_with(1.05)
+        assert not value.agrees_with(1.2)
+
+    def test_bounds(self):
+        value = ValueWithError(2.0, 0.5)
+        assert value.low == 1.5
+        assert value.high == 2.5
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            ValueWithError(1.0, -0.1)
+
+
+class TestFactories:
+    def test_geometric_invalid_beta(self):
+        with pytest.raises(DistributionError):
+            geometric_distribution(1.0)
+
+    def test_geometric_zero_beta_is_point_mass(self):
+        dist = geometric_distribution(0.0)
+        assert dist.pmf(0) == 1.0
+
+    def test_point_mass_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            point_mass(-1)

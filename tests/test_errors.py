@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DistributionError,
+    LitmusError,
+    ModelDefinitionError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+    TruncationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception",
+    [
+        DistributionError,
+        LitmusError,
+        ModelDefinitionError,
+        ProgramError,
+        SimulationError,
+        TruncationError,
+    ],
+)
+def test_all_derive_from_repro_error(exception):
+    assert issubclass(exception, ReproError)
+    with pytest.raises(ReproError):
+        raise exception("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_library_raises_catchable_base(source):
+    """A representative library failure is catchable as ReproError."""
+    from repro.core import generate_program
+
+    with pytest.raises(ReproError):
+        generate_program(-5, source)

@@ -1,0 +1,79 @@
+"""Tests for repro.sim.executor: the canonical-bug machine experiment (E10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import run_canonical_bug
+from repro.sim.scheduler import LockStepScheduler
+
+
+class TestRunCanonicalBug:
+    def test_final_values_bounded_by_threads(self):
+        result = run_canonical_bug("SC", threads=2, trials=200, seed=1, body_length=4)
+        assert sum(result.final_values.values()) == 200
+        assert all(1 <= value <= 2 for value in result.final_values)
+
+    def test_manifestation_counts_short_counters(self):
+        result = run_canonical_bug("TSO", threads=2, trials=200, seed=2, body_length=4)
+        expected = sum(count for value, count in result.final_values.items() if value < 2)
+        assert result.manifestations == expected
+
+    def test_survival_complements_manifestation(self):
+        result = run_canonical_bug("WO", threads=2, trials=150, seed=3, body_length=4)
+        assert result.survival.estimate + result.manifestation.estimate == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        a = run_canonical_bug("TSO", threads=2, trials=100, seed=7, body_length=4)
+        b = run_canonical_bug("TSO", threads=2, trials=100, seed=7, body_length=4)
+        assert a.final_values == b.final_values
+
+    def test_weak_models_manifest_more_than_sc(self):
+        """The paper's qualitative claim on the machine substrate."""
+        sc = run_canonical_bug("SC", threads=2, trials=1500, seed=11, body_length=6)
+        wo = run_canonical_bug("WO", threads=2, trials=1500, seed=11, body_length=6)
+        tso = run_canonical_bug("TSO", threads=2, trials=1500, seed=11, body_length=6)
+        assert sc.manifestation.high < tso.manifestation.low
+        assert sc.manifestation.high < wo.manifestation.low
+
+    def test_more_threads_manifest_more(self):
+        two = run_canonical_bug("SC", threads=2, trials=1000, seed=13, body_length=4)
+        four = run_canonical_bug("SC", threads=4, trials=1000, seed=13, body_length=4)
+        assert four.manifestation.estimate > two.manifestation.estimate
+
+    def test_fences_reduce_manifestation_under_wo(self):
+        """§7: fences pin the critical pair, shrinking the window under WO."""
+        loose = run_canonical_bug("WO", threads=2, trials=2500, seed=17, body_length=6)
+        fenced = run_canonical_bug(
+            "WO", threads=2, trials=2500, seed=17, body_length=6, fenced=True
+        )
+        assert fenced.manifestation.estimate <= loose.manifestation.estimate
+
+    def test_custom_scheduler(self):
+        result = run_canonical_bug(
+            "SC", threads=2, trials=100, seed=19, body_length=2,
+            scheduler=LockStepScheduler(),
+        )
+        # Lock-step identical threads race deterministically: all trials agree.
+        assert len(result.final_values) == 1
+
+    def test_core_options_forwarded(self):
+        slow_drain = run_canonical_bug(
+            "TSO", threads=2, trials=400, seed=23, body_length=4, drain_probability=0.05
+        )
+        fast_drain = run_canonical_bug(
+            "TSO", threads=2, trials=400, seed=23, body_length=4, drain_probability=0.95
+        )
+        # Slow drains keep the critical store invisible longer: more bugs.
+        assert slow_drain.manifestation.estimate >= fast_drain.manifestation.estimate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_canonical_bug("SC", threads=1, trials=10)
+        with pytest.raises(ValueError):
+            run_canonical_bug("SC", threads=2, trials=0)
+
+    def test_str_summary(self):
+        result = run_canonical_bug("SC", threads=2, trials=50, seed=29, body_length=2)
+        text = str(result)
+        assert "SC" in text and "n=2" in text

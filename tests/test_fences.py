@@ -1,0 +1,237 @@
+"""Tests for repro.core.fences: the §7 acquire/release extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LD,
+    PSO,
+    SC,
+    ST,
+    TSO,
+    WO,
+    Barrier,
+    FencedItem,
+    InstructionType,
+    build_fenced_sequence,
+    fenced_non_manifestation,
+    fenced_window_distribution,
+    finite_run_distribution,
+    non_manifestation_probability,
+    run_length_distribution,
+    sample_fenced_window_growth,
+    settle_fenced_window,
+    window_distribution,
+)
+from repro.errors import ModelDefinitionError, ProgramError
+from repro.stats import RandomSource, run_categorical_trials
+
+
+class TestFencedItem:
+    def test_operation_item(self):
+        item = FencedItem(type=LD)
+        assert not item.is_barrier
+        assert str(item) == "LD"
+
+    def test_barrier_item(self):
+        item = FencedItem(barrier=Barrier.ACQUIRE)
+        assert item.is_barrier
+        assert str(item) == "ACQ"
+
+    def test_critical_marker(self):
+        assert str(FencedItem(type=ST, critical=True)) == "ST*"
+
+    def test_exactly_one_of_type_or_barrier(self):
+        with pytest.raises(ProgramError):
+            FencedItem()
+        with pytest.raises(ProgramError):
+            FencedItem(type=LD, barrier=Barrier.FULL)
+
+
+class TestBuildFencedSequence:
+    def test_structure(self):
+        body = [ST, LD, ST]
+        items = build_fenced_sequence(body, fence_distance=1)
+        rendered = [str(item) for item in items]
+        assert rendered == ["ST", "LD", "ACQ", "ST", "LD*", "ST*", "REL"]
+
+    def test_zero_distance_puts_fence_adjacent_to_load(self):
+        items = build_fenced_sequence([ST, ST], fence_distance=0)
+        assert [str(item) for item in items] == ["ST", "ST", "ACQ", "LD*", "ST*", "REL"]
+
+    def test_no_release(self):
+        items = build_fenced_sequence([LD], 0, add_release=False)
+        assert all(item.barrier is not Barrier.RELEASE for item in items)
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_fenced_sequence([ST], fence_distance=-1)
+        with pytest.raises(ProgramError):
+            build_fenced_sequence([ST], fence_distance=2)
+
+
+class TestFencedSettling:
+    def test_acquire_blocks_critical_load(self):
+        """With the fence adjacent to the load, the window never grows."""
+        items = build_fenced_sequence([ST] * 6, fence_distance=0)
+        source = RandomSource(1)
+        for _ in range(50):
+            assert settle_fenced_window(items, TSO, source) == 0
+
+    def test_full_barrier_blocks_too(self):
+        items = build_fenced_sequence([ST] * 6, fence_distance=0, kind=Barrier.FULL)
+        source = RandomSource(2)
+        for _ in range(50):
+            assert settle_fenced_window(items, WO, source) == 0
+
+    def test_window_bounded_by_fence_distance(self):
+        items = build_fenced_sequence([ST] * 8, fence_distance=3)
+        source = RandomSource(3)
+        for _ in range(100):
+            assert 0 <= settle_fenced_window(items, TSO, source) <= 3
+
+    def test_release_is_permeable_upward(self):
+        """A load can settle above a RELEASE (into the section from below).
+
+        Sequence: ST, REL-as-distance-0 … simplest: put the release where
+        an acquire would be and observe the window *can* grow under TSO.
+        """
+        body = [ST] * 6
+        split = len(body)
+        items = [FencedItem(type=t) for t in body]
+        items.append(FencedItem(barrier=Barrier.RELEASE))
+        items.append(FencedItem(type=InstructionType.LOAD, critical=True))
+        items.append(FencedItem(type=InstructionType.STORE, critical=True))
+        source = RandomSource(4)
+        growths = {settle_fenced_window(items, TSO, source) for _ in range(300)}
+        assert max(growths) > 0  # the load crossed the release
+
+    def test_sc_never_grows(self, source):
+        items = build_fenced_sequence([ST] * 4, fence_distance=4)
+        assert all(settle_fenced_window(items, SC, source) == 0 for _ in range(30))
+
+    def test_requires_critical_pair(self, source):
+        with pytest.raises(ProgramError):
+            settle_fenced_window([FencedItem(type=ST)], TSO, source)
+
+
+class TestFiniteRunDistribution:
+    def test_zero_rounds(self):
+        assert finite_run_distribution(0).pmf(0) == 1.0
+
+    def test_one_round(self):
+        dist = finite_run_distribution(1)
+        assert dist.pmf(0) == pytest.approx(0.5)
+        assert dist.pmf(1) == pytest.approx(0.5)
+
+    def test_mass_exact(self):
+        dist = finite_run_distribution(12)
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-12)
+        assert dist.tail_bound == 0.0
+
+    def test_converges_to_stationary(self):
+        finite = finite_run_distribution(200)
+        stationary = run_length_distribution()
+        for mu in range(8):
+            assert finite.pmf(mu) == pytest.approx(stationary.pmf(mu), abs=1e-9)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            finite_run_distribution(-1)
+
+
+class TestFencedWindowLaw:
+    def test_distance_zero_is_sc(self, paper_model):
+        dist = fenced_window_distribution(paper_model, 0)
+        assert dist.pmf(0) == 1.0
+
+    def test_support_bounded_by_distance(self, paper_model):
+        dist = fenced_window_distribution(paper_model, 4)
+        mass_within = sum(dist.pmf(gamma) for gamma in range(5))
+        assert mass_within == pytest.approx(1.0, abs=1e-9)
+
+    def test_tso_distance_one(self):
+        """k = 1: run is 0/1 each w.p. 1/2; γ = 1 needs run 1 and a climb."""
+        dist = fenced_window_distribution(TSO, 1)
+        assert dist.pmf(0) == pytest.approx(0.75)
+        assert dist.pmf(1) == pytest.approx(0.25)
+
+    def test_wo_distance_one(self):
+        """k = 1: climb i'∈{0,1} w.p. 1/2 each; γ=1 iff i'=1 and chase fails."""
+        dist = fenced_window_distribution(WO, 1)
+        assert dist.pmf(0) == pytest.approx(0.75)
+        assert dist.pmf(1) == pytest.approx(0.25)
+
+    def test_large_distance_recovers_unfenced(self, paper_model):
+        fenced = fenced_window_distribution(paper_model, 48)
+        unfenced = window_distribution(paper_model)
+        assert fenced.total_variation_distance(unfenced).value < 1e-9
+
+    def test_monotone_in_distance(self):
+        """Looser fences -> stochastically larger windows."""
+        previous_tail = 0.0
+        for distance in (1, 2, 4, 8, 16):
+            dist = fenced_window_distribution(TSO, distance)
+            tail = 1.0 - dist.pmf(0)
+            assert tail >= previous_tail - 1e-12
+            previous_tail = tail
+
+    def test_matches_reference_simulator(self, store_buffer_model):
+        exact = fenced_window_distribution(store_buffer_model, 3)
+        simulated = run_categorical_trials(
+            lambda source: sample_fenced_window_growth(
+                store_buffer_model, source, 3, body_length=32
+            ),
+            trials=30_000,
+            seed=43,
+        )
+        for gamma in range(4):
+            assert simulated.probability(gamma).contains(exact.pmf(gamma)), gamma
+
+    def test_wo_matches_reference_simulator(self):
+        exact = fenced_window_distribution(WO, 3)
+        simulated = run_categorical_trials(
+            lambda source: sample_fenced_window_growth(WO, source, 3, body_length=32),
+            trials=30_000,
+            seed=47,
+        )
+        for gamma in range(4):
+            assert simulated.probability(gamma).contains(exact.pmf(gamma)), gamma
+
+    def test_non_uniform_rejected(self):
+        from repro.core import MemoryModel
+
+        lopsided = MemoryModel("lop", [(ST, LD), (LD, LD)], {(ST, LD): 0.2, (LD, LD): 0.8})
+        with pytest.raises(ModelDefinitionError):
+            fenced_window_distribution(lopsided, 3)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            fenced_window_distribution(TSO, -1)
+
+
+class TestFencedManifestation:
+    def test_distance_zero_collapses_all_models_to_sc(self, paper_model):
+        value = fenced_non_manifestation(paper_model, 0).value
+        assert value == pytest.approx(1 / 6)
+
+    def test_fences_never_hurt(self, paper_model):
+        """§7: fewer legal reorderings -> survival at least the unfenced one."""
+        fenced = fenced_non_manifestation(paper_model, 4).value
+        unfenced = non_manifestation_probability(paper_model).value
+        assert fenced >= unfenced - 1e-12
+
+    def test_large_distance_recovers_unfenced_value(self, paper_model):
+        fenced = fenced_non_manifestation(paper_model, 48).value
+        unfenced = non_manifestation_probability(paper_model).value
+        assert fenced == pytest.approx(unfenced, abs=1e-6)
+
+    def test_ordering_preserved_at_every_distance(self):
+        """The §7 conjecture: conclusions unchanged by fences."""
+        for distance in (1, 2, 4, 8, 16):
+            values = {
+                model.name: fenced_non_manifestation(model, distance).value
+                for model in (SC, TSO, PSO, WO)
+            }
+            assert values["WO"] <= values["TSO"] <= values["PSO"] <= values["SC"] + 1e-12

@@ -1,0 +1,150 @@
+"""Tests for repro.core.heterogeneous: mixed-memory-model fleets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PSO,
+    SC,
+    TSO,
+    WO,
+    non_manifestation_probability,
+    point_mass,
+    window_distribution,
+)
+from repro.core.heterogeneous import (
+    estimate_heterogeneous_non_manifestation,
+    heterogeneous_disjointness,
+    heterogeneous_non_manifestation,
+    sample_heterogeneous_growths,
+)
+from repro.errors import ModelDefinitionError
+from repro.stats import RandomSource, wilson_interval
+
+
+class TestExactRoute:
+    def test_homogeneous_fleet_matches_existing_route(self, paper_model):
+        fleet = heterogeneous_non_manifestation([paper_model, paper_model])
+        homogeneous = non_manifestation_probability(paper_model)
+        assert fleet.value == pytest.approx(homogeneous.value, abs=1e-10)
+
+    def test_homogeneous_three_threads(self):
+        fleet = heterogeneous_non_manifestation([WO, WO, WO])
+        homogeneous = non_manifestation_probability(WO, n=3)
+        assert fleet.value == pytest.approx(homogeneous.value, rel=1e-9)
+
+    def test_two_thread_mixing_is_arithmetic_averaging(self):
+        """At n = 2 only marginal transforms enter: mixed = mean of pures."""
+        mixed = heterogeneous_non_manifestation([SC, WO]).value
+        sc = non_manifestation_probability(SC).value
+        wo = non_manifestation_probability(WO).value
+        assert mixed == pytest.approx((sc + wo) / 2, rel=1e-9)
+
+    def test_fleet_value_between_extremes(self):
+        strongest = heterogeneous_non_manifestation([SC, SC, SC]).value
+        mixed = heterogeneous_non_manifestation([SC, SC, WO]).value
+        weakest = heterogeneous_non_manifestation([WO, WO, WO]).value
+        assert weakest < mixed < strongest
+
+    def test_monotone_in_downgrades(self):
+        fleets = [[SC, SC, SC], [SC, SC, WO], [SC, WO, WO], [WO, WO, WO]]
+        values = [heterogeneous_non_manifestation(fleet).value for fleet in fleets]
+        assert values == sorted(values, reverse=True)
+
+    def test_order_of_fleet_irrelevant(self):
+        assert heterogeneous_non_manifestation([SC, WO, TSO]).value == pytest.approx(
+            heterogeneous_non_manifestation([TSO, SC, WO]).value, rel=1e-12
+        )
+
+    def test_single_thread_certain(self):
+        assert heterogeneous_disjointness([point_mass(0)]).value == 1.0
+
+    def test_disjointness_matches_theorem51_for_degenerate_laws(self):
+        from repro.core import disjointness_probability
+
+        laws = [point_mass(0), point_mass(1), point_mass(3)]
+        value = heterogeneous_disjointness(laws).value
+        assert value == pytest.approx(disjointness_probability([2, 3, 5]), rel=1e-9)
+
+    def test_coupled_pair_exact_at_n2(self):
+        # Two TSO threads at n = 2: marginals suffice, no flag needed.
+        value = heterogeneous_non_manifestation([TSO, TSO]).value
+        assert value == pytest.approx(
+            non_manifestation_probability(TSO).value, abs=1e-10
+        )
+
+    def test_coupled_trio_requires_flag(self):
+        with pytest.raises(ModelDefinitionError):
+            heterogeneous_non_manifestation([TSO, TSO, SC])
+        value = heterogeneous_non_manifestation(
+            [TSO, TSO, SC], allow_independent_approximation=True
+        )
+        assert 0 < value.value < 1
+
+    def test_single_coupled_thread_is_exact_at_any_n(self):
+        value = heterogeneous_non_manifestation([TSO, SC, WO])
+        assert 0 < value.value < 1
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_disjointness([point_mass(0)] * 11)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_non_manifestation([])
+
+
+class TestSampling:
+    def test_shape_and_sc_zeros(self, source):
+        growths = sample_heterogeneous_growths([SC, WO, TSO], source, trials=50)
+        assert growths.shape == (50, 3)
+        assert not growths[:, 0].any()
+
+    def test_marginals_match_window_laws(self, source):
+        models = [TSO, PSO, WO]
+        growths = sample_heterogeneous_growths(models, source, trials=30_000)
+        for thread, model in enumerate(models):
+            law = window_distribution(model)
+            for gamma in range(3):
+                count = int((growths[:, thread] == gamma).sum())
+                interval = wilson_interval(count, growths.shape[0], 0.999)
+                assert interval.contains(law.pmf(gamma)), (model.name, gamma)
+
+    def test_coupled_threads_correlate(self, source):
+        import numpy as np
+
+        growths = sample_heterogeneous_growths([TSO, TSO], source, trials=60_000)
+        assert np.corrcoef(growths[:, 0], growths[:, 1])[0, 1] > 0.02
+
+    def test_validation(self, source):
+        with pytest.raises(ValueError):
+            sample_heterogeneous_growths([SC], source, trials=0)
+        with pytest.raises(ValueError):
+            sample_heterogeneous_growths([], source, trials=5)
+
+    def test_non_uniform_model_rejected(self, source):
+        from repro.core import LD, ST, MemoryModel
+
+        lopsided = MemoryModel("lop", [(ST, LD), (ST, ST)], {(ST, LD): 0.1, (ST, ST): 0.9})
+        with pytest.raises(ModelDefinitionError):
+            sample_heterogeneous_growths([lopsided, SC], source, trials=5)
+
+
+class TestMonteCarloRoute:
+    @pytest.mark.parametrize("fleet", [
+        [SC, WO], [SC, TSO], [WO, PSO], [SC, SC, WO],
+    ], ids=lambda fleet: "+".join(model.name for model in fleet))
+    def test_agrees_with_exact(self, fleet):
+        exact = heterogeneous_non_manifestation(fleet).value
+        empirical = estimate_heterogeneous_non_manifestation(fleet, trials=150_000, seed=53)
+        assert empirical.agrees_with(exact), f"{exact} vs {empirical}"
+
+    def test_needs_two_threads(self):
+        with pytest.raises(ValueError):
+            estimate_heterogeneous_non_manifestation([SC], trials=100)
+
+    def test_reproducible(self):
+        a = estimate_heterogeneous_non_manifestation([SC, WO], trials=5000, seed=9)
+        b = estimate_heterogeneous_non_manifestation([SC, WO], trials=5000, seed=9)
+        assert a.successes == b.successes

@@ -1,0 +1,178 @@
+"""Tests for repro.core.instructions: the §3.1.1 program model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LD,
+    ST,
+    Instruction,
+    InstructionType,
+    Program,
+    generate_program,
+    program_from_types,
+)
+from repro.core.instructions import CRITICAL_LOCATION
+from repro.errors import ProgramError
+from repro.stats import RandomSource
+
+
+class TestInstructionType:
+    def test_mnemonics_match_paper(self):
+        assert InstructionType.LOAD.mnemonic == "LD"
+        assert InstructionType.STORE.mnemonic == "ST"
+
+    def test_aliases(self):
+        assert LD is InstructionType.LOAD
+        assert ST is InstructionType.STORE
+
+
+class TestProgramFromTypes:
+    def test_structure(self):
+        program = program_from_types("SLS")
+        assert program.body_length == 3
+        assert program.length == 5
+        assert program.critical_load.is_load
+        assert program.critical_store.is_store
+
+    def test_critical_pair_shares_location(self):
+        program = program_from_types("L")
+        assert program.critical_load.location == CRITICAL_LOCATION
+        assert program.critical_store.location == CRITICAL_LOCATION
+
+    def test_body_types_respected(self):
+        program = program_from_types("SLS")
+        assert program.type_of(1) is ST
+        assert program.type_of(2) is LD
+        assert program.type_of(3) is ST
+
+    def test_empty_body_allowed(self):
+        program = program_from_types("")
+        assert program.body_length == 0
+        assert program.length == 2
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ProgramError):
+            program_from_types("SXL")
+
+    def test_case_insensitive(self):
+        assert program_from_types("sls").types() == program_from_types("SLS").types()
+
+    def test_body_locations_distinct(self):
+        program = program_from_types("SSSS")
+        locations = [instr.location for instr in program.instructions[:-2]]
+        assert len(set(locations)) == 4
+
+    def test_store_count_and_mask(self):
+        program = program_from_types("SLSSL")
+        assert program.store_count() == 3
+        assert list(program.body_store_mask()) == [True, False, True, True, False]
+
+
+class TestProgramValidation:
+    def _critical_pair(self, start_index: int):
+        return [
+            Instruction(start_index, LD, CRITICAL_LOCATION, is_critical=True),
+            Instruction(start_index + 1, ST, CRITICAL_LOCATION, is_critical=True),
+        ]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([Instruction(1, LD, "X", is_critical=True)])
+
+    def test_missing_critical_pair_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([Instruction(1, LD, "a1"), Instruction(2, ST, "a2")])
+
+    def test_critical_pair_wrong_order_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [
+                    Instruction(1, ST, CRITICAL_LOCATION, is_critical=True),
+                    Instruction(2, LD, CRITICAL_LOCATION, is_critical=True),
+                ]
+            )
+
+    def test_critical_pair_different_locations_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [
+                    Instruction(1, LD, "X", is_critical=True),
+                    Instruction(2, ST, "Y", is_critical=True),
+                ]
+            )
+
+    def test_duplicate_body_locations_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [
+                    Instruction(1, LD, "a", is_critical=False),
+                    Instruction(2, ST, "a", is_critical=False),
+                ]
+                + self._critical_pair(3)
+            )
+
+    def test_body_touching_critical_location_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [Instruction(1, LD, CRITICAL_LOCATION)] + self._critical_pair(2)
+            )
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [Instruction(5, LD, "a1")] + self._critical_pair(2)
+            )
+
+    def test_index_lookup_bounds(self):
+        program = program_from_types("S")
+        with pytest.raises(ProgramError):
+            program.instruction(0)
+        with pytest.raises(ProgramError):
+            program.instruction(4)
+
+
+class TestGeneration:
+    def test_length(self, source):
+        program = generate_program(10, source)
+        assert program.body_length == 10
+
+    def test_store_probability_extremes(self, source):
+        all_stores = generate_program(20, source, store_probability=1.0)
+        assert all(instr.is_store for instr in all_stores.instructions[:-2])
+        all_loads = generate_program(20, source, store_probability=0.0)
+        assert all(instr.is_load for instr in all_loads.instructions[:-2])
+
+    def test_store_fraction_near_p(self, source):
+        program = generate_program(5000, source, store_probability=0.3)
+        assert abs(program.store_count() / 5000 - 0.3) < 0.03
+
+    def test_reproducible(self):
+        a = generate_program(50, RandomSource(1))
+        b = generate_program(50, RandomSource(1))
+        assert a == b
+
+    def test_negative_length_rejected(self, source):
+        with pytest.raises(ProgramError):
+            generate_program(-1, source)
+
+    def test_invalid_probability_rejected(self, source):
+        with pytest.raises(ProgramError):
+            generate_program(5, source, store_probability=1.5)
+
+
+class TestProgramDunder:
+    def test_iteration_and_len(self):
+        program = program_from_types("SL")
+        assert len(program) == 4
+        assert len(list(program)) == 4
+
+    def test_equality_and_hash(self):
+        assert program_from_types("SL") == program_from_types("SL")
+        assert program_from_types("SL") != program_from_types("LS")
+        assert hash(program_from_types("SL")) == hash(program_from_types("SL"))
+
+    def test_str_marks_critical(self):
+        text = str(program_from_types("S"))
+        assert "LD*" in text and "ST*" in text

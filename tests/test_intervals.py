@@ -1,0 +1,109 @@
+"""Tests for repro.stats.intervals: quantiles and binomial intervals."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import (
+    clopper_pearson_interval,
+    normal_quantile,
+    wilson_interval,
+)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize("p", [0.001, 0.01, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.999])
+    def test_matches_scipy(self, p):
+        assert normal_quantile(p) == pytest.approx(scipy_stats.norm.ppf(p), abs=1e-9)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.2) == pytest.approx(-normal_quantile(0.8), abs=1e-12)
+
+    def test_median_is_zero(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959963985, abs=1e-8)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.1])
+    def test_domain(self, p):
+        with pytest.raises(ValueError):
+            normal_quantile(p)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        result = wilson_interval(30, 100)
+        assert result.low < result.estimate < result.high
+
+    def test_matches_closed_form(self):
+        """Check against the textbook Wilson formula at z = 1.96-ish."""
+        result = wilson_interval(40, 100, confidence=0.95)
+        z = normal_quantile(0.975)
+        p = 0.4
+        centre = (p + z * z / 200) / (1 + z * z / 100)
+        spread = z / (1 + z * z / 100) * math.sqrt(p * (1 - p) / 100 + z * z / 40000)
+        assert result.low == pytest.approx(centre - spread, abs=1e-12)
+        assert result.high == pytest.approx(centre + spread, abs=1e-12)
+
+    def test_extreme_counts_stay_in_unit_interval(self):
+        assert wilson_interval(0, 10).low == pytest.approx(0.0, abs=1e-12)
+        assert wilson_interval(10, 10).high == pytest.approx(1.0, abs=1e-12)
+        assert wilson_interval(0, 10).low >= 0.0
+        assert wilson_interval(10, 10).high <= 1.0
+
+    def test_shrinks_with_trials(self):
+        small = wilson_interval(10, 20)
+        large = wilson_interval(10_000, 20_000)
+        assert large.half_width < small.half_width
+
+    def test_higher_confidence_is_wider(self):
+        narrow = wilson_interval(50, 200, confidence=0.9)
+        wide = wilson_interval(50, 200, confidence=0.999)
+        assert wide.half_width > narrow.half_width
+
+    def test_contains_method(self):
+        result = wilson_interval(50, 100)
+        assert result.contains(0.5)
+        assert not result.contains(0.9)
+
+    @pytest.mark.parametrize(
+        "successes,trials,confidence",
+        [(-1, 10, 0.9), (11, 10, 0.9), (5, 0, 0.9), (5, 10, 0.0), (5, 10, 1.0)],
+    )
+    def test_validation(self, successes, trials, confidence):
+        with pytest.raises(ValueError):
+            wilson_interval(successes, trials, confidence)
+
+    def test_str_mentions_counts(self):
+        text = str(wilson_interval(3, 7))
+        assert "3/7" in text
+
+
+class TestClopperPearson:
+    @pytest.mark.parametrize("successes,trials", [(0, 10), (3, 10), (10, 10), (250, 1000)])
+    def test_matches_scipy_beta_quantiles(self, successes, trials):
+        result = clopper_pearson_interval(successes, trials, confidence=0.95)
+        if successes > 0:
+            expected_low = scipy_stats.beta.ppf(0.025, successes, trials - successes + 1)
+            assert result.low == pytest.approx(expected_low, abs=1e-6)
+        else:
+            assert result.low == 0.0
+        if successes < trials:
+            expected_high = scipy_stats.beta.ppf(0.975, successes + 1, trials - successes)
+            assert result.high == pytest.approx(expected_high, abs=1e-6)
+        else:
+            assert result.high == 1.0
+
+    def test_conservative_versus_wilson(self):
+        exact = clopper_pearson_interval(30, 100)
+        wilson = wilson_interval(30, 100)
+        assert exact.low <= wilson.low + 1e-9
+        assert exact.high >= wilson.high - 1e-9
+
+    def test_contains_truth_for_typical_case(self):
+        result = clopper_pearson_interval(166, 1000, confidence=0.99)
+        assert result.contains(1 / 6)

@@ -1,0 +1,96 @@
+"""Tests for repro.sim.isa."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Add,
+    AddImmediate,
+    Fence,
+    Load,
+    LoadImmediate,
+    Nop,
+    Store,
+    ThreadProgram,
+    is_memory_operation,
+)
+
+
+class TestOperations:
+    def test_load_metadata(self):
+        load = Load("r1", "x")
+        assert load.is_load and not load.is_store
+        assert load.address == "x"
+        assert load.writes() == ("r1",)
+        assert load.reads() == ()
+
+    def test_store_with_register(self):
+        store = Store("x", src="r1")
+        assert store.is_store
+        assert store.reads() == ("r1",)
+        assert store.address == "x"
+
+    def test_store_with_immediate(self):
+        store = Store("x", value=7)
+        assert store.reads() == ()
+
+    def test_store_needs_exactly_one_source(self):
+        with pytest.raises(SimulationError):
+            Store("x")
+        with pytest.raises(SimulationError):
+            Store("x", src="r1", value=3)
+
+    def test_local_operations_have_no_address(self):
+        assert LoadImmediate("r1", 3).address is None
+        assert Add("r3", "r1", "r2").address is None
+        assert AddImmediate("r2", "r1", 1).address is None
+        assert Nop().address is None
+
+    def test_add_dependencies(self):
+        add = Add("r3", "r1", "r2")
+        assert set(add.reads()) == {"r1", "r2"}
+        assert add.writes() == ("r3",)
+
+    def test_fence_flags(self):
+        fence = Fence()
+        assert fence.is_fence
+        assert not is_memory_operation(fence)
+
+    def test_memory_operation_predicate(self):
+        assert is_memory_operation(Load("r1", "x"))
+        assert is_memory_operation(Store("x", value=1))
+        assert not is_memory_operation(Nop())
+
+    def test_str_forms(self):
+        assert str(Load("r1", "x")) == "r1 = LD x"
+        assert str(Store("x", value=2)) == "ST x = 2"
+        assert str(Fence()) == "FENCE"
+
+
+class TestThreadProgram:
+    def test_len_and_iteration(self):
+        program = ThreadProgram("T0", (Load("r1", "x"), Store("y", value=1)))
+        assert len(program) == 2
+        assert [op.address for op in program] == ["x", "y"]
+
+    def test_memory_operations_filter(self):
+        program = ThreadProgram(
+            "T0", (Load("r1", "x"), AddImmediate("r1", "r1", 1), Store("x", src="r1"))
+        )
+        assert len(program.memory_operations()) == 2
+
+    def test_registers_collected(self):
+        program = ThreadProgram(
+            "T0", (Load("loc", "x"), AddImmediate("loc", "loc", 1), Store("x", src="loc"))
+        )
+        assert program.registers() == {"loc"}
+
+    def test_str_contains_name(self):
+        program = ThreadProgram("T7", (Nop(),))
+        assert "T7" in str(program)
+
+    def test_operations_coerced_to_tuple(self):
+        program = ThreadProgram("T0", [Nop()])
+        assert isinstance(program.operations, tuple)

@@ -1,0 +1,151 @@
+"""Tests for repro.litmus: legal reorderings, enumeration, verdicts (E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PAPER_MODELS, PSO, SC, TSO, WO
+from repro.errors import LitmusError
+from repro.litmus import (
+    ALL_TESTS,
+    LitmusTest,
+    check_all,
+    check_test,
+    enumerate_outcomes,
+    get_test,
+    legal_reorderings,
+    outcome_to_string,
+)
+from repro.sim import AddImmediate, Load, Store, ThreadProgram
+
+
+class TestLegalReorderings:
+    def test_sc_only_identity(self):
+        program = ThreadProgram("T0", (Store("x", value=1), Load("r1", "y")))
+        orders = legal_reorderings(program, SC)
+        assert len(orders) == 1
+        assert orders[0] == program.operations
+
+    def test_tso_allows_load_before_store(self):
+        program = ThreadProgram("T0", (Store("x", value=1), Load("r1", "y")))
+        orders = legal_reorderings(program, TSO)
+        assert len(orders) == 2
+
+    def test_tso_forbids_store_past_load(self):
+        program = ThreadProgram("T0", (Load("r1", "y"), Store("x", value=1)))
+        assert len(legal_reorderings(program, TSO)) == 1
+
+    def test_same_address_never_reorders(self):
+        program = ThreadProgram("T0", (Store("x", value=1), Load("r1", "x")))
+        for model in PAPER_MODELS:
+            assert len(legal_reorderings(program, model)) == 1
+
+    def test_register_dependency_blocks_reordering(self):
+        program = ThreadProgram("T0", (Load("r1", "x"), Store("y", src="r1")))
+        assert len(legal_reorderings(program, WO)) == 1
+
+    def test_wo_allows_all_independent_permutations(self):
+        program = ThreadProgram(
+            "T0", (Load("r1", "x"), Load("r2", "y"), Store("z", value=1))
+        )
+        assert len(legal_reorderings(program, WO)) == 6
+
+    def test_pso_store_store(self):
+        program = ThreadProgram("T0", (Store("x", value=1), Store("y", value=2)))
+        assert len(legal_reorderings(program, TSO)) == 1
+        assert len(legal_reorderings(program, PSO)) == 2
+
+    def test_local_operations_rejected(self):
+        program = ThreadProgram("T0", (AddImmediate("r1", "r1", 1),))
+        with pytest.raises(LitmusError):
+            legal_reorderings(program, SC)
+
+    def test_identity_always_present(self, paper_model):
+        program = ThreadProgram(
+            "T0", (Store("a", value=1), Load("r1", "b"), Store("c", value=2))
+        )
+        orders = legal_reorderings(program, paper_model)
+        assert program.operations in orders
+
+
+class TestEnumerateOutcomes:
+    def test_single_thread_single_outcome(self):
+        program = ThreadProgram("T0", (Store("x", value=1), Load("r1", "x")))
+        outcomes = enumerate_outcomes([program], SC)
+        assert outcomes == {(("T0:r1", 1),)}
+
+    def test_initial_memory_respected(self):
+        program = ThreadProgram("T0", (Load("r1", "x"),))
+        outcomes = enumerate_outcomes([program], SC, initial_memory={"x": 5})
+        assert outcomes == {(("T0:r1", 5),)}
+
+    def test_observed_locations_included(self):
+        program = ThreadProgram("T0", (Store("x", value=3),))
+        outcomes = enumerate_outcomes([program], SC, observed_locations=("x", "y"))
+        assert outcomes == {(("mem:x", 3), ("mem:y", 0))}
+
+    def test_outcomes_monotone_in_model_weakness(self):
+        """A weaker model reaches a superset of outcomes for every test."""
+        for test in ALL_TESTS:
+            previous: set | None = None
+            for model in PAPER_MODELS:  # strongest first
+                outcomes = enumerate_outcomes(
+                    list(test.programs), model,
+                    initial_memory=test.initial_memory,
+                    observed_locations=test.observed_locations,
+                )
+                if previous is not None:
+                    assert previous <= outcomes, f"{test.name} under {model.name}"
+                previous = outcomes
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(LitmusError):
+            enumerate_outcomes([], SC)
+
+    def test_store_from_register(self):
+        programs = [
+            ThreadProgram("T0", (Load("r1", "x"), Store("y", src="r1"))),
+        ]
+        outcomes = enumerate_outcomes(programs, SC, initial_memory={"x": 9},
+                                      observed_locations=("y",))
+        assert outcomes == {(("T0:r1", 9), ("mem:y", 9))}
+
+
+class TestVerdicts:
+    def test_every_pair_matches_literature(self):
+        """The headline E11 assertion: 24/24 verdicts agree."""
+        for verdict in check_all():
+            assert verdict.matches_literature, str(verdict)
+
+    @pytest.mark.parametrize("name,model,expected", [
+        ("SB", SC, False), ("SB", TSO, True),
+        ("MP", TSO, False), ("MP", PSO, True),
+        ("LB", PSO, False), ("LB", WO, True),
+        ("CoRR", WO, False),
+        ("2+2W", TSO, False), ("2+2W", PSO, True),
+        ("IRIW", PSO, False), ("IRIW", WO, True),
+        ("S", TSO, False), ("S", PSO, True),
+        ("R", SC, False), ("R", TSO, True),
+        ("WRC", PSO, False), ("WRC", WO, True),
+    ])
+    def test_selected_verdicts(self, name, model, expected):
+        verdict = check_test(get_test(name), model)
+        assert verdict.relaxed_reachable == expected
+
+    def test_verdict_str(self):
+        verdict = check_test(get_test("SB"), SC)
+        assert "SB" in str(verdict) and "forbidden" in str(verdict)
+
+    def test_get_test_unknown(self):
+        with pytest.raises(KeyError):
+            get_test("nonsense")
+
+    def test_get_test_case_insensitive(self):
+        assert get_test("sb").name == "SB"
+
+    def test_outcome_to_string(self):
+        assert outcome_to_string((("T0:r1", 0), ("T1:r2", 1))) == "T0:r1=0 T1:r2=1"
+
+    def test_check_all_subset(self):
+        verdicts = check_all(tests=[get_test("SB")], models=(SC, TSO))
+        assert len(verdicts) == 2

@@ -1,0 +1,73 @@
+"""Tests for fence support in the litmus substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PAPER_MODELS, SC, TSO, WO
+from repro.litmus import (
+    MESSAGE_PASSING_FENCED,
+    STORE_BUFFERING_FENCED,
+    STORE_BUFFERING_HALF_FENCED,
+    check_all,
+    check_test,
+    legal_reorderings,
+)
+from repro.sim import Fence, Load, Store, ThreadProgram
+
+
+class TestFenceReordering:
+    def test_fence_pins_everything(self, paper_model):
+        program = ThreadProgram(
+            "T0", (Store("x", value=1), Fence(), Load("r1", "y"))
+        )
+        orders = legal_reorderings(program, paper_model)
+        assert len(orders) == 1
+
+    def test_fence_only_blocks_crossing(self):
+        """Operations on the same side of a fence still reorder."""
+        program = ThreadProgram(
+            "T0",
+            (Store("x", value=1), Load("r1", "y"), Fence(), Store("z", value=1)),
+        )
+        orders = legal_reorderings(program, TSO)
+        assert len(orders) == 2  # the (ST x, LD y) swap before the fence
+
+    def test_fence_never_moves(self):
+        program = ThreadProgram("T0", (Fence(), Load("r1", "x"), Load("r2", "y")))
+        for order in legal_reorderings(program, WO):
+            assert order[0].is_fence
+
+
+class TestFencedLitmusVerdicts:
+    def test_fully_fenced_sb_forbidden_everywhere(self):
+        for model in PAPER_MODELS:
+            verdict = check_test(STORE_BUFFERING_FENCED, model)
+            assert not verdict.relaxed_reachable, model.name
+            assert verdict.matches_literature
+
+    def test_half_fenced_sb_still_relaxed(self):
+        """Fencing one thread is not enough — the classic pitfall."""
+        verdict = check_test(STORE_BUFFERING_HALF_FENCED, TSO)
+        assert verdict.relaxed_reachable
+        assert verdict.matches_literature
+        assert not check_test(STORE_BUFFERING_HALF_FENCED, SC).relaxed_reachable
+
+    def test_fenced_mp_restored_under_wo(self):
+        verdict = check_test(MESSAGE_PASSING_FENCED, WO)
+        assert not verdict.relaxed_reachable
+        assert verdict.matches_literature
+
+    def test_all_fenced_verdicts_match(self):
+        fenced_tests = [
+            STORE_BUFFERING_FENCED,
+            STORE_BUFFERING_HALF_FENCED,
+            MESSAGE_PASSING_FENCED,
+        ]
+        for verdict in check_all(tests=fenced_tests):
+            assert verdict.matches_literature, str(verdict)
+
+    def test_fence_reduces_outcome_count(self):
+        unfenced = check_test(STORE_BUFFERING_HALF_FENCED, WO)
+        fenced = check_test(STORE_BUFFERING_FENCED, WO)
+        assert len(fenced.outcomes) <= len(unfenced.outcomes)

@@ -1,0 +1,135 @@
+"""Tests for repro.sim.machine and repro.sim.scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    GeometricLaunchScheduler,
+    Load,
+    LockStepScheduler,
+    Machine,
+    RandomScheduler,
+    Store,
+    ThreadProgram,
+)
+from repro.stats import RandomSource
+
+
+class TestMachineBasics:
+    def test_single_thread_runs_to_completion(self, source):
+        program = ThreadProgram("T0", (Store("x", value=3), Load("r1", "x")))
+        result = Machine("SC", [program]).run(source)
+        assert result.location("x") == 3
+        assert result.register("T0", "r1") == 3
+        assert result.cycles >= 2
+
+    def test_initial_memory_respected(self, source):
+        program = ThreadProgram("T0", (Load("r1", "flag"),))
+        result = Machine("SC", [program], initial_memory={"flag": 9}).run(source)
+        assert result.register("T0", "r1") == 9
+
+    def test_unwritten_locations_read_zero(self, source):
+        program = ThreadProgram("T0", (Load("r1", "nowhere"),))
+        result = Machine("TSO", [program]).run(source)
+        assert result.register("T0", "r1") == 0
+
+    def test_needs_programs(self):
+        with pytest.raises(SimulationError):
+            Machine("SC", [])
+
+    def test_access_log_optional(self, source):
+        program = ThreadProgram("T0", (Store("x", value=1),))
+        bare = Machine("SC", [program]).run(source.child())
+        logged = Machine("SC", [program], log_accesses=True).run(source.child())
+        assert bare.log == []
+        assert len(logged.log) == 1
+
+    def test_buffers_flushed_at_exit(self, source):
+        """A TSO store with drain probability 0 still reaches memory."""
+        program = ThreadProgram("T0", (Store("x", value=5),))
+        result = Machine("TSO", [program], drain_probability=0.0).run(source)
+        assert result.location("x") == 5
+
+    def test_reproducible(self):
+        programs = [
+            ThreadProgram("T0", (Store("x", value=1), Load("r1", "y"))),
+            ThreadProgram("T1", (Store("y", value=1), Load("r2", "x"))),
+        ]
+        a = Machine("TSO", programs).run(RandomSource(3))
+        b = Machine("TSO", programs).run(RandomSource(3))
+        assert a.registers == b.registers
+
+    def test_two_threads_communicate(self, source):
+        """A lock-step SC machine: T1's late load sees T0's early store."""
+        programs = [
+            ThreadProgram("T0", (Store("flag", value=1),)),
+            ThreadProgram("T1", (Load("r0", "pad"), Load("r1", "flag"))),
+        ]
+        result = Machine("SC", programs, scheduler=LockStepScheduler()).run(source)
+        assert result.register("T1", "r1") == 1
+
+
+class TestSchedulers:
+    def test_lockstep_always_schedules(self, source):
+        scheduler = LockStepScheduler()
+        assert all(scheduler.scheduled(i, c, source) for i in range(4) for c in range(4))
+
+    def test_random_scheduler_rate_validation(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(0.0)
+        with pytest.raises(ValueError):
+            RandomScheduler(1.5)
+
+    def test_random_scheduler_mixes(self, source):
+        scheduler = RandomScheduler(0.5)
+        decisions = [scheduler.scheduled(0, c, source) for c in range(200)]
+        assert any(decisions) and not all(decisions)
+
+    def test_geometric_launch_delays(self, source):
+        scheduler = GeometricLaunchScheduler(beta=0.5)
+        scheduler.prepare(8, source)
+        delays = scheduler.delays
+        assert len(delays) == 8
+        assert all(delay >= 0 for delay in delays)
+        for index, delay in enumerate(delays):
+            if delay > 0:
+                assert not scheduler.scheduled(index, delay - 1, source)
+            assert scheduler.scheduled(index, delay, source)
+
+    def test_geometric_launch_zero_beta_starts_immediately(self, source):
+        scheduler = GeometricLaunchScheduler(beta=0.0)
+        scheduler.prepare(3, source)
+        assert scheduler.delays == [0, 0, 0]
+
+    def test_geometric_beta_validation(self):
+        with pytest.raises(ValueError):
+            GeometricLaunchScheduler(beta=1.0)
+
+    def test_machine_with_geometric_scheduler_completes(self, source):
+        programs = [
+            ThreadProgram("T0", (Store("x", value=1),)),
+            ThreadProgram("T1", (Load("r1", "x"),)),
+        ]
+        result = Machine("WO", programs, scheduler=GeometricLaunchScheduler()).run(source)
+        assert result.location("x") == 1
+
+
+class TestStoreBuffering:
+    def test_sb_relaxed_outcome_reachable_on_tso_machine(self):
+        """The machine exhibits SB's r1 = r2 = 0 under TSO but not SC."""
+        programs = [
+            ThreadProgram("T0", (Store("x", value=1), Load("r1", "y"))),
+            ThreadProgram("T1", (Store("y", value=1), Load("r2", "x"))),
+        ]
+
+        def outcomes(model: str, seeds: int) -> set[tuple[int, int]]:
+            seen = set()
+            for seed in range(seeds):
+                result = Machine(model, programs).run(RandomSource(seed))
+                seen.add((result.register("T0", "r1"), result.register("T1", "r2")))
+            return seen
+
+        assert (0, 0) in outcomes("TSO", 60)
+        assert (0, 0) not in outcomes("SC", 60)

@@ -1,0 +1,232 @@
+"""Tests for repro.core.manifestation: the joined model (Theorems 6.2, 6.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    PSO,
+    SC,
+    TSO,
+    WO,
+    asymptotic_exponent,
+    estimate_non_manifestation,
+    estimate_non_manifestation_rao_blackwell,
+    log_non_manifestation,
+    manifestation_probability,
+    non_manifestation_probability,
+    theorem_62_reference,
+    tso_two_thread_bounds,
+)
+from repro.errors import ModelDefinitionError
+
+
+class TestTheorem62:
+    """The paper's two-thread table (experiment E8)."""
+
+    def test_sc_exact(self):
+        assert non_manifestation_probability(SC).value == pytest.approx(1 / 6)
+
+    def test_wo_exact(self):
+        assert non_manifestation_probability(WO).value == pytest.approx(7 / 54)
+
+    def test_tso_within_published_bounds(self):
+        lower, upper = tso_two_thread_bounds()
+        value = non_manifestation_probability(TSO).value
+        assert lower < value < upper
+
+    def test_tso_bounds_match_stated_decimals(self):
+        lower, upper = tso_two_thread_bounds()
+        assert lower == pytest.approx(0.13151927, abs=1e-6)
+        assert upper == pytest.approx(0.13681028, abs=1e-6)
+
+    def test_ordering_sc_strongest(self):
+        """SC survives most; WO least among the paper's three (n = 2)."""
+        sc = non_manifestation_probability(SC).value
+        tso = non_manifestation_probability(TSO).value
+        wo = non_manifestation_probability(WO).value
+        assert sc > tso > wo
+
+    def test_tso_closer_to_wo_than_sc(self):
+        """The paper's remark: TSO's value is substantially closer to WO."""
+        sc = non_manifestation_probability(SC).value
+        tso = non_manifestation_probability(TSO).value
+        wo = non_manifestation_probability(WO).value
+        assert abs(tso - wo) < abs(tso - sc)
+
+    def test_pso_between_tso_and_sc(self):
+        """E12: the store-chase makes PSO safer than TSO in this model."""
+        pso = non_manifestation_probability(PSO).value
+        assert non_manifestation_probability(TSO).value < pso
+        assert pso < non_manifestation_probability(SC).value
+
+    def test_sc_to_wo_ratio_is_nine_sevenths(self):
+        """The paper: (1/6) / (7/54) = 9/7."""
+        ratio = (
+            non_manifestation_probability(SC).value
+            / non_manifestation_probability(WO).value
+        )
+        assert ratio == pytest.approx(9 / 7)
+
+    def test_reference_table(self):
+        reference = theorem_62_reference()
+        assert reference["SC"] == pytest.approx(1 / 6)
+        assert reference["WO"] == pytest.approx(7 / 54)
+        assert reference["TSO"] == tso_two_thread_bounds()
+
+    def test_manifestation_is_complement(self, paper_model):
+        survive = non_manifestation_probability(paper_model).value
+        manifest = manifestation_probability(paper_model).value
+        assert survive + manifest == pytest.approx(1.0)
+
+
+class TestManifestationBounds:
+    def test_tight_at_two_threads(self, paper_model):
+        from repro.core import manifestation_bounds
+
+        low, high = manifestation_bounds(paper_model, 2)
+        exact = manifestation_probability(paper_model).value
+        assert low == pytest.approx(exact)
+        assert high == pytest.approx(exact)
+
+    def test_bracket_monte_carlo_for_dependent_model(self):
+        from repro.core import manifestation_bounds
+
+        for n in (3, 4):
+            low, high = manifestation_bounds(TSO, n)
+            empirical = estimate_non_manifestation(TSO, n, trials=100_000, seed=89)
+            manifest = 1.0 - empirical.estimate
+            margin = empirical.proportion.half_width
+            assert low - margin <= manifest <= high + margin, n
+
+    def test_upper_bound_saturates(self):
+        """binom(n,2)·q passes 1 quickly in the paper's risky regime."""
+        from repro.core import manifestation_bounds
+
+        _, high = manifestation_bounds(SC, 5)
+        assert high == 1.0
+
+    def test_monotone_in_n(self):
+        from repro.core import manifestation_bounds
+
+        uppers = [manifestation_bounds(WO, n)[1] for n in (2, 3, 4)]
+        assert uppers == sorted(uppers)
+
+    def test_validation(self):
+        from repro.core import manifestation_bounds
+
+        with pytest.raises(ValueError):
+            manifestation_bounds(SC, 1)
+
+
+class TestRouteGuards:
+    def test_n_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            non_manifestation_probability(SC, n=1)
+        with pytest.raises(ValueError):
+            log_non_manifestation(SC, n=0)
+
+    def test_dependent_models_need_explicit_approximation(self):
+        with pytest.raises(ModelDefinitionError):
+            non_manifestation_probability(TSO, n=3)
+        with pytest.raises(ModelDefinitionError):
+            log_non_manifestation(PSO, n=4)
+
+    def test_independent_models_fine_at_any_n(self):
+        assert non_manifestation_probability(WO, n=5).value > 0
+        assert non_manifestation_probability(SC, n=5).value > 0
+
+    def test_approximation_flag_unlocks(self):
+        value = non_manifestation_probability(
+            TSO, n=3, allow_independent_approximation=True
+        )
+        assert 0 < value.value < 1
+
+
+class TestTheorem63:
+    def test_log_probabilities_decrease_quadratically(self):
+        values = [log_non_manifestation(SC, n) for n in (2, 4, 8, 16)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+        # -ln Pr / n^2 approaches (3/2) ln 2 from below as n grows.
+        exponents = [-value / n**2 for value, n in zip(values, (2, 4, 8, 16))]
+        assert exponents[-1] == pytest.approx(1.5 * math.log(2), rel=0.2)
+
+    def test_asymptotic_exponent_converges_same_limit(self, paper_model):
+        limit = 1.5 * math.log(2)
+        exponent = asymptotic_exponent(paper_model, 64)
+        assert exponent == pytest.approx(limit, rel=0.12)
+
+    def test_model_gap_vanishes(self):
+        """ln Pr[A_SC] / ln Pr[A_WO] → 1 (the headline dichotomy)."""
+        ratios = [
+            log_non_manifestation(SC, n) / log_non_manifestation(WO, n)
+            for n in (2, 8, 32, 128)
+        ]
+        assert ratios == sorted(ratios)  # monotone towards 1
+        assert ratios[0] < 0.9
+        assert ratios[-1] > 0.99
+
+    def test_sc_closed_form(self):
+        """SC: Pr[A] = prefactor · n! · 2^{-3 binom(n,2)}."""
+        from repro.core import prefactor
+
+        for n in (2, 3, 5):
+            expected = prefactor(n) * math.factorial(n) * 2.0 ** (-3 * n * (n - 1) / 2)
+            assert math.exp(log_non_manifestation(SC, n)) == pytest.approx(expected)
+
+
+class TestMonteCarloRoutes:
+    def test_end_to_end_matches_theorem_62(self, paper_model):
+        empirical = estimate_non_manifestation(paper_model, n=2, trials=120_000, seed=61)
+        exact = non_manifestation_probability(paper_model).value
+        assert empirical.agrees_with(exact), f"{paper_model.name}: {empirical} vs {exact}"
+
+    def test_end_to_end_three_threads_wo(self):
+        empirical = estimate_non_manifestation(WO, n=3, trials=150_000, seed=67)
+        exact = non_manifestation_probability(WO, n=3).value
+        assert empirical.agrees_with(exact)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_non_manifestation(SC, n=1, trials=10)
+
+    def test_rao_blackwell_matches_exact_at_n2(self, store_buffer_model):
+        result = estimate_non_manifestation_rao_blackwell(
+            store_buffer_model, n=2, programs=300, seed=71
+        )
+        exact = non_manifestation_probability(store_buffer_model).value
+        assert result.agrees_with(exact, sigmas=4)
+
+    def test_rao_blackwell_trivial_for_independent_models(self):
+        """For WO the conditional equals the unconditional: zero variance."""
+        result = estimate_non_manifestation_rao_blackwell(WO, n=3, programs=5, seed=0)
+        assert result.standard_error == pytest.approx(0.0, abs=1e-12)
+        assert result.estimate == pytest.approx(
+            non_manifestation_probability(WO, n=3).value
+        )
+
+    def test_rao_blackwell_vs_end_to_end_n3(self):
+        """The dependence-honouring routes agree at n = 3 for TSO."""
+        rao = estimate_non_manifestation_rao_blackwell(TSO, n=3, programs=500, seed=73)
+        end_to_end = estimate_non_manifestation(TSO, n=3, trials=200_000, seed=79)
+        assert abs(rao.estimate - end_to_end.estimate) < 4 * (
+            rao.standard_error + end_to_end.proportion.half_width
+        )
+
+    def test_rao_blackwell_detects_positive_dependence(self):
+        """Shared programs raise Pr[A] above the independent approximation.
+
+        Positively-correlated windows make joint disjointness *more* likely
+        than independence predicts (both windows small together).
+        """
+        rao = estimate_non_manifestation_rao_blackwell(TSO, n=4, programs=800, seed=83)
+        independent = non_manifestation_probability(
+            TSO, n=4, allow_independent_approximation=True
+        ).value
+        assert rao.estimate > independent
+
+    def test_rao_blackwell_validation(self):
+        with pytest.raises(ValueError):
+            estimate_non_manifestation_rao_blackwell(TSO, n=1, programs=10)

@@ -1,0 +1,122 @@
+"""Tests for machine-side window measurement and the bootstrap utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Machine,
+    canonical_increment,
+    extract_windows,
+    measure_critical_windows,
+)
+from repro.sim.scheduler import LockStepScheduler
+from repro.stats import BootstrapInterval, RandomSource, bootstrap_mean_interval
+
+
+class TestBootstrap:
+    def test_mean_in_interval(self):
+        interval = bootstrap_mean_interval([1.0, 2.0, 3.0, 4.0], seed=1)
+        assert interval.low <= interval.mean <= interval.high
+        assert interval.mean == 2.5
+
+    def test_constant_data_degenerates(self):
+        interval = bootstrap_mean_interval([5.0] * 20, seed=2)
+        assert interval.low == interval.high == 5.0
+
+    def test_interval_shrinks_with_samples(self):
+        source = RandomSource(3)
+        small = bootstrap_mean_interval(source.generator.normal(0, 1, 50), seed=4)
+        large = bootstrap_mean_interval(source.generator.normal(0, 1, 5000), seed=4)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_coverage_of_known_mean(self):
+        source = RandomSource(5)
+        data = source.generator.normal(10.0, 2.0, 2000)
+        interval = bootstrap_mean_interval(data, confidence=0.99, seed=6)
+        assert interval.contains(10.0)
+
+    def test_overlaps(self):
+        a = BootstrapInterval(1.0, 0.5, 1.5, 0.99, 10, 100)
+        b = BootstrapInterval(1.4, 1.2, 1.8, 0.99, 10, 100)
+        c = BootstrapInterval(3.0, 2.5, 3.5, 0.99, 10, 100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([1.0], resamples=0)
+
+
+class TestExtractWindows:
+    def test_reads_and_commits_paired(self, source):
+        programs = [canonical_increment(thread) for thread in range(2)]
+        result = Machine("SC", programs, log_accesses=True,
+                         scheduler=LockStepScheduler()).run(source)
+        windows = extract_windows(result, threads=2)
+        assert len(windows) == 2
+        for start, end in windows:
+            assert end > start
+
+    def test_requires_logging(self, source):
+        programs = [canonical_increment(thread) for thread in range(2)]
+        result = Machine("SC", programs).run(source)
+        with pytest.raises(SimulationError):
+            extract_windows(result, threads=2)
+
+
+class TestMeasurement:
+    def test_sc_window_is_deterministic_two_cycles(self):
+        """In-order core: read, add, commit — the machine's point mass."""
+        measurement = measure_critical_windows("SC", threads=2, trials=100, seed=1,
+                                               body_length=4)
+        assert measurement.deterministic
+        assert measurement.duration_fraction(2) == 1.0
+
+    def test_store_buffer_models_have_tails(self):
+        for model in ("TSO", "PSO"):
+            measurement = measure_critical_windows(model, threads=2, trials=300,
+                                                   seed=2, body_length=4)
+            assert not measurement.deterministic
+            assert measurement.mean_duration.mean > 2.0
+
+    def test_mean_ordering_matches_abstract_model(self):
+        """SC < PSO < TSO < WO in mean window — including the PSO twist."""
+        means = {
+            model: measure_critical_windows(model, threads=2, trials=1200, seed=3,
+                                            body_length=6).mean_duration
+            for model in ("SC", "TSO", "PSO", "WO")
+        }
+        assert means["SC"].mean < means["PSO"].mean
+        assert means["PSO"].mean < means["TSO"].mean
+        assert means["TSO"].mean < means["WO"].mean
+
+    def test_manifestation_implies_overlap(self):
+        """§3.2's necessity argument, checked trial by trial."""
+        for model in ("SC", "TSO", "WO"):
+            measurement = measure_critical_windows(model, threads=3, trials=300,
+                                                   seed=4, body_length=4)
+            assert measurement.manifest_without_overlap == 0, model
+
+    def test_duration_count_matches_threads_and_trials(self):
+        measurement = measure_critical_windows("SC", threads=3, trials=50, seed=5,
+                                               body_length=2)
+        assert measurement.durations.size == 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_critical_windows("SC", threads=1, trials=10)
+        with pytest.raises(ValueError):
+            measure_critical_windows("SC", threads=2, trials=0)
+
+    def test_str(self):
+        measurement = measure_critical_windows("SC", threads=2, trials=20, seed=6,
+                                               body_length=2)
+        assert "SC" in str(measurement)
+        assert "mean window" in str(measurement)

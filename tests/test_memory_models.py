@@ -1,0 +1,135 @@
+"""Tests for repro.core.memory_models: Table 1 and the model algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ALL_PAIRS, LD, PAPER_MODELS, PSO, SC, ST, TSO, WO, MemoryModel
+from repro.core import get_model, table1_rows
+from repro.errors import ModelDefinitionError
+
+
+class TestTable1:
+    """Experiment E1: the relaxation matrix of the paper's Table 1."""
+
+    def test_sc_relaxes_nothing(self):
+        assert not SC.relaxed_pairs
+
+    def test_tso_relaxes_exactly_st_ld(self):
+        assert TSO.relaxed_pairs == {(ST, LD)}
+
+    def test_pso_relaxes_st_ld_and_st_st(self):
+        assert PSO.relaxed_pairs == {(ST, LD), (ST, ST)}
+
+    def test_wo_relaxes_everything(self):
+        assert WO.relaxed_pairs == set(ALL_PAIRS)
+
+    def test_table_rows_match_paper(self):
+        rows = {row["Name"]: row for row in table1_rows()}
+        assert rows["SC"] == {
+            "Name": "SC", "ST/ST": False, "ST/LD": False, "LD/ST": False, "LD/LD": False,
+        }
+        assert rows["TSO"] == {
+            "Name": "TSO", "ST/ST": False, "ST/LD": True, "LD/ST": False, "LD/LD": False,
+        }
+        assert rows["PSO"] == {
+            "Name": "PSO", "ST/ST": True, "ST/LD": True, "LD/ST": False, "LD/LD": False,
+        }
+        assert rows["WO"] == {
+            "Name": "WO", "ST/ST": True, "ST/LD": True, "LD/ST": True, "LD/LD": True,
+        }
+
+
+class TestStrictnessOrder:
+    def test_paper_chain(self):
+        assert SC.is_at_least_as_strong_as(TSO)
+        assert TSO.is_at_least_as_strong_as(PSO)
+        assert PSO.is_at_least_as_strong_as(WO)
+
+    def test_not_reflexively_weaker(self):
+        assert not WO.is_at_least_as_strong_as(SC)
+
+    def test_reflexive(self, paper_model):
+        assert paper_model.is_at_least_as_strong_as(paper_model)
+
+    def test_incomparable_models(self):
+        left = MemoryModel("L", [(ST, LD)])
+        right = MemoryModel("R", [(LD, LD)])
+        assert not left.is_at_least_as_strong_as(right)
+        assert not right.is_at_least_as_strong_as(left)
+
+
+class TestSettleProbabilities:
+    def test_default_is_half(self):
+        assert TSO.settle_probability(ST, LD) == 0.5
+
+    def test_non_relaxed_pair_is_zero(self):
+        assert TSO.settle_probability(LD, ST) == 0.0
+        assert SC.settle_probability(ST, LD) == 0.0
+
+    def test_uniform_settle_probability(self):
+        assert TSO.uniform_settle_probability == 0.5
+        assert SC.uniform_settle_probability is None  # no relaxed pairs
+
+    def test_per_pair_probabilities(self):
+        model = MemoryModel("custom", [(ST, LD), (ST, ST)], {(ST, LD): 0.3, (ST, ST): 0.7})
+        assert model.settle_probability(ST, LD) == 0.3
+        assert model.settle_probability(ST, ST) == 0.7
+        assert model.uniform_settle_probability is None
+
+    def test_partial_mapping_defaults_remaining_pairs(self):
+        model = MemoryModel("custom", [(ST, LD), (ST, ST)], {(ST, LD): 0.3})
+        assert model.settle_probability(ST, ST) == 0.5
+
+    def test_probability_for_unrelaxed_pair_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MemoryModel("bad", [(ST, LD)], {(LD, LD): 0.5})
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MemoryModel("bad", [(ST, LD)], 1.5)
+
+    def test_with_settle_probability_copies(self):
+        slow = WO.with_settle_probability(0.25)
+        assert slow.settle_probability(LD, LD) == 0.25
+        assert WO.settle_probability(LD, LD) == 0.5  # original untouched
+        assert slow.relaxed_pairs == WO.relaxed_pairs
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MemoryModel("", [])
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MemoryModel("bad", [("FOO", "BAR")])  # type: ignore[list-item]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,expected", [
+        ("SC", SC), ("tso", TSO), ("Pso", PSO), ("WO", WO),
+        ("sequential consistency", SC), ("Total Store Order", TSO),
+        ("partial store order", PSO), ("weak ordering", WO),
+    ])
+    def test_lookup(self, name, expected):
+        assert get_model(name) == expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            get_model("RC")
+
+    def test_paper_models_ordering(self):
+        assert [model.name for model in PAPER_MODELS] == ["SC", "TSO", "PSO", "WO"]
+
+
+class TestDunder:
+    def test_equality(self):
+        assert MemoryModel("TSO", [(ST, LD)]) == TSO
+        assert MemoryModel("TSO", [(ST, LD)], 0.3) != TSO
+
+    def test_hashable(self):
+        assert len({SC, TSO, PSO, WO, TSO}) == 4
+
+    def test_str_is_name(self, paper_model):
+        assert str(paper_model) == paper_model.name

@@ -1,0 +1,134 @@
+"""Tests for repro.core.multibug: scaling in the number of racy sections."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    PAPER_MODELS,
+    PSO,
+    SC,
+    TSO,
+    WO,
+    estimate_multi_bug_survival,
+    multi_bug_gap_curve,
+    multi_bug_survival,
+    non_manifestation_probability,
+    shift_difference_pmf,
+)
+
+
+class TestShiftDifference:
+    def test_normalised(self):
+        total = shift_difference_pmf(0) + 2 * sum(
+            shift_difference_pmf(k) for k in range(1, 200)
+        )
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_paper_beta_values(self):
+        assert shift_difference_pmf(0) == pytest.approx(1 / 3)
+        assert shift_difference_pmf(1) == pytest.approx(1 / 6)
+        assert shift_difference_pmf(-1) == pytest.approx(1 / 6)
+        assert shift_difference_pmf(2) == pytest.approx(1 / 12)
+
+    def test_symmetric(self):
+        for k in range(5):
+            assert shift_difference_pmf(k) == shift_difference_pmf(-k)
+
+    def test_general_beta_normalised(self):
+        beta = 0.3
+        total = shift_difference_pmf(0, beta) + 2 * sum(
+            shift_difference_pmf(k, beta) for k in range(1, 100)
+        )
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            shift_difference_pmf(0, beta=1.0)
+
+
+class TestExactSurvival:
+    def test_single_bug_reproduces_theorem_62(self, paper_model):
+        one = multi_bug_survival(paper_model, 1).value
+        reference = non_manifestation_probability(paper_model).value
+        assert one == pytest.approx(reference, abs=1e-9)
+
+    def test_sc_survival_constant_in_bug_count(self):
+        """Deterministic windows: Pr[A] = Pr[|d| >= 3] = 1/6 for every K."""
+        for bug_count in (1, 4, 64, 1024):
+            assert multi_bug_survival(SC, bug_count).value == pytest.approx(1 / 6)
+
+    def test_weak_models_decay(self, paper_model):
+        values = [multi_bug_survival(paper_model, k).value for k in (1, 4, 16)]
+        if paper_model.relaxed_pairs:
+            assert values == sorted(values, reverse=True)
+            assert values[0] > values[-1]
+        else:
+            assert values[0] == pytest.approx(values[-1])
+
+    def test_wo_decays_like_one_over_k(self):
+        """Window tail ratio 1/2 -> survival ~ K^{-1} (Laplace method)."""
+        small = multi_bug_survival(WO, 64).value
+        large = multi_bug_survival(WO, 256).value
+        assert small / large == pytest.approx(4.0, rel=0.15)
+
+    def test_tso_decays_like_k_to_minus_half(self):
+        """Window tail ratio 1/4 -> exponent log_4(2) = 1/2."""
+        small = multi_bug_survival(TSO, 64).value
+        large = multi_bug_survival(TSO, 256).value
+        assert small / large == pytest.approx(2.0, rel=0.1)
+
+    def test_gap_diverges(self):
+        """The dual of Theorem 6.3: SC/WO ratio grows without bound in K."""
+        ratios = [
+            multi_bug_survival(SC, k).value / multi_bug_survival(WO, k).value
+            for k in (1, 8, 64, 512)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 50 * ratios[0]
+
+    def test_ordering_preserved_at_every_k(self):
+        for bug_count in (1, 8, 64):
+            values = {
+                model.name: multi_bug_survival(model, bug_count).value
+                for model in PAPER_MODELS
+            }
+            assert values["WO"] <= values["TSO"] <= values["PSO"] <= values["SC"] + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_bug_survival(SC, 0)
+
+
+class TestMonteCarloValidation:
+    @pytest.mark.parametrize("model", [SC, TSO, PSO, WO], ids=lambda m: m.name)
+    def test_agrees_with_exact(self, model):
+        for bug_count in (2, 6):
+            exact = multi_bug_survival(model, bug_count).value
+            empirical = estimate_multi_bug_survival(
+                model, bug_count, trials=120_000, seed=97 + bug_count
+            )
+            assert empirical.agrees_with(exact), (model.name, bug_count)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_multi_bug_survival(SC, 0, trials=100)
+
+
+class TestGapCurve:
+    def test_rows_shape(self):
+        rows = multi_bug_gap_curve([1, 4])
+        assert [row["bugs"] for row in rows] == [1, 4]
+        assert "SC/WO ratio" in rows[0]
+
+    def test_ratio_column_grows(self):
+        rows = multi_bug_gap_curve([1, 16, 128])
+        ratios = [float(row["SC/WO ratio"]) for row in rows]
+        assert ratios == sorted(ratios)
+
+    def test_subset_of_models(self):
+        rows = multi_bug_gap_curve([2], models=(SC, TSO))
+        assert "Pr[A] SC" in rows[0]
+        assert "Pr[A] WO" not in rows[0]

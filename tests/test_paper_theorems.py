@@ -1,0 +1,229 @@
+"""Integration suite: every numbered claim of the paper, asserted end to end.
+
+This is the reproduction's contract.  Each test cites the paper artifact it
+checks; together they cover Table 1, Figures 1–2 (structurally), Claims 4.3
+and B.2, Lemma 4.2, Claim 4.4, Theorems 4.1, 5.1, 6.1, 6.2, 6.3 and
+Corollary 5.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    PAPER_MODELS,
+    PSO,
+    SC,
+    TSO,
+    WO,
+    SettlingProcess,
+    c_constant,
+    disjointness_iid,
+    disjointness_probability,
+    estimate_disjointness,
+    estimate_non_manifestation,
+    l_lower_bound_paper,
+    log_non_manifestation,
+    non_manifestation_probability,
+    program_from_types,
+    run_length_distribution,
+    steady_state_store_fraction,
+    table1_rows,
+    tso_two_thread_bounds,
+    tso_window_distribution,
+    tso_window_lower_bound,
+    tso_window_upper_bound,
+    window_distribution,
+    wo_window_distribution,
+)
+from repro.litmus import check_all
+from repro.stats import RandomSource
+
+
+class TestTable1:
+    def test_relaxation_matrix(self):
+        """Table 1 verbatim."""
+        expected = {
+            "SC": (False, False, False, False),
+            "TSO": (False, True, False, False),
+            "PSO": (True, True, False, False),
+            "WO": (True, True, True, True),
+        }
+        for row in table1_rows():
+            name = row["Name"]
+            assert (
+                row["ST/ST"], row["ST/LD"], row["LD/ST"], row["LD/LD"]
+            ) == expected[name], name
+
+
+class TestFigure1:
+    def test_settling_under_tso_reproduces_trace_structure(self):
+        """Figure 1's mechanics: loads settle upward past stores, one round
+        per instruction, critical store pinned below the critical load."""
+        program = program_from_types("SLSSS")
+        result = SettlingProcess(TSO).settle(program, RandomSource(11), record_trace=True)
+        assert len(result.trace) == 7
+        # Stores never moved: their relative order is program order.
+        stores = [i for i in range(1, 8) if program.type_of(i).mnemonic == "ST"
+                  and not program.instruction(i).is_critical]
+        positions = [result.position_of(i) for i in stores]
+        assert positions == sorted(positions)
+
+
+class TestFigure2:
+    def test_instance_probability(self):
+        from repro.viz import shift_outcome_probability
+
+        assert shift_outcome_probability([8, 0, 2]) == pytest.approx(2.0**-13)
+
+
+class TestTheorem41:
+    def test_sc(self):
+        dist = window_distribution(SC)
+        assert dist.pmf(0) == 1.0
+
+    def test_wo_closed_form(self):
+        dist = wo_window_distribution()
+        assert dist.pmf(0) == pytest.approx(2 / 3)
+        for gamma in range(1, 12):
+            assert dist.pmf(gamma) == pytest.approx(2.0**-gamma / 3)
+
+    def test_tso_bounds(self):
+        dist = tso_window_distribution()
+        assert dist.pmf(0) == pytest.approx(2 / 3, abs=1e-9)
+        for gamma in range(1, 12):
+            assert (
+                tso_window_lower_bound(gamma) - 1e-12
+                <= dist.pmf(gamma)
+                <= tso_window_upper_bound(gamma) + 1e-12
+            )
+
+    def test_decay_rates(self):
+        """'2^-γ in WO, (2^-γ)² in TSO, 0 in SC' — the stated shape."""
+        wo = window_distribution(WO)
+        tso = window_distribution(TSO)
+        tso_ratios = []
+        for gamma in range(2, 10):
+            assert wo.pmf(gamma) / wo.pmf(gamma - 1) == pytest.approx(0.5, abs=0.01)
+            tso_ratios.append(tso.pmf(gamma) / tso.pmf(gamma - 1))
+        # TSO's ratio approaches 1/4 from above (the R(γ)·2^{-γ} slack decays).
+        assert tso_ratios == sorted(tso_ratios, reverse=True)
+        assert tso_ratios[-1] == pytest.approx(0.25, abs=0.01)
+        assert all(0.24 < ratio < 0.30 for ratio in tso_ratios)
+
+
+class TestClaim43:
+    def test_steady_state(self):
+        assert steady_state_store_fraction() == pytest.approx(2 / 3)
+
+
+class TestLemma42:
+    def test_l0_exact(self):
+        assert run_length_distribution().pmf(0) == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_lower_bound(self):
+        runs = run_length_distribution()
+        for mu in range(1, 24):
+            assert runs.pmf(mu) >= (4 / 7) * 2.0**-mu - 1e-12
+
+    def test_missing_probability_r(self):
+        """Claim B.1: the slack R = Σ(Pr[L_µ] − bound) equals 2/21."""
+        runs = run_length_distribution()
+        slack = sum(
+            runs.pmf(mu) - l_lower_bound_paper(mu) for mu in range(1, 60)
+        )
+        assert slack == pytest.approx(2 / 21, abs=1e-6)
+
+
+class TestTheorem51:
+    def test_exact_matches_simulation(self):
+        lengths = [3, 2, 5]
+        exact = disjointness_probability(lengths)
+        empirical = estimate_disjointness(lengths, trials=80_000, seed=101)
+        assert empirical.agrees_with(exact)
+
+
+class TestCorollary52:
+    def test_c2(self):
+        assert c_constant(2) == pytest.approx(8 / 3)
+
+    def test_range(self):
+        for n in range(1, 25):
+            assert 2.0 <= c_constant(n) <= 4.0
+
+
+class TestTheorem61:
+    def test_collapses_permutation_sum(self):
+        """For degenerate identical marginals the n!-fold sum collapses."""
+        from repro.core import point_mass
+
+        for n in (2, 3, 4):
+            assert disjointness_iid(point_mass(1), n).value == pytest.approx(
+                disjointness_probability([3] * n)
+            )
+
+
+class TestTheorem62:
+    def test_sc(self):
+        assert non_manifestation_probability(SC).value == pytest.approx(1 / 6)
+        assert 1 / 6 == pytest.approx(0.1666, abs=1e-4)  # the paper truncates
+
+    def test_tso(self):
+        lower, upper = tso_two_thread_bounds()
+        assert (lower, upper) == pytest.approx((0.13152, 0.13681), abs=5e-5)
+        assert lower < non_manifestation_probability(TSO).value < upper
+
+    def test_wo(self):
+        assert non_manifestation_probability(WO).value == pytest.approx(7 / 54)
+        assert 7 / 54 == pytest.approx(0.1296, abs=5e-5)
+
+    def test_monte_carlo_agreement(self, paper_model):
+        empirical = estimate_non_manifestation(paper_model, n=2, trials=100_000, seed=103)
+        exact = non_manifestation_probability(paper_model).value
+        assert empirical.agrees_with(exact)
+
+
+class TestTheorem63:
+    def test_universal_exponent(self):
+        """Pr[A] = e^{-n²(1+o(1))}: normalised exponents approach a common
+        constant and the SC/WO ratio approaches 1."""
+        ns = (8, 32, 128)
+        for model in PAPER_MODELS:
+            exponents = [
+                -log_non_manifestation(model, n, allow_independent_approximation=True)
+                / n**2
+                for n in ns
+            ]
+            # Converging, and within 10% of the limit by n = 128.
+            assert abs(exponents[-1] - 1.5 * math.log(2)) < 0.15 * 1.5 * math.log(2)
+
+    def test_gap_vanishes_relative_to_risk(self):
+        ratio_small = log_non_manifestation(SC, 2) / log_non_manifestation(WO, 2)
+        ratio_large = log_non_manifestation(SC, 128) / log_non_manifestation(WO, 128)
+        assert ratio_small < 0.9
+        assert ratio_large > 0.99
+
+    def test_claim_b2(self, paper_model):
+        """Claim B.2: Pr[B_0] ≥ 1/2 in every memory model."""
+        assert window_distribution(paper_model).pmf(0) >= 0.5
+
+
+class TestSectionTwoSemantics:
+    def test_litmus_matrix(self):
+        assert all(verdict.matches_literature for verdict in check_all())
+
+    def test_bug_manifests_even_under_sc(self):
+        """§2.2: 'such bugs can manifest in any memory model, even SC.'"""
+        assert non_manifestation_probability(SC).value < 1.0
+
+
+class TestFootnote4:
+    def test_pso_result_similar_to_tso(self):
+        """Footnote 4: PSO admits 'a similar result' — its Pr[A] sits between
+        TSO's and SC's, far closer to the weak cluster than to SC."""
+        pso = non_manifestation_probability(PSO).value
+        tso = non_manifestation_probability(TSO).value
+        sc = non_manifestation_probability(SC).value
+        assert tso < pso < sc

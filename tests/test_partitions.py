@@ -1,0 +1,122 @@
+"""Tests for repro.core.partitions: the φ(x, y, z) combinatorics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    balanced_partition,
+    bounded_partitions,
+    partitions_in_box,
+    phi_positive_range,
+)
+from repro.core.partitions import delta_support
+
+
+class TestPartitionsInBox:
+    def test_empty_partition(self):
+        assert partitions_in_box(0, 0, 0) == 1
+        assert partitions_in_box(0, 5, 5) == 1
+
+    def test_impossible(self):
+        assert partitions_in_box(1, 0, 5) == 0
+        assert partitions_in_box(1, 5, 0) == 0
+        assert partitions_in_box(-1, 2, 2) == 0
+
+    def test_small_values(self):
+        # Partitions of 4 into at most 2 parts each at most 3: 3+1, 2+2 -> 2.
+        assert partitions_in_box(4, 2, 3) == 2
+        # Partitions of 3 into at most 3 parts each at most 3: 3, 2+1, 1+1+1.
+        assert partitions_in_box(3, 3, 3) == 3
+
+    def test_unbounded_box_matches_partition_function(self):
+        # p(n) for n = 0..9: classic values.
+        classic = [1, 1, 2, 3, 5, 7, 11, 15, 22, 30]
+        for n, expected in enumerate(classic):
+            assert partitions_in_box(n, n, n) == expected
+
+    def test_box_symmetry(self):
+        """Conjugation symmetry: an a×b box equals a b×a box."""
+        for total in range(12):
+            assert partitions_in_box(total, 3, 5) == partitions_in_box(total, 5, 3)
+
+    def test_gaussian_binomial_total(self):
+        """Σ_n p(n | k×z box) = C(k+z, k) (Gaussian binomial at q=1)."""
+        k, z = 4, 3
+        total = sum(partitions_in_box(n, k, z) for n in range(k * z + 1))
+        assert total == math.comb(k + z, k)
+
+
+class TestBoundedPartitions:
+    def test_paper_examples(self):
+        assert bounded_partitions(5, 2, 4) == 2  # 1+4, 2+3
+        assert bounded_partitions(6, 2, 3) == 1  # 3+3
+
+    def test_zero_parts(self):
+        assert bounded_partitions(0, 0, 5) == 1
+        assert bounded_partitions(3, 0, 5) == 0
+
+    def test_out_of_range_is_zero(self):
+        assert bounded_partitions(1, 2, 5) == 0  # below q
+        assert bounded_partitions(11, 2, 5) == 0  # above qz
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_partitions(5, -1, 3)
+
+    def test_brute_force_cross_check(self):
+        """Exhaustive multiset enumeration for small parameters."""
+        from itertools import combinations_with_replacement
+
+        for parts in range(1, 5):
+            for max_part in range(1, 5):
+                counts: dict[int, int] = {}
+                for combo in combinations_with_replacement(range(1, max_part + 1), parts):
+                    total = sum(combo)
+                    counts[total] = counts.get(total, 0) + 1
+                for total in range(0, parts * max_part + 2):
+                    assert bounded_partitions(total, parts, max_part) == counts.get(total, 0), (
+                        f"phi({total}, {parts}, {max_part})"
+                    )
+
+    def test_row_sums_to_arrangements(self):
+        """Σ_δ φ(δ, q, µ) = C(µ+q-1, q): every LD/ST arrangement has one ∆."""
+        for q in range(1, 6):
+            for mu in range(1, 6):
+                total = sum(bounded_partitions(delta, q, mu) for delta in delta_support(q, mu))
+                assert total == math.comb(mu + q - 1, q)
+
+
+class TestClaim44Bound:
+    def test_phi_at_least_one_in_range(self):
+        """The paper's Claim 4.4 bound: φ ≥ 1 for q ≤ δ ≤ µq."""
+        for q in range(1, 7):
+            for mu in range(1, 7):
+                for delta in delta_support(q, mu):
+                    assert bounded_partitions(delta, q, mu) >= 1
+
+    def test_phi_positive_range_predicate(self):
+        assert phi_positive_range(5, 2, 4)
+        assert not phi_positive_range(1, 2, 4)
+        assert not phi_positive_range(9, 2, 4)
+        assert phi_positive_range(0, 0, 4)
+
+    def test_balanced_partition_is_valid_witness(self):
+        for q in range(1, 7):
+            for mu in range(1, 7):
+                for delta in delta_support(q, mu):
+                    witness = balanced_partition(delta, q, mu)
+                    assert len(witness) == q
+                    assert sum(witness) == delta
+                    assert all(1 <= part <= mu for part in witness)
+
+    def test_balanced_partition_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_partition(100, 2, 3)
+        with pytest.raises(ValueError):
+            balanced_partition(1, 0, 3)
+
+    def test_balanced_partition_zero_case(self):
+        assert balanced_partition(0, 0, 3) == []

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the extension subsystems.
+
+Covers fences, heterogeneous fleets, the machine substrate, and the
+non-atomic litmus enumerator with invariants over arbitrary parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PAPER_MODELS,
+    PSO,
+    SC,
+    TSO,
+    WO,
+    fenced_non_manifestation,
+    fenced_window_distribution,
+    finite_run_distribution,
+    heterogeneous_disjointness,
+    heterogeneous_non_manifestation,
+    point_mass,
+)
+from repro.sim import Load, Machine, Store, ThreadProgram, canonical_increment
+from repro.stats import RandomSource, bootstrap_mean_interval
+
+model_indices = st.integers(min_value=0, max_value=3)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestFenceProperties:
+    @given(distance=st.integers(min_value=0, max_value=24), index=model_indices)
+    @settings(max_examples=60, deadline=None)
+    def test_fenced_law_is_distribution_with_bounded_support(self, distance, index):
+        model = PAPER_MODELS[index]
+        dist = fenced_window_distribution(model, distance)
+        mass = sum(dist.pmf(gamma) for gamma in range(distance + 1))
+        assert mass == pytest.approx(1.0, abs=1e-7)
+
+    @given(distance=st.integers(min_value=0, max_value=20), index=model_indices)
+    @settings(max_examples=60, deadline=None)
+    def test_fences_never_reduce_survival(self, distance, index):
+        model = PAPER_MODELS[index]
+        shorter = fenced_non_manifestation(model, distance).value
+        longer = fenced_non_manifestation(model, distance + 4).value
+        assert shorter >= longer - 1e-12
+
+    @given(
+        rounds=st.integers(min_value=0, max_value=40),
+        p=st.floats(min_value=0.05, max_value=0.95),
+        s=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_finite_run_distribution_is_exact(self, rounds, p, s):
+        dist = finite_run_distribution(rounds, p, s)
+        assert dist.tail_bound == 0.0
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-10)
+        # The run cannot exceed the number of rounds.
+        assert dist.truncation_point <= rounds + 1
+
+
+class TestHeterogeneousProperties:
+    fleets = st.lists(model_indices, min_size=2, max_size=5)
+
+    @given(fleet=fleets)
+    @settings(max_examples=60, deadline=None)
+    def test_probability_in_unit_interval(self, fleet):
+        models = [PAPER_MODELS[index] for index in fleet]
+        value = heterogeneous_non_manifestation(
+            models, allow_independent_approximation=True
+        ).value
+        assert 0.0 < value < 1.0
+
+    @given(fleet=fleets, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariance(self, fleet, seed):
+        import random
+
+        models = [PAPER_MODELS[index] for index in fleet]
+        shuffled = list(models)
+        random.Random(seed).shuffle(shuffled)
+        a = heterogeneous_non_manifestation(models, allow_independent_approximation=True)
+        b = heterogeneous_non_manifestation(shuffled, allow_independent_approximation=True)
+        assert a.value == pytest.approx(b.value, rel=1e-9)
+
+    @given(fleet=fleets)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_homogeneous_extremes(self, fleet):
+        """A mixed fleet is never safer than all-SC nor riskier than all-WO."""
+        models = [PAPER_MODELS[index] for index in fleet]
+        n = len(models)
+        mixed = heterogeneous_non_manifestation(
+            models, allow_independent_approximation=True
+        ).value
+        strongest = heterogeneous_non_manifestation(
+            [SC] * n, allow_independent_approximation=True
+        ).value
+        weakest = heterogeneous_non_manifestation(
+            [WO] * n, allow_independent_approximation=True
+        ).value
+        assert weakest - 1e-12 <= mixed <= strongest + 1e-12
+
+    @given(lengths=st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_degenerate_laws_match_theorem51(self, lengths):
+        from repro.core import disjointness_probability
+
+        laws = [point_mass(length) for length in lengths]
+        value = heterogeneous_disjointness(laws).value
+        expected = disjointness_probability([length + 2 for length in lengths])
+        assert value == pytest.approx(expected, rel=1e-9)
+
+
+class TestMachineProperties:
+    @given(seed=seeds, model_index=model_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_counter_final_value_bounded(self, seed, model_index):
+        model = PAPER_MODELS[model_index]
+        programs = [canonical_increment(thread) for thread in range(3)]
+        result = Machine(model.name, programs).run(RandomSource(seed))
+        assert 1 <= result.location("x") <= 3
+
+    @given(seed=seeds, model_index=model_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_machine_deterministic_given_seed(self, seed, model_index):
+        model = PAPER_MODELS[model_index]
+        programs = [
+            ThreadProgram("T0", (Store("x", value=1), Load("r1", "y"))),
+            ThreadProgram("T1", (Store("y", value=1), Load("r2", "x"))),
+        ]
+        a = Machine(model.name, programs).run(RandomSource(seed))
+        b = Machine(model.name, programs).run(RandomSource(seed))
+        assert a.registers == b.registers
+        assert a.memory == b.memory
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_single_writer_value_survives(self, seed):
+        """Whatever the model and interleaving, a sole store is never lost."""
+        programs = [
+            ThreadProgram("T0", (Store("x", value=7),)),
+            ThreadProgram("T1", (Load("r1", "x"),)),
+        ]
+        for model in PAPER_MODELS:
+            result = Machine(model.name, programs).run(RandomSource(seed))
+            assert result.location("x") == 7
+            assert result.register("T1", "r1") in (0, 7)
+
+
+class TestBootstrapProperties:
+    @given(
+        values=st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=40),
+        seed=seeds,
+    )
+    @settings(max_examples=80)
+    def test_interval_brackets_sample_mean(self, values, seed):
+        interval = bootstrap_mean_interval(values, seed=seed)
+        assert interval.low <= interval.mean + 1e-9
+        assert interval.mean <= interval.high + 1e-9
+
+    @given(value=st.floats(min_value=-50, max_value=50), seed=seeds)
+    @settings(max_examples=40)
+    def test_constant_sample_collapses(self, value, seed):
+        interval = bootstrap_mean_interval([value] * 10, seed=seed)
+        assert interval.low == pytest.approx(interval.high)

@@ -1,0 +1,76 @@
+"""Tests for repro.reporting.io: JSON serialisation of result rows."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ValueWithError
+from repro.reporting import read_rows, rows_to_json, write_rows
+from repro.stats import wilson_interval
+
+
+class TestRowsToJson:
+    def test_plain_rows(self):
+        document = json.loads(rows_to_json([{"a": 1, "b": "x"}]))
+        assert document["rows"] == [{"a": 1, "b": "x"}]
+
+    def test_metadata_included(self):
+        document = json.loads(rows_to_json([{"a": 1}], metadata={"experiment": "E8"}))
+        assert document["metadata"] == {"experiment": "E8"}
+
+    def test_metadata_omitted_when_absent(self):
+        document = json.loads(rows_to_json([{"a": 1}]))
+        assert "metadata" not in document
+
+    def test_numpy_scalars_coerced(self):
+        row = {"f": np.float64(0.5), "i": np.int64(3), "b": np.bool_(True)}
+        document = json.loads(rows_to_json([row]))
+        assert document["rows"][0] == {"f": 0.5, "i": 3, "b": True}
+
+    def test_numpy_array_coerced(self):
+        document = json.loads(rows_to_json([{"xs": np.arange(3)}]))
+        assert document["rows"][0]["xs"] == [0, 1, 2]
+
+    def test_value_with_error_coerced_to_value(self):
+        document = json.loads(rows_to_json([{"v": ValueWithError(0.25, 0.01)}]))
+        assert document["rows"][0]["v"] == 0.25
+
+    def test_nested_structures(self):
+        row = {"pair": (1, np.float64(2.0)), "map": {"inner": np.int32(7)}}
+        document = json.loads(rows_to_json([row]))
+        assert document["rows"][0] == {"pair": [1, 2.0], "map": {"inner": 7}}
+
+    def test_unknown_objects_stringified(self):
+        interval = wilson_interval(3, 10)
+        document = json.loads(rows_to_json([{"ci": interval}]))
+        assert isinstance(document["rows"][0]["ci"], (str, float))
+
+
+class TestFileRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        target = tmp_path / "nested" / "results.json"
+        written = write_rows(target, [{"a": 1}], metadata={"seed": 7})
+        assert written.exists()
+        rows, metadata = read_rows(written)
+        assert rows == [{"a": 1}]
+        assert metadata == {"seed": 7}
+
+    def test_read_missing_metadata(self, tmp_path):
+        target = tmp_path / "results.json"
+        target.write_text('{"rows": [{"a": 2}]}')
+        rows, metadata = read_rows(target)
+        assert rows == [{"a": 2}]
+        assert metadata == {}
+
+    def test_real_experiment_rows_serialise(self, tmp_path):
+        from repro.analysis import window_pmf_table
+
+        rows = window_pmf_table(range(3))
+        target = write_rows(tmp_path / "window.json", rows, {"experiment": "E4"})
+        recovered, metadata = read_rows(target)
+        assert len(recovered) == 3
+        assert metadata["experiment"] == "E4"
+        assert recovered[0]["Pr[B] SC"] == 1.0

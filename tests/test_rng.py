@@ -1,0 +1,146 @@
+"""Tests for repro.stats.rng: seeding, splitting, and samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import RandomSource, iter_batches, spawn_sources
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(123)
+        b = RandomSource(123)
+        assert [a.geometric(0.5) for _ in range(20)] == [b.geometric(0.5) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.geometric(0.5) for _ in range(50)] != [b.geometric(0.5) for _ in range(50)]
+
+    def test_spawn_children_are_independent_of_parent_order(self):
+        children_first = RandomSource(9).spawn(3)
+        values_first = [child.uniform_int(0, 10**9) for child in children_first]
+        parent = RandomSource(9)
+        parent.uniform_int(0, 10**9)  # consuming parent randomness...
+        children_second = parent.spawn(3)
+        values_second = [child.uniform_int(0, 10**9) for child in children_second]
+        assert values_first == values_second  # ...does not perturb children
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).spawn(-1)
+
+    def test_spawn_zero_is_empty(self):
+        assert RandomSource(0).spawn(0) == []
+
+    def test_child_differs_from_next_child(self):
+        parent = RandomSource(4)
+        first = parent.child()
+        second = parent.child()
+        assert [first.geometric(0.5) for _ in range(20)] != [
+            second.geometric(0.5) for _ in range(20)
+        ]
+
+    def test_spawn_sources_helper(self):
+        sources = spawn_sources(42, 4)
+        assert len(sources) == 4
+        assert all(isinstance(source, RandomSource) for source in sources)
+
+
+class TestBernoulli:
+    def test_degenerate_zero(self, source):
+        assert not any(source.bernoulli(0.0) for _ in range(50))
+
+    def test_degenerate_one(self, source):
+        assert all(source.bernoulli(1.0) for _ in range(50))
+
+    def test_degenerate_probabilities_consume_no_randomness(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        for _ in range(10):
+            a.bernoulli(0.0)
+            a.bernoulli(1.0)
+        assert a.geometric(0.5) == b.geometric(0.5)
+
+    def test_mean_close_to_probability(self, source):
+        count = sum(source.bernoulli(0.3) for _ in range(20_000))
+        assert abs(count / 20_000 - 0.3) < 0.02
+
+    def test_array_shape_and_dtype(self, source):
+        flips = source.bernoulli_array(0.5, (3, 4))
+        assert flips.shape == (3, 4)
+        assert flips.dtype == bool
+
+    def test_array_degenerate(self, source):
+        assert not source.bernoulli_array(0.0, 10).any()
+        assert source.bernoulli_array(1.0, 10).all()
+
+
+class TestGeometric:
+    def test_zero_beta_is_constant_zero(self, source):
+        assert all(source.geometric(0.0) == 0 for _ in range(20))
+
+    def test_values_non_negative(self, source):
+        assert all(source.geometric(0.7) >= 0 for _ in range(200))
+
+    def test_pmf_matches_definition(self, source):
+        """Pr[k] = (1-beta) beta^k: check k = 0 and k = 1 frequencies."""
+        draws = source.geometric_array(0.5, 40_000)
+        zero_fraction = float((draws == 0).mean())
+        one_fraction = float((draws == 1).mean())
+        assert abs(zero_fraction - 0.5) < 0.01
+        assert abs(one_fraction - 0.25) < 0.01
+
+    def test_mean_matches_beta_over_one_minus_beta(self, source):
+        draws = source.geometric_array(0.5, 40_000)
+        assert abs(float(draws.mean()) - 1.0) < 0.05  # E = beta/(1-beta) = 1
+
+    def test_invalid_beta_rejected(self, source):
+        with pytest.raises(ValueError):
+            source.geometric(1.0)
+        with pytest.raises(ValueError):
+            source.geometric(-0.1)
+        with pytest.raises(ValueError):
+            source.geometric_array(1.5, 4)
+
+    def test_array_dtype(self, source):
+        assert source.geometric_array(0.5, 8).dtype == np.int64
+
+
+class TestUniformInt:
+    def test_bounds_inclusive(self, source):
+        draws = {source.uniform_int(2, 4) for _ in range(200)}
+        assert draws == {2, 3, 4}
+
+    def test_single_point(self, source):
+        assert source.uniform_int(5, 5) == 5
+
+    def test_empty_range_rejected(self, source):
+        with pytest.raises(ValueError):
+            source.uniform_int(3, 2)
+
+
+class TestTypeArray:
+    def test_shape_and_bias(self, source):
+        types = source.type_array(0.8, 20_000)
+        assert types.shape == (20_000,)
+        assert abs(float(types.mean()) - 0.8) < 0.02
+
+
+class TestIterBatches:
+    def test_exact_cover(self):
+        assert list(iter_batches(10, 4)) == [4, 4, 2]
+
+    def test_single_batch(self):
+        assert list(iter_batches(3, 100)) == [3]
+
+    def test_zero_total(self):
+        assert list(iter_batches(0, 5)) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(-1, 5))
+        with pytest.raises(ValueError):
+            list(iter_batches(5, 0))

@@ -1,0 +1,196 @@
+"""Tests for repro.core.settling: the §3.1.2 reordering process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PSO,
+    SC,
+    TSO,
+    WO,
+    SettlingProcess,
+    program_from_types,
+    sample_window_growth,
+)
+from repro.core.settling import sample_trailing_run
+from repro.errors import ModelDefinitionError
+from repro.stats import RandomSource, run_categorical_trials
+
+
+class TestSettlingInvariants:
+    def test_output_is_permutation(self, paper_model, source):
+        program = program_from_types("SLSLSLSS")
+        result = SettlingProcess(paper_model).settle(program, source)
+        assert sorted(result.order) == list(range(1, program.length + 1))
+
+    def test_position_of_inverts_order(self, paper_model, source):
+        program = program_from_types("SLLS")
+        result = SettlingProcess(paper_model).settle(program, source)
+        for position, index in enumerate(result.order, start=1):
+            assert result.position_of(index) == position
+
+    def test_sc_is_identity(self, source):
+        program = program_from_types("SLSLLS")
+        result = SettlingProcess(SC).settle(program, source)
+        assert list(result.order) == list(range(1, program.length + 1))
+        assert result.window_growth == 0
+
+    def test_critical_store_never_passes_critical_load(self, paper_model, source):
+        program = program_from_types("SSSS")
+        for _ in range(50):
+            result = SettlingProcess(paper_model).settle(program, source.child())
+            assert result.critical_load_position < result.critical_store_position
+
+    def test_window_length_is_growth_plus_two(self, paper_model, source):
+        program = program_from_types("SSLS")
+        result = SettlingProcess(paper_model).settle(program, source)
+        assert result.window_length == result.window_growth + 2
+
+    def test_window_indices_span_critical_pair(self, source):
+        program = program_from_types("SSSS")
+        result = SettlingProcess(WO).settle(program, source)
+        indices = result.window_indices()
+        assert indices[0] == result.critical_load_position
+        assert indices[-1] == result.critical_store_position
+
+    def test_tso_stores_never_move(self, source):
+        """Under TSO a store can pass nothing: relative store order is fixed."""
+        program = program_from_types("SLSLS")
+        store_indices = [i for i in range(1, program.length + 1)
+                         if program.type_of(i).mnemonic == "ST"]
+        for _ in range(50):
+            result = SettlingProcess(TSO).settle(program, source.child())
+            positions = [result.position_of(i) for i in store_indices]
+            assert positions == sorted(positions)
+
+    def test_tso_load_never_passes_load(self, source):
+        program = program_from_types("LLLL")
+        for _ in range(50):
+            result = SettlingProcess(TSO).settle(program, source.child())
+            assert list(result.order) == list(range(1, program.length + 1))
+
+    def test_pso_preserves_type_multiset(self, source):
+        program = program_from_types("SLLSS")
+        result = SettlingProcess(PSO).settle(program, source)
+        initial = sorted(t.mnemonic for t in program.types())
+        final = sorted(t.mnemonic for t in result.final_types())
+        assert initial == final
+
+
+class TestTrace:
+    def test_trace_absent_by_default(self, source):
+        result = SettlingProcess(TSO).settle(program_from_types("SL"), source)
+        assert result.trace is None
+
+    def test_trace_has_one_step_per_round(self, source):
+        program = program_from_types("SLS")
+        result = SettlingProcess(TSO).settle(program, source, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == program.length
+        assert [step.round_index for step in result.trace] == list(range(1, program.length + 1))
+
+    def test_trace_orders_grow_by_one(self, source):
+        program = program_from_types("SSLL")
+        result = SettlingProcess(WO).settle(program, source, record_trace=True)
+        for round_number, step in enumerate(result.trace, start=1):
+            assert len(step.order) == round_number
+            assert sorted(step.order) == list(range(1, round_number + 1))
+
+    def test_trace_final_order_matches_result(self, source):
+        program = program_from_types("SLSSL")
+        result = SettlingProcess(PSO).settle(program, source, record_trace=True)
+        assert result.trace[-1].order == result.order
+
+    def test_swap_counts_bounded_by_position(self, source):
+        program = program_from_types("SSSSS")
+        result = SettlingProcess(WO).settle(program, source, record_trace=True)
+        for step in result.trace:
+            assert 0 <= step.swaps < step.round_index
+
+
+class TestDeterministicSettling:
+    def test_certain_swap_probability_floats_load_to_top(self):
+        """With s = 1 under TSO, a load passes every store above it."""
+        model = TSO.with_settle_probability(1.0)
+        program = program_from_types("SSS")
+        result = SettlingProcess(model).settle(program, RandomSource(0))
+        # The critical load must sit at position 1; critical store stays put.
+        assert result.critical_load_position == 1
+        assert result.window_growth == 3
+
+    def test_zero_swap_probability_is_identity(self):
+        model = WO.with_settle_probability(0.0)
+        program = program_from_types("SLSL")
+        result = SettlingProcess(model).settle(program, RandomSource(0))
+        assert list(result.order) == list(range(1, program.length + 1))
+
+
+class TestTrailingRunSampler:
+    def test_requires_store_buffer_model(self, source):
+        with pytest.raises(ModelDefinitionError):
+            sample_trailing_run(WO, source)
+        with pytest.raises(ModelDefinitionError):
+            sample_trailing_run(SC, source)
+
+    def test_accepts_tso_and_pso(self, store_buffer_model, source):
+        value = sample_trailing_run(store_buffer_model, source, body_length=32)
+        assert 0 <= value <= 32
+
+    def test_rejects_non_uniform_settle(self, source):
+        from repro.core import LD, ST, MemoryModel
+
+        lopsided = MemoryModel("lop", [(ST, LD), (ST, ST)], {(ST, LD): 0.3, (ST, ST): 0.6})
+        with pytest.raises(ModelDefinitionError):
+            sample_trailing_run(lopsided, source)
+
+    def test_matches_settled_prefix_run(self):
+        """The chain sampler's distribution matches direct settling."""
+        from repro.core import run_length_distribution
+
+        result = run_categorical_trials(
+            lambda src: sample_trailing_run(TSO, src, body_length=64),
+            trials=20_000,
+            seed=17,
+        )
+        exact = run_length_distribution()
+        for mu in range(5):
+            assert result.probability(mu).contains(exact.pmf(mu)), f"mu={mu}"
+
+
+class TestWindowGrowthSampler:
+    def test_sc_always_zero(self, source):
+        assert all(sample_window_growth(SC, source) == 0 for _ in range(20))
+
+    def test_non_negative(self, paper_model, source):
+        for _ in range(50):
+            assert sample_window_growth(paper_model, source, body_length=32) >= 0
+
+    def test_matches_reference_simulator(self, paper_model):
+        """Fast samplers agree with the full settling process (cross-check)."""
+        fast = run_categorical_trials(
+            lambda src: sample_window_growth(paper_model, src, body_length=48),
+            trials=15_000,
+            seed=23,
+        )
+        slow = run_categorical_trials(
+            lambda src: SettlingProcess(paper_model)
+            .sample_result(src, body_length=48)
+            .window_growth,
+            trials=15_000,
+            seed=29,
+        )
+        for gamma in range(4):
+            fast_interval = fast.probability(gamma)
+            slow_interval = slow.probability(gamma)
+            assert fast_interval.low <= slow_interval.high
+            assert slow_interval.low <= fast_interval.high
+
+    def test_custom_model_falls_back_to_reference(self, source):
+        from repro.core import LD, ST, MemoryModel
+
+        # Only ST/ST relaxes: the critical load cannot move and the critical
+        # store cannot pass the load, so the window can never grow.
+        exotic = MemoryModel("exotic", [(ST, ST)])
+        for _ in range(20):
+            assert sample_window_growth(exotic, source, body_length=16) == 0

@@ -1,0 +1,204 @@
+"""Tests for repro.core.shift_analytic: Theorem 5.1, Corollary 5.2, Theorem 6.1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    c_constant,
+    disjointness_exchangeable,
+    disjointness_iid,
+    disjointness_probability,
+    log_disjointness_iid,
+    ordered_disjointness,
+    point_mass,
+    prefactor,
+    wo_window_distribution,
+)
+from repro.core.shift_analytic import MAX_EXACT_SEGMENTS, log_prefactor
+
+
+class TestOrderedDisjointness:
+    def test_single_segment(self):
+        assert ordered_disjointness([5]) == 1.0
+
+    def test_two_equal_segments_paper_value(self):
+        """For γ = (2, 2): each order contributes 1/12 (SC case -> 1/6 total)."""
+        assert ordered_disjointness([2, 2]) == pytest.approx(1 / 12)
+
+    def test_order_matters(self):
+        assert ordered_disjointness([5, 0]) != ordered_disjointness([0, 5])
+
+    def test_last_segment_length_is_irrelevant(self):
+        """Only the n-1 larger-shift segments contribute factors."""
+        assert ordered_disjointness([2, 0]) == ordered_disjointness([2, 99])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ordered_disjointness([])
+        with pytest.raises(ValueError):
+            ordered_disjointness([-1, 2])
+        with pytest.raises(ValueError):
+            ordered_disjointness([1, 2], beta=0.0)
+
+
+class TestTheorem51:
+    def test_sc_two_threads(self):
+        assert disjointness_probability([2, 2]) == pytest.approx(1 / 6)
+
+    def test_single_segment_certain(self):
+        assert disjointness_probability([7]) == 1.0
+
+    def test_two_zero_segments(self):
+        """Points [s, s] disjoint iff |s1 - s2| >= 1: Pr = 1 - Pr[tie] = 2/3."""
+        assert disjointness_probability([0, 0]) == pytest.approx(2 / 3)
+
+    def test_matches_direct_summation_n2(self):
+        """Independent check: direct double sum over both shifts."""
+        for lengths in ([1, 3], [2, 2], [0, 4]):
+            direct = 0.0
+            for s1 in range(80):
+                for s2 in range(80):
+                    if s2 > s1 + lengths[0] or s1 > s2 + lengths[1]:
+                        direct += 2.0 ** -(s1 + 1) * 2.0 ** -(s2 + 1)
+            assert disjointness_probability(lengths) == pytest.approx(direct, abs=1e-9)
+
+    def test_matches_direct_summation_n3(self):
+        lengths = [1, 2, 0]
+        direct = 0.0
+        limit = 40
+        for s1 in range(limit):
+            for s2 in range(limit):
+                for s3 in range(limit):
+                    shifts = (s1, s2, s3)
+                    segments = sorted(zip(shifts, lengths))
+                    ok = all(
+                        segments[i + 1][0] > segments[i][0] + segments[i][1]
+                        for i in range(2)
+                    )
+                    if ok:
+                        direct += math.prod(2.0 ** -(s + 1) for s in shifts)
+        assert disjointness_probability(lengths) == pytest.approx(direct, abs=1e-6)
+
+    def test_monotone_in_lengths(self):
+        assert disjointness_probability([1, 1]) > disjointness_probability([3, 3])
+
+    def test_permutation_invariant(self):
+        assert disjointness_probability([0, 2, 5]) == pytest.approx(
+            disjointness_probability([5, 0, 2])
+        )
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(ValueError):
+            disjointness_probability([0] * (MAX_EXACT_SEGMENTS + 1))
+
+    def test_general_beta(self):
+        """Direct summation cross-check at β = 0.3."""
+        beta = 0.3
+        lengths = [2, 1]
+        direct = 0.0
+        for s1 in range(60):
+            for s2 in range(60):
+                if s2 > s1 + lengths[0] or s1 > s2 + lengths[1]:
+                    direct += (1 - beta) ** 2 * beta ** (s1 + s2)
+        assert disjointness_probability(lengths, beta) == pytest.approx(direct, abs=1e-9)
+
+
+class TestCorollary52:
+    def test_c2_is_eight_thirds(self):
+        assert c_constant(2) == pytest.approx(8 / 3)
+
+    def test_c_in_two_four(self):
+        """Corollary 5.2: c(n) ∈ [2, 4] for all n."""
+        for n in range(1, 40):
+            assert 2.0 <= c_constant(n) <= 4.0, f"n={n}"
+
+    def test_c_monotone_increasing(self):
+        values = [c_constant(n) for n in range(2, 20)]
+        assert values == sorted(values)
+
+    def test_c_consistent_with_theorem(self):
+        """Pr[A] = c(n) 2^{-binom(n+1,2)} Σ_σ Π 2^{-(n-i)γ_σ(i)}."""
+        lengths = [2, 1, 3]
+        n = 3
+        from itertools import permutations
+
+        sigma_sum = sum(
+            math.prod(2.0 ** (-(n - i) * order[i - 1]) for i in range(1, n))
+            for order in permutations(lengths)
+        )
+        packaged = c_constant(n) * 2.0 ** -(n * (n + 1) // 2) * sigma_sum
+        assert packaged == pytest.approx(disjointness_probability(lengths))
+
+
+class TestPrefactor:
+    def test_matches_log_form(self):
+        for n in (2, 5, 9):
+            assert math.log(prefactor(n)) == pytest.approx(log_prefactor(n))
+
+    def test_n1_is_one(self):
+        assert prefactor(1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prefactor(0)
+        with pytest.raises(ValueError):
+            log_prefactor(2, beta=1.0)
+
+
+class TestTheorem61:
+    def test_iid_matches_exact_for_point_mass(self):
+        """Degenerate windows: Theorem 6.1 must equal Theorem 5.1."""
+        growth = point_mass(0)  # window length 2
+        for n in (2, 3, 4, 5):
+            via_61 = disjointness_iid(growth, n).value
+            via_51 = disjointness_probability([2] * n)
+            assert via_61 == pytest.approx(via_51, rel=1e-9), f"n={n}"
+
+    def test_iid_matches_exact_for_wo(self):
+        """WO windows are iid: Theorem 6.1 vs explicit expectation over Thm 5.1.
+
+        For n = 2: Pr[A] = (2/3) E[2^{-Γ}], summed directly over the PMF.
+        """
+        growth = wo_window_distribution()
+        expectation = sum(
+            growth.pmf(gamma) * 2.0 ** -(gamma + 2) for gamma in range(40)
+        )
+        assert disjointness_iid(growth, 2).value == pytest.approx(
+            (2 / 3) * expectation, abs=1e-9
+        )
+
+    def test_log_form_consistent(self):
+        growth = wo_window_distribution()
+        for n in (2, 4, 8):
+            assert math.exp(log_disjointness_iid(growth, n)) == pytest.approx(
+                disjointness_iid(growth, n).value, rel=1e-9
+            )
+
+    def test_log_form_handles_large_n(self):
+        growth = point_mass(0)
+        value = log_disjointness_iid(growth, 200)
+        assert math.isfinite(value)
+        assert value < -1000
+
+    def test_one_thread_is_certain(self):
+        assert disjointness_iid(point_mass(0), 1).value == pytest.approx(1.0)
+        assert log_disjointness_iid(point_mass(0), 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            disjointness_iid(point_mass(0), 0)
+
+    def test_exchangeable_wrapper(self):
+        """disjointness_exchangeable(E) = prefactor · n! · E."""
+        growth = point_mass(0)
+        n = 3
+        # E[Π 2^{-(n-i)(Γ+1)}] for Γ ≡ 2: 2^{-3·(2+1)} = 2^-9.
+        expectation = 2.0**-9
+        assert disjointness_exchangeable(expectation, n) == pytest.approx(
+            disjointness_iid(growth, n).value, rel=1e-9
+        )
+        with pytest.raises(ValueError):
+            disjointness_exchangeable(-0.1, 2)

@@ -1,0 +1,106 @@
+"""Tests for repro.sim.memory and repro.sim.programs."""
+
+from __future__ import annotations
+
+from repro.sim import (
+    AccessKind,
+    SHARED_COUNTER,
+    SharedMemory,
+    canonical_increment,
+    canonical_increment_fenced,
+    padded_body,
+    sample_body_types,
+)
+from repro.stats import RandomSource
+
+
+class TestSharedMemory:
+    def test_zero_initialised(self):
+        memory = SharedMemory()
+        assert memory.read("anything", cycle=0, core="T0") == 0
+
+    def test_initial_values(self):
+        memory = SharedMemory({"x": 4})
+        assert memory.peek("x") == 4
+
+    def test_commit_updates_value(self):
+        memory = SharedMemory()
+        memory.commit("x", 7, cycle=3, core="T0")
+        assert memory.peek("x") == 7
+
+    def test_log_disabled_by_default(self):
+        memory = SharedMemory()
+        memory.commit("x", 1, cycle=0, core="T0")
+        memory.read("x", cycle=1, core="T0")
+        assert memory.log == []
+
+    def test_log_records_in_order(self):
+        memory = SharedMemory(log_accesses=True)
+        memory.commit("x", 1, cycle=0, core="T0")
+        memory.read("x", cycle=1, core="T1")
+        kinds = [record.kind for record in memory.log]
+        assert kinds == [AccessKind.COMMIT, AccessKind.READ]
+        assert memory.log[1].value == 1
+
+    def test_peek_not_logged(self):
+        memory = SharedMemory(log_accesses=True)
+        memory.peek("x")
+        assert memory.log == []
+
+    def test_commits_to_filters(self):
+        memory = SharedMemory(log_accesses=True)
+        memory.commit("x", 1, 0, "T0")
+        memory.commit("y", 2, 1, "T0")
+        memory.commit("x", 3, 2, "T1")
+        values = [record.value for record in memory.commits_to("x")]
+        assert values == [1, 3]
+
+    def test_snapshot_is_copy(self):
+        memory = SharedMemory({"x": 1})
+        snap = memory.snapshot()
+        snap["x"] = 99
+        assert memory.peek("x") == 1
+
+    def test_record_str(self):
+        memory = SharedMemory(log_accesses=True)
+        memory.commit("x", 5, cycle=12, core="T3")
+        assert "T3" in str(memory.log[0])
+        assert "x = 5" in str(memory.log[0])
+
+
+class TestPrograms:
+    def test_sample_body_types_length_and_bias(self):
+        types = sample_body_types(2000, RandomSource(1), store_probability=0.25)
+        assert len(types) == 2000
+        assert abs(sum(types) / 2000 - 0.25) < 0.05
+
+    def test_padded_body_private_locations(self):
+        body = padded_body(3, [True, False, True])
+        addresses = [op.address for op in body]
+        assert addresses == ["t3_a0", "t3_a1", "t3_a2"]
+        assert body[0].is_store and body[1].is_load
+
+    def test_canonical_increment_shape(self):
+        program = canonical_increment(0)
+        assert program.name == "T0"
+        memory_ops = program.memory_operations()
+        assert len(memory_ops) == 2
+        assert memory_ops[0].is_load and memory_ops[0].address == SHARED_COUNTER
+        assert memory_ops[1].is_store and memory_ops[1].address == SHARED_COUNTER
+
+    def test_canonical_increment_with_body(self):
+        program = canonical_increment(1, [True, True, False])
+        assert len(program) == 6
+        assert len(program.memory_operations()) == 5
+
+    def test_fenced_variant_has_two_fences(self):
+        program = canonical_increment_fenced(0, [True])
+        fences = [op for op in program if op.is_fence]
+        assert len(fences) == 2
+
+    def test_threads_share_types_but_not_locations(self):
+        types = [True, False]
+        a = canonical_increment(0, types)
+        b = canonical_increment(1, types)
+        assert [op.is_store for op in a][:2] == [op.is_store for op in b][:2]
+        assert a.operations[0].address != b.operations[0].address

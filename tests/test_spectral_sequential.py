@@ -1,0 +1,115 @@
+"""Tests for the run-chain spectral analysis and sequential estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    finite_run_distribution,
+    mixing_rounds,
+    run_chain_spectral_gap,
+    run_length_distribution,
+)
+from repro.stats import RandomSource, estimate_to_precision
+
+
+class TestSpectralGap:
+    def test_gap_positive_at_paper_parameters(self):
+        gap = run_chain_spectral_gap()
+        assert 0.5 < gap < 1.0
+
+    def test_gap_shrinks_with_store_probability(self):
+        """Store-rich programs mix slower (runs grow almost deterministically)."""
+        assert run_chain_spectral_gap(0.9) < run_chain_spectral_gap(0.5)
+
+    def test_convergence_is_geometric(self):
+        """Finite-horizon law vs stationary law decays geometrically.
+
+        The effective rate is max(|λ₂|, p) — the stationary tail beyond the
+        reachable run lengths (ratio → p) dominates the spectral term at
+        the paper's parameters.
+        """
+        stationary = run_length_distribution()
+        rate = max(1.0 - run_chain_spectral_gap(), 0.5)
+        previous_distance = None
+        for rounds in (8, 16, 24):
+            finite = finite_run_distribution(rounds)
+            size = min(finite.truncation_point, stationary.truncation_point)
+            distance = 0.5 * float(
+                np.abs(finite.prefix[:size] - stationary.prefix[:size]).sum()
+            )
+            assert distance < 10 * rate**rounds, rounds
+            if previous_distance is not None and previous_distance > 1e-14:
+                assert distance < previous_distance
+            previous_distance = distance
+
+    def test_mixing_rounds_monotone_in_tolerance(self):
+        assert mixing_rounds(1e-12) > mixing_rounds(1e-3)
+
+    def test_mixing_rounds_practical(self):
+        """The default body lengths comfortably exceed the mixing bound."""
+        assert mixing_rounds(1e-12) < 96  # DEFAULT_BODY_LENGTH
+
+    def test_mixing_rounds_validation(self):
+        with pytest.raises(ValueError):
+            mixing_rounds(0.0)
+        with pytest.raises(ValueError):
+            mixing_rounds(1.0)
+
+
+class TestSequentialEstimation:
+    @staticmethod
+    def _coin(probability):
+        def batch_trial(source: RandomSource, size: int) -> int:
+            return int(source.bernoulli_array(probability, size).sum())
+
+        return batch_trial
+
+    def test_reaches_target_half_width(self):
+        result = estimate_to_precision(self._coin(0.3), half_width=0.01, seed=1)
+        assert result.proportion.half_width <= 0.01
+        assert result.agrees_with(0.3)
+
+    def test_tighter_target_needs_more_trials(self):
+        loose = estimate_to_precision(self._coin(0.5), half_width=0.05, seed=2)
+        tight = estimate_to_precision(self._coin(0.5), half_width=0.005, seed=2)
+        assert tight.trials > loose.trials
+
+    def test_rare_events_need_fewer_trials_than_worst_case(self):
+        """Wilson width shrinks fast near 0: rare events finish early."""
+        rare = estimate_to_precision(self._coin(0.01), half_width=0.01, seed=3)
+        balanced = estimate_to_precision(self._coin(0.5), half_width=0.01, seed=3)
+        assert rare.trials < balanced.trials
+
+    def test_trial_cap_respected(self):
+        result = estimate_to_precision(
+            self._coin(0.5), half_width=1e-6, seed=4, max_trials=10_000
+        )
+        assert result.trials == 10_000
+        assert result.proportion.half_width > 1e-6  # cap hit, target not met
+
+    def test_reproducible(self):
+        a = estimate_to_precision(self._coin(0.4), half_width=0.02, seed=5)
+        b = estimate_to_precision(self._coin(0.4), half_width=0.02, seed=5)
+        assert (a.successes, a.trials) == (b.successes, b.trials)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_to_precision(self._coin(0.5), half_width=0.0)
+        with pytest.raises(ValueError):
+            estimate_to_precision(self._coin(0.5), half_width=0.1, initial_batch=0)
+        with pytest.raises(ValueError):
+            estimate_to_precision(self._coin(0.5), half_width=0.1, growth=0.5)
+
+    def test_end_to_end_with_manifestation(self):
+        """Drive the real pipeline to a fixed precision."""
+        from repro.core import SC, batch_disjoint, sample_growth_matrix
+
+        def batch_trial(source: RandomSource, size: int) -> int:
+            growths = sample_growth_matrix(SC, source, size, 2)
+            shifts = source.geometric_array(0.5, (size, 2))
+            return int(batch_disjoint(shifts, growths + 2).sum())
+
+        result = estimate_to_precision(batch_trial, half_width=0.01, seed=6)
+        assert result.agrees_with(1 / 6)

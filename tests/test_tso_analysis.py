@@ -1,0 +1,238 @@
+"""Tests for repro.core.tso_analysis: Claim 4.3, Lemma 4.2, Claim 4.4."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    conditional_run_distribution,
+    f_probability_exact,
+    f_probability_lower_bound,
+    l_lower_bound_paper,
+    l_probability_paper,
+    paper_run_distribution,
+    psi_pmf,
+    run_length_distribution,
+    steady_state_store_fraction,
+    store_fraction_sequence,
+)
+from repro.core.tso_analysis import run_transition_matrix
+from repro.errors import TruncationError
+
+
+class TestClaim43:
+    """The steady-state store fraction (experiment E5)."""
+
+    def test_paper_value(self):
+        assert steady_state_store_fraction() == pytest.approx(2 / 3)
+
+    def test_general_fixed_point(self):
+        for p in (0.1, 0.3, 0.7):
+            for s in (0.2, 0.5, 0.9):
+                x = steady_state_store_fraction(p, s)
+                assert x == pytest.approx(p + (1 - p) * s * x)
+
+    def test_sequence_starts_at_p_and_converges(self):
+        values = store_fraction_sequence(40)
+        assert values[0] == 0.5
+        assert values[-1] == pytest.approx(2 / 3, abs=1e-10)
+
+    def test_sequence_matches_paper_recurrence(self):
+        values = store_fraction_sequence(10)
+        for previous, current in zip(values, values[1:]):
+            assert current == pytest.approx(0.5 + 0.25 * previous)
+
+    def test_sequence_matches_closed_form(self):
+        """Pr[S_ST,i(i)] = 2/3 - (1/6)(1/4)^{i-1} per Claim 4.3's solve."""
+        for i, value in enumerate(store_fraction_sequence(12), start=1):
+            assert value == pytest.approx(2 / 3 - (1 / 6) * 0.25 ** (i - 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            store_fraction_sequence(0)
+        with pytest.raises(ValueError):
+            steady_state_store_fraction(store_probability=1.5)
+
+
+class TestRunChain:
+    """The trailing-run Markov chain — exact-numeric Pr[L_µ]."""
+
+    def test_rows_are_stochastic(self):
+        matrix = run_transition_matrix(max_run=32)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_known_transitions(self):
+        matrix = run_transition_matrix(max_run=8)
+        # From run 0: ST extends (p = 1/2), LD leaves it at 0.
+        assert matrix[0, 1] == pytest.approx(0.5)
+        assert matrix[0, 0] == pytest.approx(0.5)
+        # From run 2: split to 0 w.p. (1-p)(1-s) = 1/4, to 1 w.p. 1/8,
+        # stay w.p. (1-p) s^2 = 1/8, grow w.p. 1/2.
+        assert matrix[2, 0] == pytest.approx(0.25)
+        assert matrix[2, 1] == pytest.approx(0.125)
+        assert matrix[2, 2] == pytest.approx(0.125)
+        assert matrix[2, 3] == pytest.approx(0.5)
+
+    def test_l0_is_one_third(self):
+        assert run_length_distribution().pmf(0) == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_l1_attains_paper_bound(self):
+        """Lemma 4.2's bound is tight at µ = 1: Pr[L_1] = 2/7."""
+        assert run_length_distribution().pmf(1) == pytest.approx(2 / 7, abs=1e-9)
+
+    def test_lemma_42_lower_bound_holds_everywhere(self):
+        runs = run_length_distribution()
+        for mu in range(20):
+            assert runs.pmf(mu) >= l_lower_bound_paper(mu) - 1e-12, f"mu={mu}"
+
+    def test_mass_sums_to_one(self):
+        runs = run_length_distribution()
+        assert float(runs.prefix.sum()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_small_max_run_grows_automatically(self):
+        """An undersized state space is grown until the tail bound is met."""
+        dist = run_length_distribution(max_run=2)
+        assert dist.pmf(0) == pytest.approx(1 / 3, abs=1e-6)
+        assert dist.tail_bound <= 1e-7
+
+    def test_store_rich_programs_converge(self):
+        """p = 0.9 has a heavy run tail; auto-growth still converges."""
+        dist = run_length_distribution(store_probability=0.9)
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_complement_of_l0_matches_claim_43(self):
+        """Pr[run ≥ 1] = Pr[bottom instruction is ST] = 2/3."""
+        runs = run_length_distribution()
+        assert 1 - runs.pmf(0) == pytest.approx(steady_state_store_fraction(), abs=1e-9)
+
+    def test_general_parameters_l0(self):
+        """Stationary π_0 solves π_0 = (1-p)(π_0 + (1-π_0)(1-s))."""
+        for p in (0.3, 0.6):
+            for s in (0.3, 0.7):
+                pi0 = run_length_distribution(p, s).pmf(0)
+                expected = (1 - p) * (pi0 + (1 - pi0) * (1 - s))
+                assert pi0 == pytest.approx(expected, abs=1e-9)
+
+
+class TestPaperDecomposition:
+    """The paper's Ψ/∆/F route with exact φ agrees with the chain."""
+
+    def test_psi_pmf_normalises(self):
+        for mu in range(1, 5):
+            total = sum(psi_pmf(mu, q) for q in range(200))
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_psi_pmf_paper_form(self):
+        assert psi_pmf(2, 3) == pytest.approx(2**-2 * 2**-3 * math.comb(4, 3))
+
+    def test_psi_requires_positive_mu(self):
+        with pytest.raises(ValueError):
+            psi_pmf(0, 1)
+
+    def test_f_exact_at_least_lower_bound(self):
+        for mu in range(1, 6):
+            for q in range(0, 8):
+                assert (
+                    f_probability_exact(mu, q) >= f_probability_lower_bound(mu, q) - 1e-12
+                )
+
+    def test_f_with_no_loads_is_certain(self):
+        assert f_probability_exact(3, 0) == 1.0
+        assert f_probability_lower_bound(3, 0) == 1.0
+
+    def test_f_single_load_exact(self):
+        """One LD among µ stores: Pr[F] = Σ_δ 2^-δ / µ (uniform depth)."""
+        for mu in range(1, 6):
+            expected = sum(2.0**-delta for delta in range(1, mu + 1)) / mu
+            assert f_probability_exact(mu, 1) == pytest.approx(expected)
+
+    def test_decomposition_matches_chain(self):
+        """The strongest §4 cross-check: two independent derivations agree."""
+        chain = run_length_distribution()
+        paper = paper_run_distribution()
+        for mu in range(12):
+            assert paper.pmf(mu) == pytest.approx(chain.pmf(mu), abs=1e-7), f"mu={mu}"
+
+    def test_l_paper_exceeds_published_bound(self):
+        for mu in range(1, 10):
+            assert l_probability_paper(mu) >= l_lower_bound_paper(mu) - 1e-9
+
+    def test_l_paper_with_bound_phi_matches_published_bound(self):
+        """Substituting Claim 4.4's φ ≥ 1 reproduces (4/7)·2^{-µ} at µ = 1."""
+        value = l_probability_paper(1, exact_phi=False)
+        assert value == pytest.approx(l_lower_bound_paper(1), abs=1e-9)
+
+    def test_l_paper_mu_zero(self):
+        assert l_probability_paper(0) == pytest.approx(1 / 3)
+
+
+class TestConditionalRunDistribution:
+    def test_empty_prefix_is_point_mass_zero(self):
+        dist = conditional_run_distribution(np.array([], dtype=bool))
+        assert dist.pmf(0) == pytest.approx(1.0)
+
+    def test_all_stores_prefix(self):
+        """m stores and no loads: the run is deterministically m."""
+        dist = conditional_run_distribution(np.array([True] * 5))
+        assert dist.pmf(5) == pytest.approx(1.0)
+
+    def test_store_then_load(self):
+        """[ST, LD]: the load passes the store w.p. 1/2 -> run 1 or 0...
+
+        If it passes, order is LD ST -> trailing run 1; if not, run 0.
+        """
+        dist = conditional_run_distribution(np.array([True, False]))
+        assert dist.pmf(0) == pytest.approx(0.5)
+        assert dist.pmf(1) == pytest.approx(0.5)
+
+    def test_mass_conserved(self, source):
+        mask = source.type_array(0.5, 64)
+        dist = conditional_run_distribution(mask)
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_averaging_over_programs_recovers_unconditional(self):
+        """E_prog[conditional] = the chain's law (law of total probability)."""
+        from repro.stats import RandomSource
+
+        root = RandomSource(99)
+        accumulated = np.zeros(64)
+        programs = 3000
+        for _ in range(programs):
+            mask = root.type_array(0.5, 96)
+            dist = conditional_run_distribution(mask, max_run=64)
+            accumulated += dist.prefix
+        averaged = accumulated / programs
+        exact = run_length_distribution()
+        for mu in range(5):
+            # MC over programs only: generous 4-sigma-ish tolerance.
+            assert averaged[mu] == pytest.approx(exact.pmf(mu), abs=0.025), f"mu={mu}"
+
+    def test_matches_simulation_for_fixed_program(self):
+        """Direct settling of one fixed prefix matches the DP."""
+        from repro.core import TSO, SettlingProcess, program_from_types
+        from repro.stats import RandomSource, run_categorical_trials
+
+        body = "SLSSLS"
+        mask = np.array([ch == "S" for ch in body])
+        dist = conditional_run_distribution(mask)
+
+        def trailing_run(src):
+            program = program_from_types(body)
+            result = SettlingProcess(TSO).settle(program, src, record_trace=True)
+            # The L_µ events live on S_m: the order after the body settled,
+            # before the critical pair's rounds.  Count its trailing stores.
+            prefix_order = result.trace[len(body) - 1].order
+            run = 0
+            for index in reversed(prefix_order):
+                if program.type_of(index).mnemonic == "ST":
+                    run += 1
+                else:
+                    break
+            return run
+
+        result = run_categorical_trials(trailing_run, trials=20_000, seed=31)
+        for mu in range(4):
+            assert result.probability(mu).contains(dist.pmf(mu)), f"mu={mu}"

@@ -1,0 +1,187 @@
+"""Tests for repro.core.window_analytic: Theorem 4.1 (and the PSO extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PSO,
+    SC,
+    TSO,
+    WO,
+    pso_window_distribution,
+    sc_window_distribution,
+    tso_window_distribution,
+    tso_window_lower_bound,
+    tso_window_upper_bound,
+    window_distribution,
+    wo_window_distribution,
+)
+from repro.core import run_length_distribution, window_from_run_distribution
+from repro.errors import ModelDefinitionError
+
+
+class TestSequentialConsistency:
+    def test_point_mass_at_zero(self):
+        dist = sc_window_distribution()
+        assert dist.pmf(0) == 1.0
+        assert dist.pmf(1) == 0.0
+        assert dist.pmf(5) == 0.0
+
+
+class TestWeakOrdering:
+    def test_paper_values(self):
+        """Theorem 4.1 WO: Pr[B_0] = 2/3, Pr[B_γ] = 2^{-γ}/3."""
+        dist = wo_window_distribution()
+        assert dist.pmf(0) == pytest.approx(2 / 3)
+        for gamma in range(1, 10):
+            assert dist.pmf(gamma) == pytest.approx(2.0**-gamma / 3), f"gamma={gamma}"
+
+    def test_normalised(self):
+        dist = wo_window_distribution()
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-10)
+
+    def test_general_settle_probability(self):
+        """Pr[B_0] = 1/(1+s), Pr[B_γ] = (1-s) s^γ / (1+s)."""
+        for s in (0.2, 0.5, 0.8):
+            dist = wo_window_distribution(s)
+            assert dist.pmf(0) == pytest.approx(1 / (1 + s))
+            assert dist.pmf(2) == pytest.approx((1 - s) * s**2 / (1 + s))
+
+    def test_zero_settle_degenerates_to_sc(self):
+        dist = wo_window_distribution(0.0)
+        assert dist.pmf(0) == 1.0
+
+    def test_invalid_settle_rejected(self):
+        with pytest.raises(ValueError):
+            wo_window_distribution(1.0)
+
+
+class TestTotalStoreOrder:
+    def test_gamma_zero_paper_value(self):
+        assert tso_window_distribution().pmf(0) == pytest.approx(2 / 3, abs=1e-9)
+
+    def test_within_published_bounds(self):
+        """Theorem 4.1 TSO: (6/7)4^{-γ} ≤ Pr[B_γ] ≤ (6/7)4^{-γ} + (2/21)2^{-γ}."""
+        dist = tso_window_distribution()
+        for gamma in range(1, 16):
+            value = dist.pmf(gamma)
+            assert tso_window_lower_bound(gamma) - 1e-12 <= value, f"gamma={gamma}"
+            assert value <= tso_window_upper_bound(gamma) + 1e-12, f"gamma={gamma}"
+
+    def test_bounds_shape(self):
+        assert tso_window_lower_bound(0) == pytest.approx(2 / 3)
+        assert tso_window_upper_bound(0) == pytest.approx(2 / 3)
+        assert tso_window_lower_bound(1) == pytest.approx(6 / 28)
+        assert tso_window_upper_bound(1) == pytest.approx(6 / 28 + 1 / 21)
+
+    def test_bounds_validate_input(self):
+        with pytest.raises(ValueError):
+            tso_window_lower_bound(-1)
+        with pytest.raises(ValueError):
+            tso_window_upper_bound(-1)
+
+    def test_normalised(self):
+        dist = tso_window_distribution()
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-7)
+
+    def test_gamma_one_exact_value(self):
+        """From the run law: Pr[B_1] = Σ_{µ≥1} fold = 5/21... computed
+        directly: (1/2)(2/7) + (1/4)(1 - 1/3 - 2/7) = 1/7 + 2/21 = 5/21."""
+        assert tso_window_distribution().pmf(1) == pytest.approx(5 / 21, abs=1e-9)
+
+    def test_window_from_run_distribution_consistency(self):
+        runs = run_length_distribution()
+        folded = window_from_run_distribution(runs)
+        direct = tso_window_distribution()
+        for gamma in range(8):
+            assert folded.pmf(gamma) == pytest.approx(direct.pmf(gamma))
+
+
+class TestPartialStoreOrder:
+    """The footnote-4 extension (experiment E12)."""
+
+    def test_normalised(self):
+        dist = pso_window_distribution()
+        assert float(dist.prefix.sum()) == pytest.approx(1.0, abs=1e-7)
+
+    def test_gamma_zero_larger_than_tso(self):
+        """The store chases the load, so PSO windows shrink vs TSO."""
+        assert pso_window_distribution().pmf(0) > tso_window_distribution().pmf(0)
+
+    def test_tail_thinner_than_tso(self):
+        pso = pso_window_distribution()
+        tso = tso_window_distribution()
+        for gamma in range(1, 10):
+            assert pso.pmf(gamma) < tso.pmf(gamma)
+
+    def test_chase_fold_identity(self):
+        """Σ_γ Pr_PSO[B_γ] reproduces total mass: the fold is stochastic."""
+        from repro.core import pso_window_from_load_gap
+
+        gap = tso_window_distribution()
+        folded = pso_window_from_load_gap(gap)
+        assert float(folded.prefix.sum()) == pytest.approx(1.0, abs=1e-7)
+
+    def test_matches_simulation(self):
+        from repro.core import sample_window_growth
+        from repro.stats import run_categorical_trials
+
+        result = run_categorical_trials(
+            lambda src: sample_window_growth(PSO, src), trials=30_000, seed=41
+        )
+        dist = pso_window_distribution()
+        for gamma in range(5):
+            assert result.probability(gamma).contains(dist.pmf(gamma)), f"gamma={gamma}"
+
+
+class TestDispatcher:
+    def test_routes_each_paper_model(self, paper_model):
+        dist = window_distribution(paper_model)
+        assert dist.pmf(0) > 0.5  # Claim B.2: Pr[B_0] >= 1/2 in every model
+
+    def test_claim_b2_all_models(self, paper_model):
+        """Appendix Claim B.2: Pr[B_0] ≥ 1/2 in every memory model."""
+        assert window_distribution(paper_model).pmf(0) >= 0.5
+
+    def test_honours_model_settle_probability(self):
+        relaxed_little = WO.with_settle_probability(0.1)
+        dist = window_distribution(relaxed_little)
+        assert dist.pmf(0) == pytest.approx(1 / 1.1)
+
+    def test_rejects_non_uniform(self):
+        from repro.core import LD, ST, MemoryModel
+
+        lopsided = MemoryModel("lop", [(ST, LD), (LD, LD)], {(ST, LD): 0.2, (LD, LD): 0.8})
+        with pytest.raises(ModelDefinitionError):
+            window_distribution(lopsided)
+
+    def test_rejects_unknown_relaxation_pattern(self):
+        from repro.core import LD, ST, MemoryModel
+
+        exotic = MemoryModel("exotic", [(LD, LD)])
+        with pytest.raises(ModelDefinitionError):
+            window_distribution(exotic)
+
+    def test_store_probability_affects_tso_only(self):
+        tso_rich = window_distribution(TSO, store_probability=0.8)
+        tso_poor = window_distribution(TSO, store_probability=0.2)
+        assert tso_rich.pmf(3) > tso_poor.pmf(3)
+        wo_rich = window_distribution(WO, store_probability=0.8)
+        wo_poor = window_distribution(WO, store_probability=0.2)
+        assert wo_rich.pmf(3) == pytest.approx(wo_poor.pmf(3))
+
+
+class TestStochasticOrdering:
+    def test_tail_ordering_sc_pso_tso_wo(self):
+        """Window-size tails order: SC ≤ PSO ≤ TSO ≤ WO (this model)."""
+        sc = window_distribution(SC)
+        pso = window_distribution(PSO)
+        tso = window_distribution(TSO)
+        wo = window_distribution(WO)
+        for gamma in range(1, 8):
+            sc_tail = 1 - sc.cdf(gamma - 1).value
+            pso_tail = 1 - pso.cdf(gamma - 1).value
+            tso_tail = 1 - tso.cdf(gamma - 1).value
+            wo_tail = 1 - wo.cdf(gamma - 1).value
+            assert sc_tail <= pso_tail <= tso_tail <= wo_tail + 1e-12

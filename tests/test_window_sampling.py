@@ -1,0 +1,92 @@
+"""Tests for repro.core.window_sampling: the vectorised batch samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PSO, SC, TSO, WO, sample_growth_matrix, window_distribution
+from repro.stats import RandomSource, wilson_interval
+
+
+class TestShapes:
+    def test_shape(self, paper_model, source):
+        growths = sample_growth_matrix(paper_model, source, trials=7, threads=3)
+        assert growths.shape == (7, 3)
+        assert growths.dtype == np.int64
+
+    def test_non_negative(self, paper_model, source):
+        growths = sample_growth_matrix(paper_model, source, trials=50, threads=2)
+        assert (growths >= 0).all()
+
+    def test_sc_all_zero(self, source):
+        assert not sample_growth_matrix(SC, source, trials=20, threads=4).any()
+
+    def test_validation(self, source):
+        with pytest.raises(ValueError):
+            sample_growth_matrix(TSO, source, trials=0, threads=2)
+        with pytest.raises(ValueError):
+            sample_growth_matrix(TSO, source, trials=2, threads=0)
+
+    def test_reproducible(self):
+        a = sample_growth_matrix(TSO, RandomSource(8), trials=20, threads=2)
+        b = sample_growth_matrix(TSO, RandomSource(8), trials=20, threads=2)
+        assert (a == b).all()
+
+
+class TestMarginals:
+    @pytest.mark.parametrize("model", [TSO, PSO, WO], ids=lambda m: m.name)
+    def test_marginal_matches_analytic(self, model, source):
+        growths = sample_growth_matrix(model, source, trials=15_000, threads=2)
+        flat = growths.ravel()
+        dist = window_distribution(model)
+        for gamma in range(4):
+            count = int((flat == gamma).sum())
+            interval = wilson_interval(count, flat.size, confidence=0.999)
+            assert interval.contains(dist.pmf(gamma)), f"{model.name} gamma={gamma}"
+
+
+class TestSharedProgramCoupling:
+    def test_tso_threads_positively_correlated(self, source):
+        """Shared programs couple TSO windows: same-trial threads correlate.
+
+        A program whose suffix is store-rich inflates every thread's window,
+        so Cov(gamma_1, gamma_2) > 0; independent sampling would give ~0.
+        """
+        growths = sample_growth_matrix(TSO, source, trials=60_000, threads=2)
+        correlation = np.corrcoef(growths[:, 0], growths[:, 1])[0, 1]
+        assert correlation > 0.02
+
+    def test_wo_threads_uncorrelated(self, source):
+        """WO windows are program-independent, hence uncorrelated."""
+        growths = sample_growth_matrix(WO, source, trials=60_000, threads=2)
+        correlation = np.corrcoef(growths[:, 0], growths[:, 1])[0, 1]
+        assert abs(correlation) < 0.02
+
+
+class TestReferenceFallback:
+    def test_custom_model_uses_reference_settler(self, source):
+        from repro.core import LD, ST, MemoryModel
+
+        exotic = MemoryModel("exotic", [(ST, ST)])
+        growths = sample_growth_matrix(
+            exotic, source, trials=10, threads=2, body_length=12
+        )
+        assert not growths.any()  # ST/ST alone can never grow the window
+
+    def test_reference_matches_fast_for_tso(self):
+        """The slow shared-program path agrees with the fast chain path."""
+        from repro.core.window_sampling import _sample_growth_reference
+
+        fast = sample_growth_matrix(
+            TSO, RandomSource(3), trials=4000, threads=1, body_length=32
+        ).ravel()
+        slow = _sample_growth_reference(
+            TSO, RandomSource(4), trials=4000, threads=1, body_length=32,
+            store_probability=0.5,
+        ).ravel()
+        for gamma in range(3):
+            fast_interval = wilson_interval(int((fast == gamma).sum()), fast.size, 0.999)
+            slow_interval = wilson_interval(int((slow == gamma).sum()), slow.size, 0.999)
+            assert fast_interval.low <= slow_interval.high
+            assert slow_interval.low <= fast_interval.high
