@@ -1,0 +1,124 @@
+"""E17 — throughput scaling of the sharded parallel Monte-Carlo engine.
+
+Two workloads, spanning the library's cost spectrum:
+
+* **analytic kernel** — the vectorised §6 disjointness estimator
+  (``estimate_non_manifestation``), numpy-bound batches;
+* **machine simulation** — the §2.2 canonical bug on the simulated
+  multiprocessor (``run_canonical_bug``), pure-Python cycle stepping and
+  the workload the trial-budget wall actually bites.
+
+Each workload runs with a pinned ``(seed, shards)`` at 1/2/4/8 workers;
+the bench asserts the sharding discipline (identical numbers at every
+worker count) and — on hosts with enough cores — the speedup floor
+(≥ 2× at 4 workers for the machine workload).  All timings land in
+``BENCH_parallel_scaling.json`` at the repo root via
+:mod:`repro.reporting.io`, so later PRs can diff the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from conftest import show
+
+from repro.core import TSO, estimate_non_manifestation
+from repro.reporting import render_table
+from repro.reporting.io import write_rows
+from repro.sim import run_canonical_bug
+
+RESULTS_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel_scaling.json"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+SHARDS = 8
+SEED = 4242
+
+ANALYTIC_TRIALS = 400_000
+MACHINE_TRIALS = 2_000
+
+#: Speedup floor asserted at 4 workers on the machine workload — only on
+#: hosts that physically have ≥ 4 cores (parallel speedup on fewer cores
+#: is not a software property).
+SPEEDUP_FLOOR = 2.0
+
+
+def _analytic(workers: int):
+    return estimate_non_manifestation(
+        TSO, 2, ANALYTIC_TRIALS, seed=SEED, shards=SHARDS, workers=workers
+    )
+
+
+def _machine(workers: int):
+    return run_canonical_bug(
+        "TSO", threads=2, trials=MACHINE_TRIALS, seed=SEED,
+        body_length=8, shards=SHARDS, workers=workers,
+    )
+
+
+def _scan(workload, name: str, trials: int) -> list[dict[str, object]]:
+    """Time one workload across worker counts; verify bit-reproducibility."""
+    rows: list[dict[str, object]] = []
+    signatures = set()
+    serial_rate = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        result = workload(workers)
+        elapsed = time.perf_counter() - start
+        if hasattr(result, "final_values"):
+            signatures.add(tuple(sorted(result.final_values.items())))
+        else:
+            signatures.add(result.successes)
+        rate = trials / elapsed
+        if workers == 1:
+            serial_rate = rate
+        rows.append(
+            {
+                "workload": name,
+                "workers": workers,
+                "trials": trials,
+                "seconds": round(elapsed, 4),
+                "trials_per_sec": round(rate, 1),
+                "speedup_vs_serial": round(rate / serial_rate, 3),
+            }
+        )
+    # The sharding discipline: every worker count computed the same numbers.
+    assert len(signatures) == 1, f"{name}: results varied across worker counts"
+    return rows
+
+
+def test_parallel_scaling(run_once):
+    def compute():
+        rows = _scan(_analytic, "analytic-kernel", ANALYTIC_TRIALS)
+        rows += _scan(_machine, "machine-simulation", MACHINE_TRIALS)
+        return rows
+
+    rows = run_once(compute)
+    show(render_table(rows, precision=3,
+                      title="E17: sharded engine throughput (fixed seed/shards)"))
+
+    cpus = os.cpu_count() or 1
+    write_rows(
+        RESULTS_JSON,
+        rows,
+        metadata={
+            "experiment": "parallel_scaling",
+            "seed": SEED,
+            "shards": SHARDS,
+            "worker_counts": list(WORKER_COUNTS),
+            "cpu_count": cpus,
+            "speedup_floor_at_4_workers": SPEEDUP_FLOOR,
+            "floor_asserted": cpus >= 4,
+        },
+    )
+
+    by_key = {(row["workload"], row["workers"]): row for row in rows}
+    machine_4 = by_key[("machine-simulation", 4)]["speedup_vs_serial"]
+    if cpus >= 4:
+        assert machine_4 >= SPEEDUP_FLOOR, (
+            f"machine workload reached only {machine_4:.2f}x at 4 workers"
+        )
+    else:
+        show(f"[parallel-scaling] host has {cpus} CPU(s); speedup floor "
+             f"({SPEEDUP_FLOOR}x at 4 workers) recorded but not asserted")

@@ -4,11 +4,19 @@ The benches and examples repeatedly evaluate ``Pr[A]`` / ``Pr[bug]`` over
 grids of thread counts, settle probabilities and store probabilities; this
 module centralises those loops and returns plain row dicts ready for the
 reporting layer.
+
+Every sweep takes ``workers``: grid points are independent, so they
+dispatch onto the shared process-pool engine
+(:func:`repro.stats.parallel.parallel_map`) and come back in grid order —
+``workers=1`` (the default) is the plain serial loop, and the row values
+are identical either way because each point is a deterministic analytic
+evaluation.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from functools import partial
 
 from ..core.manifestation import (
     estimate_non_manifestation,
@@ -17,8 +25,23 @@ from ..core.manifestation import (
 )
 from ..core.memory_models import PAPER_MODELS, MemoryModel
 from ..core.window_analytic import window_distribution
+from ..stats.parallel import parallel_map
 
 __all__ = ["thread_sweep", "settle_sweep", "store_probability_sweep", "window_pmf_table", "critical_section_sweep", "beta_sweep"]
+
+
+def _thread_sweep_row(
+    n: int,
+    models: Sequence[MemoryModel],
+    store_probability: float,
+    beta: float,
+) -> dict[str, object]:
+    row: dict[str, object] = {"n": n}
+    for model in models:
+        row[f"ln Pr[A] {model.name}"] = log_non_manifestation(
+            model, n, store_probability, beta, allow_independent_approximation=True
+        )
+    return row
 
 
 def thread_sweep(
@@ -26,6 +49,7 @@ def thread_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     store_probability: float = 0.5,
     beta: float = 0.5,
+    workers: int | None = 1,
 ) -> list[dict[str, object]]:
     """``ln Pr[A]`` per model over thread counts (Theorem 6.3's curve).
 
@@ -33,15 +57,26 @@ def thread_sweep(
     approximation for TSO/PSO — adequate for the asymptotic claim, whose
     leading term Claim B.2 makes model-independent anyway).
     """
-    rows = []
-    for n in thread_counts:
-        row: dict[str, object] = {"n": n}
-        for model in models:
-            row[f"ln Pr[A] {model.name}"] = log_non_manifestation(
-                model, n, store_probability, beta, allow_independent_approximation=True
-            )
-        rows.append(row)
-    return rows
+    row = partial(_thread_sweep_row, models=list(models),
+                  store_probability=store_probability, beta=beta)
+    return parallel_map(row, thread_counts, workers=workers)
+
+
+def _settle_sweep_row(
+    settle: float,
+    models: Sequence[MemoryModel],
+    n: int,
+    store_probability: float,
+    beta: float,
+) -> dict[str, object]:
+    row: dict[str, object] = {"s": settle}
+    for model in models:
+        adjusted = model.with_settle_probability(settle)
+        value = non_manifestation_probability(
+            adjusted, n, store_probability, beta, allow_independent_approximation=True
+        )
+        row[f"Pr[bug] {model.name}"] = 1.0 - value.value
+    return row
 
 
 def settle_sweep(
@@ -50,23 +85,31 @@ def settle_sweep(
     n: int = 2,
     store_probability: float = 0.5,
     beta: float = 0.5,
+    workers: int | None = 1,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the swap-success probability ``s`` varies.
 
     Generalises the paper's fixed ``s = 1/2``: at ``s → 0`` every model
     degenerates to SC; growing ``s`` separates them.
     """
-    rows = []
-    for settle in settle_probabilities:
-        row: dict[str, object] = {"s": settle}
-        for model in models:
-            adjusted = model.with_settle_probability(settle)
-            value = non_manifestation_probability(
-                adjusted, n, store_probability, beta, allow_independent_approximation=True
-            )
-            row[f"Pr[bug] {model.name}"] = 1.0 - value.value
-        rows.append(row)
-    return rows
+    row = partial(_settle_sweep_row, models=list(models), n=n,
+                  store_probability=store_probability, beta=beta)
+    return parallel_map(row, settle_probabilities, workers=workers)
+
+
+def _store_probability_sweep_row(
+    p: float,
+    models: Sequence[MemoryModel],
+    n: int,
+    beta: float,
+) -> dict[str, object]:
+    row: dict[str, object] = {"p": p}
+    for model in models:
+        value = non_manifestation_probability(
+            model, n, p, beta, allow_independent_approximation=True
+        )
+        row[f"Pr[bug] {model.name}"] = 1.0 - value.value
+    return row
 
 
 def store_probability_sweep(
@@ -74,22 +117,15 @@ def store_probability_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     n: int = 2,
     beta: float = 0.5,
+    workers: int | None = 1,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the program's store fraction ``p`` varies.
 
     Only TSO/PSO depend on ``p`` (their windows grow through store runs);
     SC and WO columns are flat, which the sweep makes visible.
     """
-    rows = []
-    for p in store_probabilities:
-        row: dict[str, object] = {"p": p}
-        for model in models:
-            value = non_manifestation_probability(
-                model, n, p, beta, allow_independent_approximation=True
-            )
-            row[f"Pr[bug] {model.name}"] = 1.0 - value.value
-        rows.append(row)
-    return rows
+    row = partial(_store_probability_sweep_row, models=list(models), n=n, beta=beta)
+    return parallel_map(row, store_probabilities, workers=workers)
 
 
 def window_pmf_table(
@@ -108,11 +144,35 @@ def window_pmf_table(
     return rows
 
 
+def _critical_section_sweep_row(
+    length: int,
+    models: Sequence[MemoryModel],
+    n: int,
+    beta: float,
+) -> dict[str, object]:
+    row: dict[str, object] = {"L": length}
+    values = {}
+    for model in models:
+        value = non_manifestation_probability(
+            model,
+            n,
+            beta=beta,
+            allow_independent_approximation=True,
+            critical_section_length=length,
+        ).value
+        values[model.name] = value
+        row[f"Pr[A] {model.name}"] = value
+    if "SC" in values and "WO" in values and values["WO"] > 0:
+        row["SC/WO ratio"] = values["SC"] / values["WO"]
+    return row
+
+
 def critical_section_sweep(
     lengths: Sequence[int],
     models: Iterable[MemoryModel] = PAPER_MODELS,
     n: int = 2,
     beta: float = 0.5,
+    workers: int | None = 1,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the base critical-section duration L grows.
 
@@ -123,24 +183,28 @@ def critical_section_sweep(
     local work sits inside the critical section.  The sweep's rows make
     both halves visible (each row carries the SC/WO ratio).
     """
-    rows = []
-    for length in lengths:
-        row: dict[str, object] = {"L": length}
-        values = {}
-        for model in models:
-            value = non_manifestation_probability(
-                model,
-                n,
-                beta=beta,
-                allow_independent_approximation=True,
-                critical_section_length=length,
-            ).value
-            values[model.name] = value
-            row[f"Pr[A] {model.name}"] = value
-        if "SC" in values and "WO" in values and values["WO"] > 0:
-            row["SC/WO ratio"] = values["SC"] / values["WO"]
-        rows.append(row)
-    return rows
+    row = partial(_critical_section_sweep_row, models=list(models), n=n, beta=beta)
+    return parallel_map(row, lengths, workers=workers)
+
+
+def _beta_sweep_row(
+    beta: float,
+    models: Sequence[MemoryModel],
+    n: int,
+    store_probability: float,
+) -> dict[str, object]:
+    row: dict[str, object] = {"beta": beta}
+    values = {}
+    for model in models:
+        value = non_manifestation_probability(
+            model, n, store_probability, beta,
+            allow_independent_approximation=True,
+        ).value
+        values[model.name] = value
+        row[f"Pr[A] {model.name}"] = value
+    if "SC" in values and "WO" in values and values["WO"] > 0:
+        row["SC/WO ratio"] = values["SC"] / values["WO"]
+    return row
 
 
 def beta_sweep(
@@ -148,6 +212,7 @@ def beta_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     n: int = 2,
     store_probability: float = 0.5,
+    workers: int | None = 1,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the shift-distribution ratio β varies (§7 robustness).
 
@@ -157,21 +222,9 @@ def beta_sweep(
     near-certain for every model; large β (heavy-tailed desynchronisation)
     helps all models while preserving their ordering.
     """
-    rows = []
-    for beta in betas:
-        row: dict[str, object] = {"beta": beta}
-        values = {}
-        for model in models:
-            value = non_manifestation_probability(
-                model, n, store_probability, beta,
-                allow_independent_approximation=True,
-            ).value
-            values[model.name] = value
-            row[f"Pr[A] {model.name}"] = value
-        if "SC" in values and "WO" in values and values["WO"] > 0:
-            row["SC/WO ratio"] = values["SC"] / values["WO"]
-        rows.append(row)
-    return rows
+    row = partial(_beta_sweep_row, models=list(models), n=n,
+                  store_probability=store_probability)
+    return parallel_map(row, betas, workers=workers)
 
 
 def monte_carlo_check(
@@ -179,14 +232,22 @@ def monte_carlo_check(
     n: int,
     trials: int,
     seed: int = 0,
+    workers: int | None = 1,
+    shards: int | None = None,
 ) -> list[dict[str, object]]:
-    """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches."""
+    """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches.
+
+    The Monte-Carlo leg forwards ``workers``/``shards`` to
+    :func:`repro.core.manifestation.estimate_non_manifestation`.
+    """
     rows = []
     for model in models:
         analytic = non_manifestation_probability(
             model, n, allow_independent_approximation=True
         )
-        empirical = estimate_non_manifestation(model, n, trials, seed=seed)
+        empirical = estimate_non_manifestation(
+            model, n, trials, seed=seed, workers=workers, shards=shards
+        )
         rows.append(
             {
                 "model": model.name,

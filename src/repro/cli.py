@@ -15,6 +15,17 @@ Usage (``python -m repro <command>`` or the installed ``repro`` script):
    $ python -m repro experiments            # the paper-artifact registry
 
 Every command prints plain-text tables from :mod:`repro.reporting`.
+
+The global ``--workers N`` flag (before the subcommand) fans Monte-Carlo
+trial budgets and sweep grids out over ``N`` worker processes via
+:mod:`repro.stats.parallel`.  Pair it with ``--shards S`` to pin the
+statistical identity of the run: for a fixed ``(seed, shards)``, workers
+change wall-clock time, never numbers:
+
+.. code-block:: console
+
+   $ python -m repro --workers 4 --shards 16 machine --model TSO --trials 20000
+   $ python -m repro --workers 4 --shards 16 thm62 --trials 1000000
 """
 
 from __future__ import annotations
@@ -76,7 +87,10 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
             "Pr[bug]": 1.0 - exact,
         }
         if args.trials:
-            empirical = estimate_non_manifestation(model, 2, args.trials, seed=args.seed)
+            empirical = estimate_non_manifestation(
+                model, 2, args.trials, seed=args.seed,
+                workers=args.workers, shards=args.shards,
+            )
             row["monte carlo"] = empirical.estimate
             row["agrees"] = empirical.agrees_with(exact)
         rows.append(row)
@@ -87,7 +101,7 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
 def _cmd_scaling(args: argparse.Namespace) -> None:
     counts = [n for n in (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
               if n <= args.max_n]
-    print(render_table(thread_sweep(counts), precision=3,
+    print(render_table(thread_sweep(counts, workers=args.workers), precision=3,
                        title="Theorem 6.3: ln Pr[A] per model"))
     print()
     print(render_table(exponent_gap_curve(counts, weak_model=WO), precision=4,
@@ -131,6 +145,8 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         body_length=args.body_length,
         fenced=args.fenced,
         atomic=args.atomic,
+        workers=args.workers,
+        shards=args.shards,
     )
     print(result)
 
@@ -249,11 +265,28 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
     print(render_table(rows, title="Experiment registry (see DESIGN.md / EXPERIMENTS.md)"))
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'The Impact of Memory Models on Software "
         "Reliability in Multiprocessors' (PODC 2011).",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="worker processes for Monte-Carlo trials and sweep grids "
+        "(default: 1 = serial; place before the subcommand)",
+    )
+    parser.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="S",
+        help="seed-disciplined shard count; fixing (seed, shards) makes "
+        "results identical at any --workers (default: one shard per worker)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -222,6 +223,30 @@ def theorem_62_reference() -> dict[str, object]:
 # ----------------------------------------------------------------------
 
 
+def _disjointness_batch_trial(
+    source: RandomSource,
+    batch: int,
+    model: MemoryModel,
+    n: int,
+    store_probability: float,
+    beta: float,
+    body_length: int,
+    critical_section_length: int,
+) -> int:
+    """One vectorised §6 batch: settle windows, shift threads, count A.
+
+    Module level (rather than a closure inside the estimator) so that a
+    ``functools.partial`` over it pickles and the batches can fan out over
+    worker processes.
+    """
+    growths = sample_growth_matrix(
+        model, source, batch, n, body_length, store_probability
+    )
+    lengths = growths + critical_section_length
+    shifts = source.geometric_array(beta, (batch, n))
+    return int(batch_disjoint(shifts, lengths).sum())
+
+
 def estimate_non_manifestation(
     model: MemoryModel,
     n: int,
@@ -232,25 +257,31 @@ def estimate_non_manifestation(
     body_length: int = DEFAULT_BODY_LENGTH,
     confidence: float = 0.99,
     critical_section_length: int = WINDOW_LENGTH_OFFSET,
+    workers: int | None = 1,
+    shards: int | None = None,
 ) -> BernoulliResult:
     """Simulate the full §6 pipeline and estimate ``Pr[A]``.
 
     Per trial: one shared program, ``n`` independent reorderings, geometric
     shifts, and the closed-interval overlap check on windows of length
     ``γ + 2`` (see :mod:`repro.core.shift` for the convention).
+    ``workers``/``shards`` fan the budget out over seed-disciplined shards
+    (see :mod:`repro.stats.parallel`); fixed ``(seed, shards)`` gives
+    bit-identical results at any worker count.
     """
     if n < 2:
         raise ValueError(f"need n >= 2 threads, got {n}")
-
-    def batch_trial(source: RandomSource, batch: int) -> int:
-        growths = sample_growth_matrix(
-            model, source, batch, n, body_length, store_probability
-        )
-        lengths = growths + critical_section_length
-        shifts = source.geometric_array(beta, (batch, n))
-        return int(batch_disjoint(shifts, lengths).sum())
-
-    return estimate_event(batch_trial, trials, seed=seed, confidence=confidence)
+    batch_trial = partial(
+        _disjointness_batch_trial,
+        model=model,
+        n=n,
+        store_probability=store_probability,
+        beta=beta,
+        body_length=body_length,
+        critical_section_length=critical_section_length,
+    )
+    return estimate_event(batch_trial, trials, seed=seed, confidence=confidence,
+                          workers=workers, shards=shards)
 
 
 # ----------------------------------------------------------------------

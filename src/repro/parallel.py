@@ -1,0 +1,40 @@
+"""``repro.parallel`` — facade over the sharded parallel trial engine.
+
+One import surface for everything a caller needs to scale a trial budget
+across processes:
+
+>>> from repro.parallel import ShardPlan, run_sharded
+>>> plan = ShardPlan(trials=10_000, shards=8, seed=42)
+>>> # results = run_sharded(kernel, plan, workers=4)
+
+The engine lives in :mod:`repro.stats.parallel`; the mergers live in
+:mod:`repro.stats.montecarlo`.  Every high-level estimator
+(:func:`repro.stats.run_bernoulli_trials`,
+:func:`repro.estimate_non_manifestation`,
+:func:`repro.sim.run_canonical_bug`, the :mod:`repro.analysis.sweeps`
+grids, and the ``--workers`` CLI flag) routes through these primitives,
+under one seeding discipline: one child stream per shard, spawned in a
+single batch from the experiment seed, merged in shard order — so a run
+with fixed ``(seed, shards)`` is bit-identical for any worker count.
+"""
+
+from .stats.montecarlo import merge_bernoulli, merge_categorical
+from .stats.parallel import (
+    ShardPlan,
+    is_picklable,
+    parallel_map,
+    plan_shards,
+    resolve_workers,
+    run_sharded,
+)
+
+__all__ = [
+    "ShardPlan",
+    "is_picklable",
+    "merge_bernoulli",
+    "merge_categorical",
+    "parallel_map",
+    "plan_shards",
+    "resolve_workers",
+    "run_sharded",
+]

@@ -140,6 +140,15 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.core.multibug",),
         bench="benchmarks/bench_multi_bug_scaling.py",
     ),
+    Experiment(
+        id="E17",
+        paper_artifact="infrastructure: trial-budget scaling",
+        summary="Sharded parallel Monte-Carlo engine: bit-reproducible "
+        "for fixed (seed, shards) at any worker count; throughput "
+        "tracked in BENCH_parallel_scaling.json.",
+        modules=("repro.stats.parallel",),
+        bench="benchmarks/bench_parallel_scaling.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}

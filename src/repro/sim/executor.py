@@ -5,15 +5,28 @@ simulated multiprocessor many times and reports how often it manifests
 (final counter below the thread count).  The benches use it to check the
 machine-level ordering of the memory models against the abstract model's
 predictions.
+
+The trial loop is a shardable kernel: the trial budget splits into
+seed-disciplined shards (one child stream per shard, pre-spawned trial
+streams within a shard) that fan out over worker processes via
+:mod:`repro.stats.parallel` and merge through
+:func:`repro.stats.montecarlo.merge_categorical` — so machine experiments
+scale across cores while staying bit-reproducible for a fixed
+``(seed, shards)``.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
 from ..stats.intervals import Proportion, wilson_interval
-from ..stats.rng import RandomSource
+from ..stats.montecarlo import CategoricalResult, merge_categorical
+from ..stats.parallel import ShardPlan, resolve_workers, run_sharded
+from ..stats.rng import RandomSource, iter_batches
+from .isa import ThreadProgram
 from .machine import Machine
 from .programs import (
     SHARED_COUNTER,
@@ -25,6 +38,10 @@ from .programs import (
 from .scheduler import GeometricLaunchScheduler, Scheduler
 
 __all__ = ["CanonicalBugResult", "run_canonical_bug"]
+
+#: Trial streams are pre-spawned from the shard stream in blocks of this
+#: size (two streams per trial: body sampling and machine execution).
+TRIAL_SPAWN_BATCH = 1024
 
 
 @dataclass(frozen=True)
@@ -61,6 +78,38 @@ class CanonicalBugResult:
         )
 
 
+def _canonical_bug_shard(
+    source: RandomSource,
+    shard_trials: int,
+    model_name: str,
+    threads: int,
+    body_length: int,
+    scheduler: Scheduler | None,
+    builder: Callable[..., ThreadProgram],
+    confidence: float,
+    core_options: dict[str, object],
+) -> CategoricalResult:
+    """Run one shard of canonical-bug trials; returns the outcome PMF.
+
+    The scheduler is constructed once per shard (``Machine.run`` re-prepares
+    it per trial) and each trial's two streams — body sampling and machine
+    execution — come from one pre-spawned block of children, rather than
+    paying two ``SeedSequence`` spawn calls inside the hot loop.
+    """
+    if scheduler is None:
+        scheduler = GeometricLaunchScheduler()
+    outcomes: Counter[int] = Counter()
+    for batch in iter_batches(shard_trials, TRIAL_SPAWN_BATCH):
+        streams = source.spawn(2 * batch)
+        for index in range(batch):
+            body_types = sample_body_types(body_length, streams[2 * index])
+            programs = [builder(thread, body_types) for thread in range(threads)]
+            machine = Machine(model_name, programs, scheduler=scheduler, **core_options)
+            result = machine.run(streams[2 * index + 1])
+            outcomes[result.location(SHARED_COUNTER)] += 1
+    return CategoricalResult(dict(outcomes), shard_trials, confidence, None)
+
+
 def run_canonical_bug(
     model_name: str,
     threads: int,
@@ -71,6 +120,8 @@ def run_canonical_bug(
     fenced: bool = False,
     atomic: bool = False,
     confidence: float = 0.99,
+    workers: int | None = 1,
+    shards: int | None = None,
     **core_options,
 ) -> CanonicalBugResult:
     """Run the canonical increment race ``trials`` times on the machine.
@@ -92,6 +143,11 @@ def run_canonical_bug(
     atomic:
         Replace the racy load/increment/store with one atomic fetch-and-add
         (the bug's fix; mutually exclusive with ``fenced``).
+    workers, shards:
+        Fan the trial budget out over seed-disciplined shards on a process
+        pool (:mod:`repro.stats.parallel`); fixed ``(seed, shards)`` is
+        bit-reproducible at any worker count.  ``shards=None`` defaults to
+        one shard per worker.
     core_options:
         Forwarded to the core constructor (e.g. ``drain_probability``).
     """
@@ -101,30 +157,28 @@ def run_canonical_bug(
         raise ValueError(f"trials must be positive, got {trials}")
     if fenced and atomic:
         raise ValueError("fenced and atomic variants are mutually exclusive")
-    root = RandomSource(seed)
     if atomic:
         builder = canonical_increment_atomic
     elif fenced:
         builder = canonical_increment_fenced
     else:
         builder = canonical_increment
-    outcomes: Counter[int] = Counter()
-    for _ in range(trials):
-        trial_source = root.child()
-        body_types = sample_body_types(body_length, trial_source.child())
-        programs = [builder(thread, body_types) for thread in range(threads)]
-        machine = Machine(
-            model_name,
-            programs,
-            scheduler=scheduler if scheduler is not None else GeometricLaunchScheduler(),
-            **core_options,
-        )
-        result = machine.run(trial_source.child())
-        outcomes[result.location(SHARED_COUNTER)] += 1
+    kernel = partial(
+        _canonical_bug_shard,
+        model_name=model_name,
+        threads=threads,
+        body_length=body_length,
+        scheduler=scheduler,
+        builder=builder,
+        confidence=confidence,
+        core_options=core_options,
+    )
+    plan = ShardPlan(trials, shards if shards is not None else resolve_workers(workers), seed)
+    merged = merge_categorical(run_sharded(kernel, plan, workers))
     return CanonicalBugResult(
         model=model_name,
         threads=threads,
         trials=trials,
-        final_values=dict(outcomes),
+        final_values=dict(merged.counts),
         confidence=confidence,
     )

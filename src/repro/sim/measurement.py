@@ -22,12 +22,15 @@ update (the §3.2 argument made concrete), which
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..stats.bootstrap import BootstrapInterval, bootstrap_mean_interval
-from ..stats.rng import RandomSource
+from ..stats.parallel import ShardPlan, resolve_workers, run_sharded
+from ..stats.rng import RandomSource, iter_batches
+from .executor import TRIAL_SPAWN_BATCH
 from .machine import Machine, MachineResult
 from .memory import AccessKind
 from .programs import SHARED_COUNTER, canonical_increment, sample_body_types
@@ -100,6 +103,62 @@ class WindowMeasurement:
         )
 
 
+@dataclass(frozen=True)
+class _WindowShard:
+    """Per-shard window aggregate (plain arrays/ints: cheap to pickle)."""
+
+    durations: np.ndarray
+    overlap_trials: int
+    manifest_trials: int
+    manifest_without_overlap: int
+
+
+def _window_shard(
+    source: RandomSource,
+    shard_trials: int,
+    model_name: str,
+    threads: int,
+    body_length: int,
+    scheduler: Scheduler | None,
+    core_options: dict[str, object],
+) -> _WindowShard:
+    """Measure one shard of window trials (hot loop mirrors the executor's:
+    scheduler hoisted out, trial streams pre-spawned in blocks)."""
+    if scheduler is None:
+        scheduler = GeometricLaunchScheduler()
+    durations: list[int] = []
+    overlap_trials = 0
+    manifest_trials = 0
+    manifest_without_overlap = 0
+    for batch in iter_batches(shard_trials, TRIAL_SPAWN_BATCH):
+        streams = source.spawn(2 * batch)
+        for index in range(batch):
+            body = sample_body_types(body_length, streams[2 * index])
+            programs = [canonical_increment(thread, body) for thread in range(threads)]
+            machine = Machine(
+                model_name,
+                programs,
+                scheduler=scheduler,
+                log_accesses=True,
+                **core_options,
+            )
+            result = machine.run(streams[2 * index + 1])
+            windows = extract_windows(result, threads)
+            durations.extend(end - start for start, end in windows)
+            overlapped = _windows_overlap(windows)
+            manifested = result.location(SHARED_COUNTER) < threads
+            overlap_trials += overlapped
+            manifest_trials += manifested
+            if manifested and not overlapped:
+                manifest_without_overlap += 1
+    return _WindowShard(
+        durations=np.array(durations, dtype=np.int64),
+        overlap_trials=overlap_trials,
+        manifest_trials=manifest_trials,
+        manifest_without_overlap=manifest_without_overlap,
+    )
+
+
 def measure_critical_windows(
     model_name: str,
     threads: int,
@@ -107,49 +166,39 @@ def measure_critical_windows(
     seed: int | None = 0,
     body_length: int = 8,
     scheduler: Scheduler | None = None,
+    workers: int | None = 1,
+    shards: int | None = None,
     **core_options,
 ) -> WindowMeasurement:
     """Run the canonical race and measure every thread's critical window.
 
     Also verifies, trial by trial, the §3.2 implication *manifestation ⇒
     window overlap* (counted in ``manifest_without_overlap``, which must
-    be zero — asserted in the tests).
+    be zero — asserted in the tests).  ``workers``/``shards`` follow the
+    library-wide sharding discipline (:mod:`repro.stats.parallel`): shard
+    aggregates concatenate in shard order, so fixed ``(seed, shards)`` is
+    bit-reproducible at any worker count.
     """
     if threads < 2:
         raise ValueError(f"need at least 2 threads, got {threads}")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    root = RandomSource(seed)
-    durations: list[int] = []
-    overlap_trials = 0
-    manifest_trials = 0
-    manifest_without_overlap = 0
-    for _ in range(trials):
-        trial_source = root.child()
-        body = sample_body_types(body_length, trial_source.child())
-        programs = [canonical_increment(thread, body) for thread in range(threads)]
-        machine = Machine(
-            model_name,
-            programs,
-            scheduler=scheduler if scheduler is not None else GeometricLaunchScheduler(),
-            log_accesses=True,
-            **core_options,
-        )
-        result = machine.run(trial_source.child())
-        windows = extract_windows(result, threads)
-        durations.extend(end - start for start, end in windows)
-        overlapped = _windows_overlap(windows)
-        manifested = result.location(SHARED_COUNTER) < threads
-        overlap_trials += overlapped
-        manifest_trials += manifested
-        if manifested and not overlapped:
-            manifest_without_overlap += 1
+    kernel = partial(
+        _window_shard,
+        model_name=model_name,
+        threads=threads,
+        body_length=body_length,
+        scheduler=scheduler,
+        core_options=core_options,
+    )
+    plan = ShardPlan(trials, shards if shards is not None else resolve_workers(workers), seed)
+    parts = run_sharded(kernel, plan, workers)
     return WindowMeasurement(
         model=model_name,
         threads=threads,
         trials=trials,
-        durations=np.array(durations, dtype=np.int64),
-        overlap_trials=overlap_trials,
-        manifest_trials=manifest_trials,
-        manifest_without_overlap=manifest_without_overlap,
+        durations=np.concatenate([part.durations for part in parts]),
+        overlap_trials=sum(part.overlap_trials for part in parts),
+        manifest_trials=sum(part.manifest_trials for part in parts),
+        manifest_without_overlap=sum(part.manifest_without_overlap for part in parts),
     )

@@ -19,8 +19,16 @@ from .montecarlo import (
     CategoricalResult,
     estimate_event,
     merge_bernoulli,
+    merge_categorical,
     run_bernoulli_trials,
     run_categorical_trials,
+)
+from .parallel import (
+    ShardPlan,
+    parallel_map,
+    plan_shards,
+    resolve_workers,
+    run_sharded,
 )
 from .rng import DEFAULT_SEED, RandomSource, iter_batches, spawn_sources
 from .sequential import estimate_to_precision
@@ -39,10 +47,16 @@ __all__ = [
     "estimate_to_precision",
     "iter_batches",
     "merge_bernoulli",
+    "merge_categorical",
     "normal_quantile",
+    "parallel_map",
+    "plan_shards",
     "required_trials",
+    "resolve_workers",
     "run_bernoulli_trials",
     "run_categorical_trials",
+    "run_sharded",
+    "ShardPlan",
     "spawn_sources",
     "standard_error",
     "summarise_batches",

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
 
 from .intervals import Proportion, wilson_interval
+from .parallel import ShardPlan, resolve_workers, run_sharded
 from .rng import RandomSource, iter_batches
 
 __all__ = [
@@ -28,6 +30,8 @@ __all__ = [
     "run_bernoulli_trials",
     "run_categorical_trials",
     "estimate_event",
+    "merge_bernoulli",
+    "merge_categorical",
 ]
 
 #: Default number of trials per vectorised batch.
@@ -96,25 +100,94 @@ class CategoricalResult:
         return sum(value * count for value, count in self.counts.items()) / self.trials
 
 
+def _bernoulli_shard(
+    source: RandomSource,
+    shard_trials: int,
+    trial: Callable[[RandomSource], bool],
+    confidence: float,
+) -> BernoulliResult:
+    """Shard kernel for :func:`run_bernoulli_trials` (module level: picklable)."""
+    successes = 0
+    for batch in iter_batches(shard_trials, DEFAULT_BATCH_SIZE):
+        successes += sum(1 for s in source.child().spawn(batch) if trial(s))
+    return BernoulliResult(successes, shard_trials, confidence, None)
+
+
+def _categorical_shard(
+    source: RandomSource,
+    shard_trials: int,
+    trial: Callable[[RandomSource], int],
+    confidence: float,
+) -> CategoricalResult:
+    """Shard kernel for :func:`run_categorical_trials`."""
+    counts: Counter[int] = Counter()
+    for batch in iter_batches(shard_trials, DEFAULT_BATCH_SIZE):
+        counts.update(trial(s) for s in source.child().spawn(batch))
+    return CategoricalResult(dict(counts), shard_trials, confidence, None)
+
+
+def _event_shard(
+    source: RandomSource,
+    shard_trials: int,
+    batch_trial: Callable[[RandomSource, int], int],
+    batch_size: int,
+    confidence: float,
+) -> BernoulliResult:
+    """Shard kernel for :func:`estimate_event`."""
+    successes = 0
+    for batch in iter_batches(shard_trials, batch_size):
+        successes += int(batch_trial(source.child(), batch))
+    return BernoulliResult(successes, shard_trials, confidence, None)
+
+
+def _resolve_plan(trials: int, seed: int | None, workers: int, shards: int | None) -> ShardPlan | None:
+    """The shard plan for a run, or ``None`` for the legacy serial path.
+
+    ``shards=None`` with one worker keeps the historical single-stream
+    derivation (bit-compatible with pre-parallel releases); any explicit
+    shard count — or more than one worker — switches to the sharded
+    derivation, whose results depend only on ``(seed, shards)``.
+    """
+    if shards is None:
+        if workers == 1:
+            return None
+        shards = workers
+    return ShardPlan(trials, shards, seed)
+
+
 def run_bernoulli_trials(
     trial: Callable[[RandomSource], bool],
     trials: int,
     seed: int | None = 0,
     confidence: float = 0.99,
+    workers: int | None = 1,
+    shards: int | None = None,
 ) -> BernoulliResult:
     """Run ``trials`` independent Bernoulli trials of ``trial``.
 
     ``trial`` receives a fresh independent :class:`RandomSource` for each
     invocation and returns whether the event occurred.
+
+    With ``shards`` set, the budget splits into that many seed-disciplined
+    shards fanned out over ``workers`` processes; the outcome is
+    bit-identical for fixed ``(seed, shards)`` at any worker count.  A
+    non-picklable ``trial`` (lambda/closure) degrades to in-process
+    execution with the same sharded result.
     """
     _check_trials(trials)
-    root = RandomSource(seed)
-    successes = 0
-    for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
-        batch_source = root.child()
-        sources = batch_source.spawn(batch)
-        successes += sum(1 for source in sources if trial(source))
-    return BernoulliResult(successes, trials, confidence, seed)
+    workers = resolve_workers(workers)
+    plan = _resolve_plan(trials, seed, workers, shards)
+    if plan is None:
+        root = RandomSource(seed)
+        successes = 0
+        for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
+            batch_source = root.child()
+            sources = batch_source.spawn(batch)
+            successes += sum(1 for source in sources if trial(source))
+        return BernoulliResult(successes, trials, confidence, seed)
+    kernel = partial(_bernoulli_shard, trial=trial, confidence=confidence)
+    merged = merge_bernoulli(run_sharded(kernel, plan, workers))
+    return replace(merged, seed=seed)
 
 
 def run_categorical_trials(
@@ -122,20 +195,29 @@ def run_categorical_trials(
     trials: int,
     seed: int | None = 0,
     confidence: float = 0.99,
+    workers: int | None = 1,
+    shards: int | None = None,
 ) -> CategoricalResult:
     """Run ``trials`` independent categorical trials of ``trial``.
 
     ``trial`` returns an integer category (e.g. the observed critical-window
     growth γ); the result aggregates the counts into an empirical PMF.
+    Sharding/parallelism follows :func:`run_bernoulli_trials`.
     """
     _check_trials(trials)
-    root = RandomSource(seed)
-    counts: Counter[int] = Counter()
-    for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
-        batch_source = root.child()
-        sources = batch_source.spawn(batch)
-        counts.update(trial(source) for source in sources)
-    return CategoricalResult(dict(counts), trials, confidence, seed)
+    workers = resolve_workers(workers)
+    plan = _resolve_plan(trials, seed, workers, shards)
+    if plan is None:
+        root = RandomSource(seed)
+        counts: Counter[int] = Counter()
+        for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
+            batch_source = root.child()
+            sources = batch_source.spawn(batch)
+            counts.update(trial(source) for source in sources)
+        return CategoricalResult(dict(counts), trials, confidence, seed)
+    kernel = partial(_categorical_shard, trial=trial, confidence=confidence)
+    merged = merge_categorical(run_sharded(kernel, plan, workers))
+    return replace(merged, seed=seed)
 
 
 def estimate_event(
@@ -144,6 +226,8 @@ def estimate_event(
     seed: int | None = 0,
     confidence: float = 0.99,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    workers: int | None = 1,
+    shards: int | None = None,
 ) -> BernoulliResult:
     """Vectorised Bernoulli estimation.
 
@@ -151,15 +235,23 @@ def estimate_event(
     ``source`` and return the number of successes.  This is the fast path
     for numpy-vectorisable events (e.g. shift-process disjointness), where
     spawning one :class:`RandomSource` per trial would dominate runtime.
+    Sharding/parallelism follows :func:`run_bernoulli_trials`.
     """
     _check_trials(trials)
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    root = RandomSource(seed)
-    successes = 0
-    for batch in iter_batches(trials, batch_size):
-        successes += int(batch_trial(root.child(), batch))
-    return BernoulliResult(successes, trials, confidence, seed)
+    workers = resolve_workers(workers)
+    plan = _resolve_plan(trials, seed, workers, shards)
+    if plan is None:
+        root = RandomSource(seed)
+        successes = 0
+        for batch in iter_batches(trials, batch_size):
+            successes += int(batch_trial(root.child(), batch))
+        return BernoulliResult(successes, trials, confidence, seed)
+    kernel = partial(_event_shard, batch_trial=batch_trial,
+                     batch_size=batch_size, confidence=confidence)
+    merged = merge_bernoulli(run_sharded(kernel, plan, workers))
+    return replace(merged, seed=seed)
 
 
 def merge_bernoulli(results: Iterable[BernoulliResult]) -> BernoulliResult:
@@ -179,9 +271,27 @@ def merge_bernoulli(results: Iterable[BernoulliResult]) -> BernoulliResult:
     return BernoulliResult(successes, trials, confidence, None)
 
 
+def merge_categorical(results: Iterable[CategoricalResult]) -> CategoricalResult:
+    """Pool several independent categorical results into one empirical PMF.
+
+    The counter-summing analogue of :func:`merge_bernoulli`: per-category
+    counts add, trial totals add, and — addition being commutative — the
+    merged PMF is independent of merge order.  All inputs must share a
+    confidence level; the pooled seed is ``None``.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("cannot merge an empty collection of results")
+    confidence = results[0].confidence
+    if any(result.confidence != confidence for result in results):
+        raise ValueError("cannot merge results with differing confidence levels")
+    counts: Counter[int] = Counter()
+    for result in results:
+        counts.update(result.counts)
+    trials = sum(result.trials for result in results)
+    return CategoricalResult(dict(counts), trials, confidence, None)
+
+
 def _check_trials(trials: int) -> None:
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-
-
-__all__.append("merge_bernoulli")

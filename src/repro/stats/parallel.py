@@ -1,0 +1,169 @@
+"""Sharded parallel execution of Monte-Carlo trial budgets.
+
+Every empirical estimate in the library is a sum over independent trials,
+which makes the work embarrassingly parallel — *if* the randomness is
+partitioned with care.  This module supplies that partitioning plus the
+process fan-out, under one discipline:
+
+* **Seed-disciplined sharding** — a trial budget is split into ``shards``
+  near-equal shards, and shard ``i`` draws from the ``i``-th child stream
+  of the experiment's root :class:`~repro.stats.rng.RandomSource` (one
+  ``SeedSequence.spawn`` of the root, indexed by shard).  Each shard is
+  therefore a deterministic function of ``(seed, shards)`` alone.
+* **Worker-count independence** — workers only decide *where* shards run,
+  never *what* they compute, and per-shard results are merged in shard
+  order.  A run with fixed ``(seed, shards)`` is bit-identical for any
+  number of workers and any scheduling of shards onto them.
+* **Zero-overhead serial fallback** — ``workers=1`` short-circuits to a
+  plain loop with no executor, no pickling, no queues; a trial function
+  that cannot be pickled (a lambda, a closure) silently degrades to the
+  same serial loop instead of crashing mid-experiment.
+
+The consuming layers (:mod:`repro.stats.montecarlo`,
+:mod:`repro.sim.executor`, :mod:`repro.sim.measurement`,
+:mod:`repro.analysis.sweeps`) build their ``workers=``/``shards=`` paths
+on :func:`run_sharded` and :func:`parallel_map`; ``repro.parallel`` is the
+user-facing facade.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from .rng import RandomSource
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "resolve_workers",
+    "run_sharded",
+    "parallel_map",
+    "is_picklable",
+]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` argument: ``None`` means one per CPU."""
+    if workers is None:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return workers
+
+
+def plan_shards(trials: int, shards: int) -> tuple[int, ...]:
+    """Split ``trials`` into ``shards`` near-equal positive-or-zero parts.
+
+    The split is balanced (sizes differ by at most one, larger shards
+    first) and exact: the parts always sum to ``trials``.  More shards
+    than trials leaves trailing empty shards rather than failing, so a
+    shard count chosen for one budget remains valid for smaller ones.
+
+    >>> plan_shards(10, 4)
+    (3, 3, 2, 2)
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    base, extra = divmod(trials, shards)
+    return tuple(base + (1 if index < extra else 0) for index in range(shards))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of one trial budget into seeded shards.
+
+    The plan is the *statistical identity* of a sharded run: two runs with
+    equal ``(trials, shards, seed)`` draw identical randomness shard by
+    shard, no matter how many worker processes execute them.
+    """
+
+    trials: int
+    shards: int
+    seed: int | None
+
+    def __post_init__(self) -> None:
+        plan_shards(self.trials, self.shards)  # validate eagerly
+
+    def shard_trials(self) -> tuple[int, ...]:
+        """Per-shard trial counts (balanced, summing to ``trials``)."""
+        return plan_shards(self.trials, self.shards)
+
+    def shard_sources(self) -> list[RandomSource]:
+        """One independent child stream per shard, in shard order.
+
+        All shards spawn from the root in a single ``spawn`` call, so the
+        stream of shard ``i`` depends only on ``(seed, shards, i)`` — never
+        on which shards ran before it or on which process runs it.
+        """
+        return RandomSource(self.seed).spawn(self.shards)
+
+
+def is_picklable(value: Any) -> bool:
+    """Whether ``value`` survives :mod:`pickle` (process-pool transport)."""
+    try:
+        pickle.dumps(value)
+    except Exception:  # pickle raises a zoo: PicklingError, TypeError, ...
+        return False
+    return True
+
+
+def run_sharded(
+    kernel: Callable[[RandomSource, int], T],
+    plan: ShardPlan,
+    workers: int | None = 1,
+) -> list[T]:
+    """Run ``kernel(shard_source, shard_trials)`` once per shard.
+
+    Returns the per-shard results **in shard order** regardless of
+    completion order, so any merge of the returned list is deterministic.
+    ``workers=1`` (the default), a single-shard plan, and kernels that
+    cannot be pickled all take the serial path — same results, no pool.
+    ``workers=None`` uses one worker per CPU.
+    """
+    workers = resolve_workers(workers)
+    counts = plan.shard_trials()
+    sources = plan.shard_sources()
+    active = sum(1 for count in counts if count > 0)
+    if workers == 1 or active <= 1 or not is_picklable(kernel):
+        return [kernel(source, count) for source, count in zip(sources, counts)]
+    with ProcessPoolExecutor(max_workers=min(workers, active)) as pool:
+        futures = [
+            pool.submit(kernel, source, count)
+            for source, count in zip(sources, counts)
+        ]
+        return [future.result() for future in futures]
+
+
+def parallel_map(
+    function: Callable[[U], T],
+    items: Iterable[U] | Sequence[U],
+    workers: int | None = 1,
+) -> list[T]:
+    """Map ``function`` over ``items``, preserving input order.
+
+    The grid-point analogue of :func:`run_sharded`: parameter sweeps fan
+    their (independent, deterministic) point evaluations onto the same
+    process pool.  Serial fallback rules match ``run_sharded`` — one
+    worker, one item, or an unpicklable function/item runs inline.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if (
+        workers == 1
+        or len(items) <= 1
+        or not is_picklable(function)
+        or not all(is_picklable(item) for item in items)
+    ):
+        return [function(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(function, items))
