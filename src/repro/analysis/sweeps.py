@@ -50,6 +50,8 @@ def thread_sweep(
     store_probability: float = 0.5,
     beta: float = 0.5,
     workers: int | None = 1,
+    retries: int = 0,
+    timeout: float | None = None,
 ) -> list[dict[str, object]]:
     """``ln Pr[A]`` per model over thread counts (Theorem 6.3's curve).
 
@@ -59,7 +61,8 @@ def thread_sweep(
     """
     row = partial(_thread_sweep_row, models=list(models),
                   store_probability=store_probability, beta=beta)
-    return parallel_map(row, thread_counts, workers=workers)
+    return parallel_map(row, thread_counts, workers=workers,
+                        retries=retries, timeout=timeout)
 
 
 def _settle_sweep_row(
@@ -86,6 +89,8 @@ def settle_sweep(
     store_probability: float = 0.5,
     beta: float = 0.5,
     workers: int | None = 1,
+    retries: int = 0,
+    timeout: float | None = None,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the swap-success probability ``s`` varies.
 
@@ -94,7 +99,8 @@ def settle_sweep(
     """
     row = partial(_settle_sweep_row, models=list(models), n=n,
                   store_probability=store_probability, beta=beta)
-    return parallel_map(row, settle_probabilities, workers=workers)
+    return parallel_map(row, settle_probabilities, workers=workers,
+                        retries=retries, timeout=timeout)
 
 
 def _store_probability_sweep_row(
@@ -118,6 +124,8 @@ def store_probability_sweep(
     n: int = 2,
     beta: float = 0.5,
     workers: int | None = 1,
+    retries: int = 0,
+    timeout: float | None = None,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the program's store fraction ``p`` varies.
 
@@ -125,7 +133,8 @@ def store_probability_sweep(
     SC and WO columns are flat, which the sweep makes visible.
     """
     row = partial(_store_probability_sweep_row, models=list(models), n=n, beta=beta)
-    return parallel_map(row, store_probabilities, workers=workers)
+    return parallel_map(row, store_probabilities, workers=workers,
+                        retries=retries, timeout=timeout)
 
 
 def window_pmf_table(
@@ -173,6 +182,8 @@ def critical_section_sweep(
     n: int = 2,
     beta: float = 0.5,
     workers: int | None = 1,
+    retries: int = 0,
+    timeout: float | None = None,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the base critical-section duration L grows.
 
@@ -184,7 +195,8 @@ def critical_section_sweep(
     both halves visible (each row carries the SC/WO ratio).
     """
     row = partial(_critical_section_sweep_row, models=list(models), n=n, beta=beta)
-    return parallel_map(row, lengths, workers=workers)
+    return parallel_map(row, lengths, workers=workers,
+                        retries=retries, timeout=timeout)
 
 
 def _beta_sweep_row(
@@ -213,6 +225,8 @@ def beta_sweep(
     n: int = 2,
     store_probability: float = 0.5,
     workers: int | None = 1,
+    retries: int = 0,
+    timeout: float | None = None,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the shift-distribution ratio β varies (§7 robustness).
 
@@ -224,7 +238,8 @@ def beta_sweep(
     """
     row = partial(_beta_sweep_row, models=list(models), n=n,
                   store_probability=store_probability)
-    return parallel_map(row, betas, workers=workers)
+    return parallel_map(row, betas, workers=workers,
+                        retries=retries, timeout=timeout)
 
 
 def monte_carlo_check(
@@ -234,11 +249,17 @@ def monte_carlo_check(
     seed: int = 0,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: object | None = None,
 ) -> list[dict[str, object]]:
     """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches.
 
-    The Monte-Carlo leg forwards ``workers``/``shards`` to
-    :func:`repro.core.manifestation.estimate_non_manifestation`.
+    The Monte-Carlo leg forwards ``workers``/``shards`` and the
+    fault-tolerance options (``retries``/``timeout``/``checkpoint``) to
+    :func:`repro.core.manifestation.estimate_non_manifestation`; the
+    per-model checkpoint keys keep one journal file safe across the whole
+    model loop.
     """
     rows = []
     for model in models:
@@ -246,7 +267,8 @@ def monte_carlo_check(
             model, n, allow_independent_approximation=True
         )
         empirical = estimate_non_manifestation(
-            model, n, trials, seed=seed, workers=workers, shards=shards
+            model, n, trials, seed=seed, workers=workers, shards=shards,
+            retries=retries, timeout=timeout, checkpoint=checkpoint,
         )
         rows.append(
             {

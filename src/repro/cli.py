@@ -18,14 +18,21 @@ Every command prints plain-text tables from :mod:`repro.reporting`.
 
 The global ``--workers N`` flag (before the subcommand) fans Monte-Carlo
 trial budgets and sweep grids out over ``N`` worker processes via
-:mod:`repro.stats.parallel`.  Pair it with ``--shards S`` to pin the
-statistical identity of the run: for a fixed ``(seed, shards)``, workers
-change wall-clock time, never numbers:
+:mod:`repro.stats.parallel`.  The statistical identity of a run is
+``(seed, shards)``: workers change wall-clock time, never numbers, and
+``--shards`` left unset defaults to the fixed
+:data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever ``--workers`` is
+above 1 (never the worker count).  ``--retries`` / ``--shard-timeout`` /
+``--checkpoint`` harden long runs: failed shards retry with backoff,
+stuck shards time out, and completed shards journal to a resumable
+checkpoint file — an interrupted run re-executes only the missing shards
+and merges to the identical result:
 
 .. code-block:: console
 
-   $ python -m repro --workers 4 --shards 16 machine --model TSO --trials 20000
-   $ python -m repro --workers 4 --shards 16 thm62 --trials 1000000
+   $ python -m repro --workers 4 machine --model TSO --trials 20000
+   $ python -m repro --workers 4 --retries 2 --checkpoint run.jsonl \\
+         thm62 --trials 1000000
 """
 
 from __future__ import annotations
@@ -90,6 +97,8 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
             empirical = estimate_non_manifestation(
                 model, 2, args.trials, seed=args.seed,
                 workers=args.workers, shards=args.shards,
+                retries=args.retries, timeout=args.shard_timeout,
+                checkpoint=args.checkpoint,
             )
             row["monte carlo"] = empirical.estimate
             row["agrees"] = empirical.agrees_with(exact)
@@ -147,6 +156,9 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         atomic=args.atomic,
         workers=args.workers,
         shards=args.shards,
+        retries=args.retries,
+        timeout=args.shard_timeout,
+        checkpoint=args.checkpoint,
     )
     print(result)
 
@@ -285,8 +297,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--shards", type=_positive_int, default=None, metavar="S",
-        help="seed-disciplined shard count; fixing (seed, shards) makes "
-        "results identical at any --workers (default: one shard per worker)",
+        help="seed-disciplined shard count; the statistical identity of a "
+        "run is (seed, shards), so results are identical at any --workers "
+        "(default: 16 fixed shards whenever --workers exceeds 1)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="R",
+        help="extra attempts per failed shard, with exponential backoff "
+        "(default: 0 = fail fast); retried shards are bit-identical",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SEC",
+        help="per-shard timeout in seconds for pooled execution; a timed-out "
+        "shard is charged a failed attempt (default: unbounded)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="journal completed shards to FILE (JSONL); rerunning with the "
+        "same seed/shards/experiment resumes the missing shards only and "
+        "merges to the identical result",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

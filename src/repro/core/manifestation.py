@@ -33,10 +33,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 
 from ..errors import ModelDefinitionError
+from ..stats.checkpoint import ShardCheckpoint
 from ..stats.montecarlo import BernoulliResult, estimate_event
 from ..stats.rng import RandomSource
 from .distributions import DiscreteDistribution, ValueWithError
@@ -259,6 +261,9 @@ def estimate_non_manifestation(
     critical_section_length: int = WINDOW_LENGTH_OFFSET,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
 ) -> BernoulliResult:
     """Simulate the full §6 pipeline and estimate ``Pr[A]``.
 
@@ -268,6 +273,10 @@ def estimate_non_manifestation(
     ``workers``/``shards`` fan the budget out over seed-disciplined shards
     (see :mod:`repro.stats.parallel`); fixed ``(seed, shards)`` gives
     bit-identical results at any worker count.
+    ``retries``/``timeout``/``checkpoint`` configure the fault-tolerance
+    layer; the checkpoint key is salted with the model name and the
+    experiment parameters, so one journal file can hold several models'
+    runs without cross-contamination.
     """
     if n < 2:
         raise ValueError(f"need n >= 2 threads, got {n}")
@@ -280,8 +289,12 @@ def estimate_non_manifestation(
         body_length=body_length,
         critical_section_length=critical_section_length,
     )
+    label = (f"nonmanifestation:{model.name}:n={n}:p={store_probability}"
+             f":beta={beta}:body={body_length}:L={critical_section_length}")
     return estimate_event(batch_trial, trials, seed=seed, confidence=confidence,
-                          workers=workers, shards=shards)
+                          workers=workers, shards=shards, retries=retries,
+                          timeout=timeout, checkpoint=checkpoint,
+                          checkpoint_label=label)
 
 
 # ----------------------------------------------------------------------

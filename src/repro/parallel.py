@@ -5,9 +5,12 @@ across processes:
 
 >>> from repro.parallel import ShardPlan, run_sharded
 >>> plan = ShardPlan(trials=10_000, shards=8, seed=42)
->>> # results = run_sharded(kernel, plan, workers=4)
+>>> # results = run_sharded(kernel, plan, workers=4, retries=2)
 
-The engine lives in :mod:`repro.stats.parallel`; the mergers live in
+The engine lives in :mod:`repro.stats.parallel`; the fault-tolerance
+layer (bounded retry, per-shard timeouts, ``BrokenProcessPool``
+recovery) in :mod:`repro.stats.faults`; the run-manifest/checkpoint
+journal in :mod:`repro.stats.checkpoint`; the mergers in
 :mod:`repro.stats.montecarlo`.  Every high-level estimator
 (:func:`repro.stats.run_bernoulli_trials`,
 :func:`repro.estimate_non_manifestation`,
@@ -15,26 +18,49 @@ The engine lives in :mod:`repro.stats.parallel`; the mergers live in
 grids, and the ``--workers`` CLI flag) routes through these primitives,
 under one seeding discipline: one child stream per shard, spawned in a
 single batch from the experiment seed, merged in shard order — so a run
-with fixed ``(seed, shards)`` is bit-identical for any worker count.
+with fixed ``(seed, shards)`` is bit-identical for any worker count,
+and a retried or checkpoint-resumed shard is bit-identical to the
+attempt it replaces.  When parallelism is requested and ``shards`` is
+unset, the fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` applies —
+never the worker or CPU count.
 """
 
+from .stats.checkpoint import ShardCheckpoint, plan_key
+from .stats.faults import (
+    InjectedFault,
+    RetryPolicy,
+    ScriptedFaults,
+    ShardExecutionError,
+    execute_tasks,
+)
 from .stats.montecarlo import merge_bernoulli, merge_categorical
 from .stats.parallel import (
+    DEFAULT_SHARDS,
     ShardPlan,
     is_picklable,
     parallel_map,
     plan_shards,
+    resolve_shards,
     resolve_workers,
     run_sharded,
 )
 
 __all__ = [
+    "DEFAULT_SHARDS",
+    "InjectedFault",
+    "RetryPolicy",
+    "ScriptedFaults",
+    "ShardCheckpoint",
+    "ShardExecutionError",
     "ShardPlan",
+    "execute_tasks",
     "is_picklable",
     "merge_bernoulli",
     "merge_categorical",
     "parallel_map",
+    "plan_key",
     "plan_shards",
+    "resolve_shards",
     "resolve_workers",
     "run_sharded",
 ]

@@ -149,6 +149,17 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.stats.parallel",),
         bench="benchmarks/bench_parallel_scaling.py",
     ),
+    Experiment(
+        id="E18",
+        paper_artifact="infrastructure: run reliability",
+        summary="Fault-tolerant, resumable shard execution: bounded "
+        "retry with backoff, per-shard timeouts, BrokenProcessPool "
+        "recovery, and checkpoint/resume — every recovery path merges "
+        "bit-identically to an uninterrupted run (shards are pure in "
+        "(seed, shards, i)); overhead tracked in BENCH_fault_recovery.json.",
+        modules=("repro.stats.faults", "repro.stats.checkpoint"),
+        bench="benchmarks/bench_fault_recovery.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}

@@ -21,10 +21,12 @@ from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass
 from functools import partial
+from pathlib import Path
 
+from ..stats.checkpoint import ShardCheckpoint
 from ..stats.intervals import Proportion, wilson_interval
 from ..stats.montecarlo import CategoricalResult, merge_categorical
-from ..stats.parallel import ShardPlan, resolve_workers, run_sharded
+from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
 from ..stats.rng import RandomSource, iter_batches
 from .isa import ThreadProgram
 from .machine import Machine
@@ -122,6 +124,9 @@ def run_canonical_bug(
     confidence: float = 0.99,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
     **core_options,
 ) -> CanonicalBugResult:
     """Run the canonical increment race ``trials`` times on the machine.
@@ -147,7 +152,15 @@ def run_canonical_bug(
         Fan the trial budget out over seed-disciplined shards on a process
         pool (:mod:`repro.stats.parallel`); fixed ``(seed, shards)`` is
         bit-reproducible at any worker count.  ``shards=None`` defaults to
-        one shard per worker.
+        the fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever
+        parallelism is requested (never the worker count), and to a
+        single shard for the serial ``workers=1`` case.
+    retries, timeout, checkpoint:
+        Fault-tolerance options (per-shard retry, per-shard pooled
+        timeout, resumable shard journal); see
+        :func:`repro.stats.parallel.run_sharded`.  The checkpoint key is
+        salted with the model/threads/variant, so one journal file can
+        hold several machine experiments.
     core_options:
         Forwarded to the core constructor (e.g. ``drain_probability``).
     """
@@ -173,8 +186,14 @@ def run_canonical_bug(
         confidence=confidence,
         core_options=core_options,
     )
-    plan = ShardPlan(trials, shards if shards is not None else resolve_workers(workers), seed)
-    merged = merge_categorical(run_sharded(kernel, plan, workers))
+    plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
+    variant = "atomic" if atomic else ("fenced" if fenced else "racy")
+    label = (f"canonical:{model_name}:n={threads}:body={body_length}"
+             f":variant={variant}")
+    merged = merge_categorical(run_sharded(
+        kernel, plan, workers, retries=retries, timeout=timeout,
+        checkpoint=checkpoint, checkpoint_label=label,
+    ))
     return CanonicalBugResult(
         model=model_name,
         threads=threads,

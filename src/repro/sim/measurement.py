@@ -23,12 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..stats.bootstrap import BootstrapInterval, bootstrap_mean_interval
-from ..stats.parallel import ShardPlan, resolve_workers, run_sharded
+from ..stats.checkpoint import ShardCheckpoint
+from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
 from ..stats.rng import RandomSource, iter_batches
 from .executor import TRIAL_SPAWN_BATCH
 from .machine import Machine, MachineResult
@@ -168,6 +170,9 @@ def measure_critical_windows(
     scheduler: Scheduler | None = None,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
     **core_options,
 ) -> WindowMeasurement:
     """Run the canonical race and measure every thread's critical window.
@@ -177,7 +182,11 @@ def measure_critical_windows(
     be zero — asserted in the tests).  ``workers``/``shards`` follow the
     library-wide sharding discipline (:mod:`repro.stats.parallel`): shard
     aggregates concatenate in shard order, so fixed ``(seed, shards)`` is
-    bit-reproducible at any worker count.
+    bit-reproducible at any worker count (``shards=None`` defaults to the
+    fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever
+    parallelism is requested, never the worker count).
+    ``retries``/``timeout``/``checkpoint`` configure the fault-tolerance
+    layer (:func:`repro.stats.parallel.run_sharded`).
     """
     if threads < 2:
         raise ValueError(f"need at least 2 threads, got {threads}")
@@ -191,8 +200,11 @@ def measure_critical_windows(
         scheduler=scheduler,
         core_options=core_options,
     )
-    plan = ShardPlan(trials, shards if shards is not None else resolve_workers(workers), seed)
-    parts = run_sharded(kernel, plan, workers)
+    plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
+    label = f"windows:{model_name}:n={threads}:body={body_length}"
+    parts = run_sharded(kernel, plan, workers, retries=retries,
+                        timeout=timeout, checkpoint=checkpoint,
+                        checkpoint_label=label)
     return WindowMeasurement(
         model=model_name,
         threads=threads,

@@ -7,7 +7,14 @@ splittable.
 """
 
 from .bootstrap import BootstrapInterval, bootstrap_mean_interval
+from .checkpoint import ShardCheckpoint, plan_key
 from .convergence import BatchSummary, required_trials, standard_error, summarise_batches
+from .faults import (
+    InjectedFault,
+    RetryPolicy,
+    ScriptedFaults,
+    ShardExecutionError,
+)
 from .intervals import (
     Proportion,
     clopper_pearson_interval,
@@ -24,9 +31,11 @@ from .montecarlo import (
     run_categorical_trials,
 )
 from .parallel import (
+    DEFAULT_SHARDS,
     ShardPlan,
     parallel_map,
     plan_shards,
+    resolve_shards,
     resolve_workers,
     run_sharded,
 )
@@ -40,8 +49,14 @@ __all__ = [
     "BernoulliResult",
     "CategoricalResult",
     "DEFAULT_SEED",
+    "DEFAULT_SHARDS",
+    "InjectedFault",
     "Proportion",
     "RandomSource",
+    "RetryPolicy",
+    "ScriptedFaults",
+    "ShardCheckpoint",
+    "ShardExecutionError",
     "clopper_pearson_interval",
     "estimate_event",
     "estimate_to_precision",
@@ -50,8 +65,10 @@ __all__ = [
     "merge_categorical",
     "normal_quantile",
     "parallel_map",
+    "plan_key",
     "plan_shards",
     "required_trials",
+    "resolve_shards",
     "resolve_workers",
     "run_bernoulli_trials",
     "run_categorical_trials",

@@ -1,0 +1,115 @@
+"""Run manifests: journal completed shards, resume interrupted runs.
+
+A production-scale trial budget can run for hours; an interruption (crash,
+preemption, ctrl-C) must not discard the shards that already finished.
+Because each shard of a :class:`~repro.stats.parallel.ShardPlan` is a pure
+function of ``(seed, shards, i)``, a completed shard's result is valid
+forever — so the engine can journal results as they arrive and a resumed
+run can load the finished shards and execute only the remainder, merging
+to **exactly** the result of an uninterrupted run.
+
+The journal is an append-only JSONL file.  Each line carries:
+
+* ``key`` — the hex identity hash of the run (:func:`plan_key`), derived
+  from ``(trials, shards, seed)`` plus a caller label.  ``load`` ignores
+  records whose key differs, so one file can safely accumulate several
+  runs (e.g. one per memory model) without cross-contamination.
+* ``shard`` — the shard index within the plan.
+* ``data`` — the shard result, pickled and base64-encoded (shard results
+  are library value objects — ``BernoulliResult``, numpy aggregates —
+  not JSON-native).
+
+Torn trailing lines (a crash mid-append) and undecodable payloads are
+skipped on load: the affected shard simply re-executes, which is always
+safe.  **Reuse rules**: the key does *not* hash the trial function, so a
+checkpoint is only safe to reuse for the same experiment — same kernel,
+same parameters — that wrote it; the high-level estimators encode their
+experiment parameters in the label for exactly this reason.  Like any
+pickle-based format, only load checkpoint files you wrote yourself.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .parallel import ShardPlan
+
+__all__ = ["CHECKPOINT_FORMAT", "plan_key", "ShardCheckpoint"]
+
+#: Journal format version, folded into every key: bumping it orphans old
+#: records rather than misreading them.
+CHECKPOINT_FORMAT = 1
+
+
+def plan_key(trials: int, shards: int, seed: int | None, label: str = "") -> str:
+    """The identity hash a checkpoint is keyed by.
+
+    Two runs share a key exactly when they share the statistical identity
+    ``(trials, shards, seed)`` *and* the caller's ``label`` (which the
+    high-level estimators use to encode the experiment — kernel family,
+    model, thread count — since the trial function itself cannot be
+    hashed portably).
+    """
+    payload = f"v{CHECKPOINT_FORMAT}:{trials}:{shards}:{seed!r}:{label}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ShardCheckpoint:
+    """An append-only JSONL journal of completed shard results for one run."""
+
+    def __init__(self, path: str | Path, key: str):
+        self.path = Path(path)
+        self.key = key
+
+    @classmethod
+    def for_plan(cls, path: str | Path, plan: "ShardPlan",
+                 label: str = "") -> "ShardCheckpoint":
+        """The checkpoint for ``plan`` (keyed via :func:`plan_key`)."""
+        return cls(path, plan_key(plan.trials, plan.shards, plan.seed, label))
+
+    def load(self) -> dict[int, Any]:
+        """Completed shard results recorded under this run's key.
+
+        Later records win on duplicate shard indices (an interrupted
+        retry may journal a shard twice; both payloads are bit-identical
+        by the purity argument, so either is correct).
+        """
+        results: dict[int, Any] = {}
+        if not self.path.exists():
+            return results
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:  # torn tail from a crash mid-append
+                    continue
+                if not isinstance(record, dict) or record.get("key") != self.key:
+                    continue
+                try:
+                    value = pickle.loads(base64.b64decode(record["data"]))
+                    index = int(record["shard"])
+                except Exception:  # undecodable payload: re-execute that shard
+                    continue
+                results[index] = value
+        return results
+
+    def record(self, shard: int, result: Any) -> None:
+        """Append one completed shard's result (flushed immediately)."""
+        payload = base64.b64encode(pickle.dumps(result)).decode("ascii")
+        line = json.dumps({"key": self.key, "shard": int(shard), "data": payload})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardCheckpoint(path={str(self.path)!r}, key={self.key!r})"

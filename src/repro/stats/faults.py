@@ -1,0 +1,293 @@
+"""Fault-tolerant task execution for the sharded Monte-Carlo engine.
+
+Long production-scale runs of the paper's estimators (Theorem 6.2/6.3
+sweeps at large ``n``) fail for boring reasons — an OOM-killed worker, a
+wedged process, a transient filesystem hiccup — and a failure thousands of
+shards into a budget must not discard the completed work or, worse, change
+the numbers.  This module supplies the recovery machinery, and it is safe
+*only because of* the engine's seeding discipline: each shard is a pure
+function of ``(seed, shards, i)``, so a retried shard is **bit-identical**
+to the attempt it replaces, and a merged result is independent of how many
+times any shard had to run.
+
+Three mechanisms, composable and all off by default:
+
+* **Bounded per-task retry** (:class:`RetryPolicy`) — a task that raises
+  is re-executed up to ``retries`` extra attempts with exponential
+  backoff; exhausting the budget raises :class:`ShardExecutionError`
+  naming the task and chaining the last cause.
+* **Per-task timeouts** — in pooled execution, a task that exceeds
+  ``timeout`` seconds is charged a failed attempt and the pool is
+  recycled (a running future cannot be cancelled, so the stuck worker is
+  abandoned with its executor).  Timeouts are not enforceable on the
+  in-process serial path and are ignored there.
+* **``BrokenProcessPool`` recovery** — a worker dying (segfault,
+  ``os._exit``, OOM kill) breaks the whole executor; the engine rebuilds
+  the pool and re-executes *only the tasks whose results were lost*, each
+  charged one failed attempt.
+
+Determinism of the recovery path is testable through the **fault
+injection hook**: :func:`execute_tasks` accepts a picklable callable
+``injector(index, attempt)`` that runs in the worker before the real
+task; :class:`ScriptedFaults` kills chosen tasks on chosen attempts,
+either by raising (:class:`InjectedFault`) or by hard-exiting the worker
+process (provoking ``BrokenProcessPool``).
+
+:func:`repro.stats.parallel.run_sharded` and
+:func:`~repro.stats.parallel.parallel_map` route through
+:func:`execute_tasks`; checkpointing of completed shards lives in
+:mod:`repro.stats.checkpoint` and plugs in via the ``completed`` /
+``on_result`` parameters.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+__all__ = [
+    "RetryPolicy",
+    "InjectedFault",
+    "ShardExecutionError",
+    "ScriptedFaults",
+    "execute_tasks",
+]
+
+T = TypeVar("T")
+
+#: Attempt-number ceiling guarding against pathological retry policies.
+MAX_ATTEMPTS = 64
+
+
+class InjectedFault(RuntimeError):
+    """Deterministic failure raised by a test fault injector."""
+
+
+class ShardExecutionError(RuntimeError):
+    """A task failed on every attempt its :class:`RetryPolicy` allowed."""
+
+    def __init__(self, index: int, attempts: int, cause: BaseException):
+        self.index = index
+        self.attempts = attempts
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s): {cause!r}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a shard dead.
+
+    ``retries`` is the number of *extra* attempts after the first (the
+    default 0 preserves fail-fast behaviour); ``timeout`` bounds one
+    pooled attempt in seconds (``None`` = unbounded); the backoff before
+    re-running a task that has failed ``k`` times is
+    ``min(backoff * backoff_factor**(k - 1), max_backoff)`` seconds.
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.retries + 1 > MAX_ATTEMPTS:
+            raise ValueError(f"retries must be at most {MAX_ATTEMPTS - 1}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff < 0 or self.backoff_factor < 1 or self.max_backoff < 0:
+            raise ValueError("backoff parameters must be non-negative "
+                             "with backoff_factor >= 1")
+
+    def delay(self, failures: int) -> float:
+        """Seconds to wait before re-running a task with ``failures`` failures."""
+        if self.backoff <= 0 or failures < 1:
+            return 0.0
+        return min(self.backoff * self.backoff_factor ** (failures - 1),
+                   self.max_backoff)
+
+
+@dataclass(frozen=True)
+class ScriptedFaults:
+    """A deterministic, picklable fault injector for tests and benches.
+
+    ``failures`` maps a task index to how many of its first attempts must
+    die; attempts are numbered from 0, so ``{2: 1}`` kills task 2 exactly
+    once and lets its retry through.  ``kind="raise"`` raises
+    :class:`InjectedFault` inside the task (exercising the retry path);
+    ``kind="exit"`` hard-exits the worker process (exercising
+    ``BrokenProcessPool`` recovery — never use it on the serial path, it
+    would kill the calling process).
+    """
+
+    failures: dict[int, int] = field(default_factory=dict)
+    kind: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "exit"):
+            raise ValueError(f"kind must be 'raise' or 'exit', got {self.kind!r}")
+
+    def __call__(self, index: int, attempt: int) -> None:
+        if attempt < self.failures.get(index, 0):
+            if self.kind == "exit":
+                os._exit(13)
+            raise InjectedFault(f"injected fault: task {index}, attempt {attempt}")
+
+
+def _run_task(
+    function: Callable[..., T],
+    arguments: tuple,
+    index: int,
+    attempt: int,
+    injector: Callable[[int, int], None] | None,
+) -> T:
+    """One attempt of one task (module level: picklable for pool transport)."""
+    if injector is not None:
+        injector(index, attempt)
+    return function(*arguments)
+
+
+def execute_tasks(
+    function: Callable[..., T],
+    argument_tuples: Sequence[tuple],
+    workers: int = 1,
+    policy: RetryPolicy | None = None,
+    serial: bool | None = None,
+    fault_injector: Callable[[int, int], None] | None = None,
+    on_result: Callable[[int, T], None] | None = None,
+    completed: dict[int, T] | None = None,
+) -> list[T]:
+    """Run ``function(*argument_tuples[i])`` for every ``i``, fault-tolerantly.
+
+    Returns results **in task order** regardless of completion order.
+    ``completed`` pre-loads already-known results by index (checkpoint
+    resume); those tasks are never executed.  ``on_result(index, result)``
+    fires in the parent process as each task finishes — the checkpoint
+    journaling hook.  ``serial`` forces the in-process path (``None``
+    auto-selects: serial when one worker or at most one outstanding task).
+
+    Retry correctness is the caller's contract: tasks must be pure
+    (deterministic in their arguments, no side effects that accumulate
+    across attempts), which every seed-disciplined shard kernel satisfies.
+    """
+    policy = policy or RetryPolicy()
+    tasks = list(argument_tuples)
+    results: dict[int, Any] = dict(completed or {})
+    unknown = [index for index in results if not 0 <= index < len(tasks)]
+    if unknown:
+        raise ValueError(f"completed indices out of range: {sorted(unknown)}")
+    outstanding = [index for index in range(len(tasks)) if index not in results]
+    if serial is None:
+        serial = workers == 1 or len(outstanding) <= 1
+    if outstanding:
+        if serial:
+            _execute_serial(function, tasks, outstanding, policy,
+                            fault_injector, on_result, results)
+        else:
+            _execute_pooled(function, tasks, outstanding, workers, policy,
+                            fault_injector, on_result, results)
+    return [results[index] for index in range(len(tasks))]
+
+
+def _execute_serial(
+    function: Callable[..., T],
+    tasks: list[tuple],
+    outstanding: Sequence[int],
+    policy: RetryPolicy,
+    fault_injector: Callable[[int, int], None] | None,
+    on_result: Callable[[int, T], None] | None,
+    results: dict[int, Any],
+) -> None:
+    """In-process execution with retry (timeouts are not enforceable here)."""
+    for index in outstanding:
+        failures = 0
+        while True:
+            try:
+                result = _run_task(function, tasks[index], index, failures,
+                                   fault_injector)
+            except Exception as error:
+                failures += 1
+                if failures > policy.retries:
+                    raise ShardExecutionError(index, failures, error) from error
+                time.sleep(policy.delay(failures))
+            else:
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+                break
+
+
+def _execute_pooled(
+    function: Callable[..., T],
+    tasks: list[tuple],
+    outstanding: Sequence[int],
+    workers: int,
+    policy: RetryPolicy,
+    fault_injector: Callable[[int, int], None] | None,
+    on_result: Callable[[int, T], None] | None,
+    results: dict[int, Any],
+) -> None:
+    """Process-pool execution in waves: submit all pending, harvest, retry.
+
+    A wave submits every pending task, then harvests each future with the
+    policy timeout.  Tasks that raised are charged a failed attempt; a
+    timeout or a broken executor additionally recycles the pool (the
+    former because the stuck worker cannot be cancelled, the latter
+    because the executor is unusable), after which only the tasks whose
+    results were lost are resubmitted.
+    """
+    remaining: dict[int, int] = {index: 0 for index in outstanding}
+    pool: ProcessPoolExecutor | None = None
+    pool_size = min(workers, len(remaining))
+    stuck = False  # a timed-out task may occupy a worker forever
+    try:
+        while remaining:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=pool_size)
+                stuck = False
+            futures = {
+                index: pool.submit(_run_task, function, tasks[index], index,
+                                   remaining[index], fault_injector)
+                for index in sorted(remaining)
+            }
+            recycle = False
+            failed: dict[int, BaseException] = {}
+            for index, future in futures.items():
+                try:
+                    result = future.result(timeout=policy.timeout)
+                except _FutureTimeout as error:
+                    failed[index] = error
+                    recycle = stuck = True
+                except BrokenExecutor as error:
+                    failed[index] = error
+                    recycle = True
+                except Exception as error:
+                    failed[index] = error
+                else:
+                    results[index] = result
+                    del remaining[index]
+                    if on_result is not None:
+                        on_result(index, result)
+            for index, error in failed.items():
+                remaining[index] += 1
+                if remaining[index] > policy.retries:
+                    raise ShardExecutionError(index, remaining[index],
+                                              error) from error
+            if recycle:
+                pool.shutdown(wait=not stuck, cancel_futures=True)
+                pool = None
+            if remaining and failed:
+                time.sleep(policy.delay(max(remaining[index]
+                                            for index in failed)))
+    finally:
+        if pool is not None:
+            # Waiting is safe unless a worker is wedged on a timed-out task.
+            pool.shutdown(wait=not stuck, cancel_futures=True)

@@ -19,9 +19,11 @@ from collections import Counter
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field, replace
 from functools import partial
+from pathlib import Path
 
+from .checkpoint import ShardCheckpoint
 from .intervals import Proportion, wilson_interval
-from .parallel import ShardPlan, resolve_workers, run_sharded
+from .parallel import ShardPlan, resolve_shards, run_sharded
 from .rng import RandomSource, iter_batches
 
 __all__ = [
@@ -72,7 +74,11 @@ class CategoricalResult:
     trials: int
     confidence: float
     seed: int | None
-    _cache: dict[int, Proportion] = field(default_factory=dict, compare=False, repr=False)
+    # init=False keeps the memo out of __init__ *and* dataclasses.replace:
+    # a replaced copy gets a fresh dict instead of aliasing the original's.
+    _cache: dict[int, Proportion] = field(
+        default_factory=dict, compare=False, repr=False, init=False
+    )
 
     def probability(self, category: int) -> Proportion:
         """Estimate (with interval) of the probability of one category."""
@@ -140,19 +146,24 @@ def _event_shard(
     return BernoulliResult(successes, shard_trials, confidence, None)
 
 
-def _resolve_plan(trials: int, seed: int | None, workers: int, shards: int | None) -> ShardPlan | None:
+def _resolve_plan(
+    trials: int, seed: int | None, workers: int | None, shards: int | None
+) -> ShardPlan | None:
     """The shard plan for a run, or ``None`` for the legacy serial path.
 
-    ``shards=None`` with one worker keeps the historical single-stream
+    ``shards=None`` with ``workers=1`` keeps the historical single-stream
     derivation (bit-compatible with pre-parallel releases); any explicit
-    shard count — or more than one worker — switches to the sharded
-    derivation, whose results depend only on ``(seed, shards)``.
+    shard count — or any request for parallelism — switches to the
+    sharded derivation, whose results depend only on ``(seed, shards)``.
+    Crucially, ``shards`` defaults via
+    :func:`~repro.stats.parallel.resolve_shards` to the fixed
+    :data:`~repro.stats.parallel.DEFAULT_SHARDS`, **never** the worker
+    count (which would make published numbers depend on how many
+    processes — or, for ``workers=None``, how many CPUs — ran them).
     """
-    if shards is None:
-        if workers == 1:
-            return None
-        shards = workers
-    return ShardPlan(trials, shards, seed)
+    if shards is None and workers == 1:
+        return None
+    return ShardPlan(trials, resolve_shards(workers, shards), seed)
 
 
 def run_bernoulli_trials(
@@ -162,20 +173,25 @@ def run_bernoulli_trials(
     confidence: float = 0.99,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
 ) -> BernoulliResult:
     """Run ``trials`` independent Bernoulli trials of ``trial``.
 
     ``trial`` receives a fresh independent :class:`RandomSource` for each
     invocation and returns whether the event occurred.
 
-    With ``shards`` set, the budget splits into that many seed-disciplined
-    shards fanned out over ``workers`` processes; the outcome is
-    bit-identical for fixed ``(seed, shards)`` at any worker count.  A
-    non-picklable ``trial`` (lambda/closure) degrades to in-process
-    execution with the same sharded result.
+    With parallelism requested (``workers`` unset or above 1) the budget
+    splits into seed-disciplined shards — ``shards`` if given, else the
+    fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` — fanned out over
+    ``workers`` processes; the outcome is bit-identical for fixed
+    ``(seed, shards)`` at any worker count.  A non-picklable ``trial``
+    (lambda/closure) degrades to in-process execution with the same
+    sharded result.  ``retries``/``timeout``/``checkpoint`` configure the
+    fault-tolerance layer (see :func:`~repro.stats.parallel.run_sharded`).
     """
     _check_trials(trials)
-    workers = resolve_workers(workers)
     plan = _resolve_plan(trials, seed, workers, shards)
     if plan is None:
         root = RandomSource(seed)
@@ -186,7 +202,10 @@ def run_bernoulli_trials(
             successes += sum(1 for source in sources if trial(source))
         return BernoulliResult(successes, trials, confidence, seed)
     kernel = partial(_bernoulli_shard, trial=trial, confidence=confidence)
-    merged = merge_bernoulli(run_sharded(kernel, plan, workers))
+    merged = merge_bernoulli(run_sharded(
+        kernel, plan, workers, retries=retries, timeout=timeout,
+        checkpoint=checkpoint, checkpoint_label="bernoulli",
+    ))
     return replace(merged, seed=seed)
 
 
@@ -197,15 +216,17 @@ def run_categorical_trials(
     confidence: float = 0.99,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
 ) -> CategoricalResult:
     """Run ``trials`` independent categorical trials of ``trial``.
 
     ``trial`` returns an integer category (e.g. the observed critical-window
     growth γ); the result aggregates the counts into an empirical PMF.
-    Sharding/parallelism follows :func:`run_bernoulli_trials`.
+    Sharding/parallelism/fault tolerance follow :func:`run_bernoulli_trials`.
     """
     _check_trials(trials)
-    workers = resolve_workers(workers)
     plan = _resolve_plan(trials, seed, workers, shards)
     if plan is None:
         root = RandomSource(seed)
@@ -216,7 +237,10 @@ def run_categorical_trials(
             counts.update(trial(source) for source in sources)
         return CategoricalResult(dict(counts), trials, confidence, seed)
     kernel = partial(_categorical_shard, trial=trial, confidence=confidence)
-    merged = merge_categorical(run_sharded(kernel, plan, workers))
+    merged = merge_categorical(run_sharded(
+        kernel, plan, workers, retries=retries, timeout=timeout,
+        checkpoint=checkpoint, checkpoint_label="categorical",
+    ))
     return replace(merged, seed=seed)
 
 
@@ -228,6 +252,10 @@ def estimate_event(
     batch_size: int = DEFAULT_BATCH_SIZE,
     workers: int | None = 1,
     shards: int | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
+    checkpoint_label: str = "event",
 ) -> BernoulliResult:
     """Vectorised Bernoulli estimation.
 
@@ -235,12 +263,14 @@ def estimate_event(
     ``source`` and return the number of successes.  This is the fast path
     for numpy-vectorisable events (e.g. shift-process disjointness), where
     spawning one :class:`RandomSource` per trial would dominate runtime.
-    Sharding/parallelism follows :func:`run_bernoulli_trials`.
+    Sharding/parallelism/fault tolerance follow
+    :func:`run_bernoulli_trials`; ``checkpoint_label`` lets callers key
+    the checkpoint by their experiment parameters (different events with
+    the same ``(trials, shards, seed)`` must not share journal records).
     """
     _check_trials(trials)
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    workers = resolve_workers(workers)
     plan = _resolve_plan(trials, seed, workers, shards)
     if plan is None:
         root = RandomSource(seed)
@@ -250,7 +280,10 @@ def estimate_event(
         return BernoulliResult(successes, trials, confidence, seed)
     kernel = partial(_event_shard, batch_trial=batch_trial,
                      batch_size=batch_size, confidence=confidence)
-    merged = merge_bernoulli(run_sharded(kernel, plan, workers))
+    merged = merge_bernoulli(run_sharded(
+        kernel, plan, workers, retries=retries, timeout=timeout,
+        checkpoint=checkpoint, checkpoint_label=checkpoint_label,
+    ))
     return replace(merged, seed=seed)
 
 
@@ -259,10 +292,14 @@ def merge_bernoulli(results: Iterable[BernoulliResult]) -> BernoulliResult:
 
     All inputs must share a confidence level.  The pooled seed is ``None``
     because the merged result no longer corresponds to a single stream.
+    Degenerate zero-trial inputs (e.g. empty shards recorded by an older
+    checkpoint, or manual merges of optional legs) are filtered out —
+    they contribute nothing and their ``.proportion``/``.estimate`` are
+    undefined — but at least one non-degenerate input is required.
     """
-    results = list(results)
+    results = [result for result in list(results) if result.trials > 0]
     if not results:
-        raise ValueError("cannot merge an empty collection of results")
+        raise ValueError("cannot merge: no results with trials > 0")
     confidence = results[0].confidence
     if any(result.confidence != confidence for result in results):
         raise ValueError("cannot merge results with differing confidence levels")
@@ -277,11 +314,12 @@ def merge_categorical(results: Iterable[CategoricalResult]) -> CategoricalResult
     The counter-summing analogue of :func:`merge_bernoulli`: per-category
     counts add, trial totals add, and — addition being commutative — the
     merged PMF is independent of merge order.  All inputs must share a
-    confidence level; the pooled seed is ``None``.
+    confidence level; the pooled seed is ``None``.  Degenerate zero-trial
+    inputs are filtered out (as in :func:`merge_bernoulli`).
     """
-    results = list(results)
+    results = [result for result in list(results) if result.trials > 0]
     if not results:
-        raise ValueError("cannot merge an empty collection of results")
+        raise ValueError("cannot merge: no results with trials > 0")
     confidence = results[0].confidence
     if any(result.confidence != confidence for result in results):
         raise ValueError("cannot merge results with differing confidence levels")

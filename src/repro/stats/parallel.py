@@ -18,6 +18,16 @@ process fan-out, under one discipline:
   plain loop with no executor, no pickling, no queues; a trial function
   that cannot be pickled (a lambda, a closure) silently degrades to the
   same serial loop instead of crashing mid-experiment.
+* **Worker-independent defaults** — when parallelism is requested but no
+  shard count is given, the plan uses the fixed :data:`DEFAULT_SHARDS`,
+  **never** the worker count or the host CPU count: default-sharded
+  results are identical across ``workers ∈ {2, 4, None}`` and across
+  machines (:func:`resolve_shards`).
+* **Fault tolerance and resumability** — shard execution routes through
+  :mod:`repro.stats.faults` (bounded retry, per-shard timeouts,
+  ``BrokenProcessPool`` recovery) and can journal completed shards to a
+  :class:`repro.stats.checkpoint.ShardCheckpoint`; both are sound
+  because each shard is a pure function of ``(seed, shards, i)``.
 
 The consuming layers (:mod:`repro.stats.montecarlo`,
 :mod:`repro.sim.executor`, :mod:`repro.sim.measurement`,
@@ -31,20 +41,31 @@ from __future__ import annotations
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, TypeVar
 
+from .checkpoint import ShardCheckpoint
+from .faults import RetryPolicy, execute_tasks
 from .rng import RandomSource
 
 __all__ = [
+    "DEFAULT_SHARDS",
     "ShardPlan",
     "plan_shards",
+    "resolve_shards",
     "resolve_workers",
     "run_sharded",
     "parallel_map",
     "is_picklable",
 ]
+
+#: Shard count used whenever parallelism is requested and ``shards`` is
+#: unset.  A fixed constant — never the worker count, never the CPU count —
+#: so default-sharded numbers are reproducible across worker counts and
+#: machines.  Large enough to load-balance the worker counts in practical
+#: use, small enough that per-shard overhead stays negligible.
+DEFAULT_SHARDS = 16
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -57,6 +78,26 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
     return workers
+
+
+def resolve_shards(workers: int | None, shards: int | None) -> int:
+    """Default a ``shards`` argument without consulting the worker count.
+
+    The shard count is the *statistical identity* of a run, so it must
+    never be derived from anything machine- or schedule-dependent:
+    ``shards=None`` maps to :data:`DEFAULT_SHARDS` whenever parallelism is
+    requested (``workers=None`` or ``workers > 1`` — even on a single-CPU
+    host) and to a single shard for the serial ``workers=1`` case.  Note
+    ``workers`` is inspected *raw*: ``workers=None`` means "use every
+    CPU", which must select the same shard count on every machine.
+    """
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        return shards
+    if workers == 1:
+        return 1
+    return DEFAULT_SHARDS
 
 
 def plan_shards(trials: int, shards: int) -> tuple[int, ...]:
@@ -121,49 +162,106 @@ def run_sharded(
     kernel: Callable[[RandomSource, int], T],
     plan: ShardPlan,
     workers: int | None = 1,
+    *,
+    retries: int = 0,
+    timeout: float | None = None,
+    checkpoint: str | Path | ShardCheckpoint | None = None,
+    checkpoint_label: str = "",
+    fault_injector: Callable[[int, int], None] | None = None,
 ) -> list[T]:
-    """Run ``kernel(shard_source, shard_trials)`` once per shard.
+    """Run ``kernel(shard_source, shard_trials)`` once per non-empty shard.
 
     Returns the per-shard results **in shard order** regardless of
     completion order, so any merge of the returned list is deterministic.
-    ``workers=1`` (the default), a single-shard plan, and kernels that
-    cannot be pickled all take the serial path — same results, no pool.
-    ``workers=None`` uses one worker per CPU.
+    Shards the plan left empty (``shards > trials``) are skipped outright
+    — no kernel call, no pool transport — so the returned list holds one
+    result per *non-empty* shard.  ``workers=1`` (the default), at most
+    one outstanding shard, and kernels that cannot be pickled all take
+    the serial path — same results, no pool.  ``workers=None`` uses one
+    worker per CPU.
+
+    Fault tolerance (:mod:`repro.stats.faults`): ``retries`` extra
+    attempts per shard with exponential backoff, ``timeout`` seconds per
+    pooled shard attempt, and automatic ``BrokenProcessPool`` recovery
+    re-executing only the lost shards.  ``checkpoint`` (a path, or a
+    pre-keyed :class:`~repro.stats.checkpoint.ShardCheckpoint`) journals
+    each completed shard; a resumed run loads the finished shards and
+    executes only the remainder — bit-identical to an uninterrupted run.
+    ``checkpoint_label`` salts the checkpoint key (callers encode their
+    experiment parameters; ignored when ``checkpoint`` is pre-keyed).
+    ``fault_injector`` is the deterministic kill hook used by tests
+    (see :class:`~repro.stats.faults.ScriptedFaults`).
     """
     workers = resolve_workers(workers)
     counts = plan.shard_trials()
     sources = plan.shard_sources()
-    active = sum(1 for count in counts if count > 0)
-    if workers == 1 or active <= 1 or not is_picklable(kernel):
-        return [kernel(source, count) for source, count in zip(sources, counts)]
-    with ProcessPoolExecutor(max_workers=min(workers, active)) as pool:
-        futures = [
-            pool.submit(kernel, source, count)
-            for source, count in zip(sources, counts)
-        ]
-        return [future.result() for future in futures]
+    active = [index for index, count in enumerate(counts) if count > 0]
+
+    journal: ShardCheckpoint | None = None
+    completed: dict[int, T] = {}
+    if checkpoint is not None:
+        journal = (checkpoint if isinstance(checkpoint, ShardCheckpoint)
+                   else ShardCheckpoint.for_plan(checkpoint, plan,
+                                                 label=checkpoint_label))
+        stored = journal.load()
+        completed = {local: stored[shard]
+                     for local, shard in enumerate(active) if shard in stored}
+
+    on_result = None
+    if journal is not None:
+        def on_result(local: int, result: T,
+                      _journal: ShardCheckpoint = journal) -> None:
+            _journal.record(active[local], result)
+
+    outstanding = len(active) - len(completed)
+    serial = (
+        workers == 1
+        or outstanding <= 1
+        or not is_picklable(kernel)
+        or (fault_injector is not None and not is_picklable(fault_injector))
+    )
+    return execute_tasks(
+        kernel,
+        [(sources[index], counts[index]) for index in active],
+        workers=workers,
+        policy=RetryPolicy(retries=retries, timeout=timeout),
+        serial=serial,
+        fault_injector=fault_injector,
+        on_result=on_result,
+        completed=completed,
+    )
 
 
 def parallel_map(
     function: Callable[[U], T],
     items: Iterable[U] | Sequence[U],
     workers: int | None = 1,
+    *,
+    retries: int = 0,
+    timeout: float | None = None,
 ) -> list[T]:
     """Map ``function`` over ``items``, preserving input order.
 
     The grid-point analogue of :func:`run_sharded`: parameter sweeps fan
     their (independent, deterministic) point evaluations onto the same
-    process pool.  Serial fallback rules match ``run_sharded`` — one
-    worker, one item, or an unpicklable function/item runs inline.
+    process pool, with the same per-task retry/timeout machinery
+    (``retries`` extra attempts, ``timeout`` seconds per pooled attempt,
+    ``BrokenProcessPool`` recovery).  Serial fallback rules match
+    ``run_sharded`` — one worker, one item, or an unpicklable
+    function/item runs inline.
     """
     items = list(items)
     workers = resolve_workers(workers)
-    if (
+    serial = (
         workers == 1
         or len(items) <= 1
         or not is_picklable(function)
         or not all(is_picklable(item) for item in items)
-    ):
-        return [function(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(function, items))
+    )
+    return execute_tasks(
+        function,
+        [(item,) for item in items],
+        workers=workers,
+        policy=RetryPolicy(retries=retries, timeout=timeout),
+        serial=serial,
+    )

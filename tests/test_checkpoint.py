@@ -1,0 +1,180 @@
+"""Tests for run manifests / checkpoint resume (repro.stats.checkpoint).
+
+Acceptance property: a run interrupted after k of n shards and resumed
+from its checkpoint merges to the **exact** result of an uninterrupted
+run — at any worker count, through the high-level estimators as well as
+the engine.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SC, WO, estimate_non_manifestation
+from repro.parallel import ShardCheckpoint, ShardPlan, plan_key, run_sharded
+from repro.stats import run_bernoulli_trials, run_categorical_trials
+
+
+def _sum_kernel(source, shard_trials) -> int:
+    return int(source.bernoulli_array(0.5, shard_trials).sum()) if shard_trials else 0
+
+
+def _coin(source) -> bool:
+    return source.bernoulli(0.5)
+
+
+def _geom(source) -> int:
+    return source.geometric(0.5)
+
+
+class TestPlanKey:
+    def test_deterministic(self):
+        assert plan_key(1000, 8, 42) == plan_key(1000, 8, 42)
+
+    def test_sensitive_to_every_component(self):
+        base = plan_key(1000, 8, 42, label="x")
+        assert plan_key(1001, 8, 42, label="x") != base
+        assert plan_key(1000, 9, 42, label="x") != base
+        assert plan_key(1000, 8, 43, label="x") != base
+        assert plan_key(1000, 8, 42, label="y") != base
+        assert plan_key(1000, 8, None, label="x") != base
+
+
+class TestShardCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        journal = ShardCheckpoint(tmp_path / "run.jsonl", key="abc")
+        journal.record(0, {"successes": 3})
+        journal.record(2, (1, 2, 3))
+        loaded = journal.load()
+        assert loaded == {0: {"successes": 3}, 2: (1, 2, 3)}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = ShardCheckpoint(tmp_path / "absent.jsonl", key="abc")
+        assert journal.load() == {}
+
+    def test_mismatched_keys_are_invisible(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        ShardCheckpoint(path, key="run-a").record(0, "a0")
+        ShardCheckpoint(path, key="run-b").record(0, "b0")
+        assert ShardCheckpoint(path, key="run-a").load() == {0: "a0"}
+        assert ShardCheckpoint(path, key="run-b").load() == {0: "b0"}
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "crashy.jsonl"
+        journal = ShardCheckpoint(path, key="k")
+        journal.record(0, 11)
+        with path.open("a") as handle:
+            handle.write('{"key": "k", "shard": 1, "da')  # crash mid-append
+        assert journal.load() == {0: 11}
+
+    def test_undecodable_payload_is_skipped(self, tmp_path):
+        path = tmp_path / "garbled.jsonl"
+        journal = ShardCheckpoint(path, key="k")
+        with path.open("a") as handle:
+            handle.write(json.dumps({"key": "k", "shard": 0,
+                                     "data": "not-base64-pickle"}) + "\n")
+        journal.record(1, 22)
+        assert journal.load() == {1: 22}
+
+    def test_duplicate_shard_latest_wins(self, tmp_path):
+        journal = ShardCheckpoint(tmp_path / "dup.jsonl", key="k")
+        journal.record(0, "first")
+        journal.record(0, "second")
+        assert journal.load() == {0: "second"}
+
+
+class TestResumeEqualsUninterrupted:
+    def test_engine_resume_after_k_of_n_shards(self, tmp_path):
+        plan = ShardPlan(trials=2000, shards=8, seed=31)
+        uninterrupted = run_sharded(_sum_kernel, plan, workers=1)
+        # Simulate an interruption after 3 of 8 shards by journaling only
+        # that prefix, then resume at a *different* worker count.
+        journal = ShardCheckpoint.for_plan(tmp_path / "run.jsonl", plan)
+        for shard in range(3):
+            journal.record(shard, uninterrupted[shard])
+        resumed = run_sharded(_sum_kernel, plan, workers=2, checkpoint=journal)
+        assert resumed == uninterrupted
+
+    def test_resume_with_complete_journal_executes_nothing(self, tmp_path):
+        plan = ShardPlan(trials=1000, shards=4, seed=33)
+        path = tmp_path / "run.jsonl"
+        first = run_sharded(_sum_kernel, plan, workers=1, checkpoint=path)
+
+        def exploding_kernel(source, shard_trials):
+            raise AssertionError("a fully-journaled run must not re-execute")
+
+        resumed = run_sharded(exploding_kernel, plan, workers=1, checkpoint=path)
+        assert resumed == first
+
+    def test_checkpoint_run_journals_every_shard(self, tmp_path):
+        plan = ShardPlan(trials=1000, shards=4, seed=35)
+        path = tmp_path / "run.jsonl"
+        results = run_sharded(_sum_kernel, plan, workers=1, checkpoint=path)
+        journal = ShardCheckpoint.for_plan(path, plan)
+        assert journal.load() == dict(enumerate(results))
+
+    def test_bernoulli_interrupted_resume_bit_identical(self, tmp_path):
+        path = tmp_path / "bernoulli.jsonl"
+        full = run_bernoulli_trials(_coin, 4000, seed=41, shards=8, workers=1)
+        # A journaling run writes all 8 shard records; keep the first 5 to
+        # simulate an interruption, then resume at a different worker count.
+        run_bernoulli_trials(_coin, 4000, seed=41, shards=8, workers=1,
+                             checkpoint=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8
+        path.write_text("\n".join(lines[:5]) + "\n")
+        resumed = run_bernoulli_trials(_coin, 4000, seed=41, shards=8,
+                                       workers=2, checkpoint=path)
+        assert (resumed.successes, resumed.trials, resumed.seed) \
+            == (full.successes, full.trials, full.seed)
+
+    def test_categorical_resume_bit_identical(self, tmp_path):
+        path = tmp_path / "categorical.jsonl"
+        full = run_categorical_trials(_geom, 3000, seed=43, shards=8, workers=1)
+        first = run_categorical_trials(_geom, 3000, seed=43, shards=8,
+                                       workers=1, checkpoint=path)
+        resumed = run_categorical_trials(_geom, 3000, seed=43, shards=8,
+                                         workers=2, checkpoint=path)
+        assert first.counts == full.counts
+        assert resumed.counts == full.counts
+        assert resumed.trials == 3000
+
+    def test_models_do_not_cross_contaminate_one_journal(self, tmp_path):
+        path = tmp_path / "models.jsonl"
+        sc_clean = estimate_non_manifestation(SC, 2, 8000, seed=47, shards=4)
+        wo_clean = estimate_non_manifestation(WO, 2, 8000, seed=47, shards=4)
+        sc = estimate_non_manifestation(SC, 2, 8000, seed=47, shards=4,
+                                        checkpoint=path)
+        wo = estimate_non_manifestation(WO, 2, 8000, seed=47, shards=4,
+                                        checkpoint=path)
+        # Same (trials, shards, seed): only the label separates the runs.
+        assert sc.successes == sc_clean.successes
+        assert wo.successes == wo_clean.successes
+        # Resuming each from the shared journal stays bit-identical.
+        assert estimate_non_manifestation(
+            SC, 2, 8000, seed=47, shards=4, checkpoint=path
+        ).successes == sc_clean.successes
+        assert estimate_non_manifestation(
+            WO, 2, 8000, seed=47, shards=4, checkpoint=path
+        ).successes == wo_clean.successes
+
+
+class TestRetryWithCheckpoint:
+    def test_injected_failure_then_resume_identical(self, tmp_path):
+        from repro.parallel import ScriptedFaults, ShardExecutionError
+
+        plan = ShardPlan(trials=2000, shards=6, seed=51)
+        clean = run_sharded(_sum_kernel, plan, workers=1)
+        path = tmp_path / "run.jsonl"
+        # First run dies on shard 4 (no retries): completed shards are
+        # journaled, the failure propagates.
+        with pytest.raises(ShardExecutionError):
+            run_sharded(_sum_kernel, plan, workers=1, checkpoint=path,
+                        fault_injector=ScriptedFaults(failures={4: 99}))
+        journaled = ShardCheckpoint.for_plan(path, plan).load()
+        assert set(journaled) == {0, 1, 2, 3}  # serial order up to the crash
+        # Second run (fault gone) resumes the remainder only.
+        resumed = run_sharded(_sum_kernel, plan, workers=2, checkpoint=path)
+        assert resumed == clean

@@ -99,3 +99,25 @@ class TestCommands:
         out = run_cli(capsys, "verify")
         assert "all 11 checks passed" in out
         assert "FAIL" not in out
+
+
+class TestFaultToleranceFlags:
+    def test_retries_and_timeout_accepted(self, capsys):
+        out = run_cli(capsys, "--retries", "2", "--shard-timeout", "30",
+                      "--workers", "2", "--shards", "4", "machine",
+                      "--model", "SC", "--trials", "50", "--seed", "5")
+        assert "bug manifests" in out
+
+    def test_checkpoint_resume_reproduces_output(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        base = ["--shards", "6", "thm62", "--trials", "6000", "--seed", "13"]
+        clean = run_cli(capsys, *base)
+        first = run_cli(capsys, "--checkpoint", str(journal), *base)
+        assert first == clean
+        lines = journal.read_text().splitlines()
+        # One record per shard per model estimate sharing the journal.
+        assert len(lines) >= 6 and len(lines) % 6 == 0
+        # Simulate an interrupted run: drop half the journal, resume.
+        journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        resumed = run_cli(capsys, "--checkpoint", str(journal), *base)
+        assert resumed == clean

@@ -1,0 +1,193 @@
+"""Tests for the fault-tolerance layer (repro.stats.faults).
+
+The invariant under test everywhere: recovery never changes numbers.  A
+shard is a pure function of ``(seed, shards, i)``, so a retried,
+pool-recovered, or timed-out-and-rerun shard must be **bit-identical** to
+the attempt it replaces, and the merged run must equal an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.parallel import (
+    InjectedFault,
+    RetryPolicy,
+    ScriptedFaults,
+    ShardExecutionError,
+    ShardPlan,
+    execute_tasks,
+    run_sharded,
+)
+
+#: Fast-backoff policy so retry tests do not sleep for real.
+FAST = dict(backoff=0.0)
+
+
+def _sum_kernel(source, shard_trials) -> int:
+    return int(source.bernoulli_array(0.5, shard_trials).sum()) if shard_trials else 0
+
+
+def _identity(value):
+    return value
+
+
+@dataclass(frozen=True)
+class _SleepOnFirstAttempt:
+    """Picklable injector that wedges one task's first attempt."""
+
+    index: int
+    seconds: float
+
+    def __call__(self, index: int, attempt: int) -> None:
+        if index == self.index and attempt == 0:
+            time.sleep(self.seconds)
+
+
+class TestRetryPolicy:
+    def test_defaults_fail_fast(self):
+        policy = RetryPolicy()
+        assert policy.retries == 0
+        assert policy.timeout is None
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(retries=8, backoff=0.1, backoff_factor=2.0,
+                             max_backoff=0.5)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+        assert policy.delay(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=1000)
+
+
+class TestScriptedFaults:
+    def test_kills_scripted_attempts_only(self):
+        faults = ScriptedFaults(failures={2: 2})
+        faults(0, 0)  # untouched task: no-op
+        with pytest.raises(InjectedFault):
+            faults(2, 0)
+        with pytest.raises(InjectedFault):
+            faults(2, 1)
+        faults(2, 2)  # third attempt survives
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            ScriptedFaults(kind="segfault")
+
+
+class TestExecuteTasksSerial:
+    def test_plain_execution_in_order(self):
+        results = execute_tasks(_identity, [(3,), (1,), (2,)])
+        assert results == [3, 1, 2]
+
+    def test_retry_heals_injected_faults(self):
+        faults = ScriptedFaults(failures={0: 2, 2: 1})
+        results = execute_tasks(
+            _identity, [(10,), (20,), (30,)],
+            policy=RetryPolicy(retries=2, **FAST), fault_injector=faults,
+        )
+        assert results == [10, 20, 30]
+
+    def test_exhausted_retries_raise_with_task_identity(self):
+        faults = ScriptedFaults(failures={1: 99})
+        with pytest.raises(ShardExecutionError) as excinfo:
+            execute_tasks(_identity, [(1,), (2,)],
+                          policy=RetryPolicy(retries=2, **FAST),
+                          fault_injector=faults)
+        assert excinfo.value.index == 1
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+
+    def test_completed_tasks_are_not_reexecuted(self):
+        faults = ScriptedFaults(failures={0: 99})  # would never succeed
+        results = execute_tasks(_identity, [(7,), (8,)],
+                                fault_injector=faults,
+                                completed={0: 70})
+        assert results == [70, 8]
+
+    def test_completed_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            execute_tasks(_identity, [(1,)], completed={5: 0})
+
+    def test_on_result_fires_per_fresh_result(self):
+        seen = []
+        execute_tasks(_identity, [(1,), (2,), (3,)],
+                      on_result=lambda index, value: seen.append((index, value)),
+                      completed={1: 20})
+        assert seen == [(0, 1), (2, 3)]
+
+
+class TestExecuteTasksPooled:
+    def test_pool_matches_serial(self):
+        tasks = [(value,) for value in range(6)]
+        assert (execute_tasks(_identity, tasks, workers=2, serial=False)
+                == execute_tasks(_identity, tasks))
+
+    def test_retry_heals_raised_faults(self):
+        plan = ShardPlan(trials=1200, shards=4, seed=5)
+        clean = run_sharded(_sum_kernel, plan, workers=1)
+        faults = ScriptedFaults(failures={1: 1, 3: 2})
+        healed = run_sharded(_sum_kernel, plan, workers=2, retries=2,
+                             fault_injector=faults)
+        assert healed == clean
+
+    def test_broken_pool_recovery_reexecutes_lost_shards(self):
+        plan = ShardPlan(trials=1200, shards=4, seed=6)
+        clean = run_sharded(_sum_kernel, plan, workers=1)
+        # kind="exit" hard-kills the worker: the executor breaks and every
+        # unfinished shard must be recovered on a fresh pool.
+        faults = ScriptedFaults(failures={2: 1}, kind="exit")
+        recovered = run_sharded(_sum_kernel, plan, workers=2, retries=2,
+                                fault_injector=faults)
+        assert recovered == clean
+
+    def test_timeout_charges_attempt_and_recovers(self):
+        plan = ShardPlan(trials=400, shards=3, seed=8)
+        clean = run_sharded(_sum_kernel, plan, workers=1)
+        slow = _SleepOnFirstAttempt(index=1, seconds=5.0)
+        start = time.perf_counter()
+        healed = run_sharded(_sum_kernel, plan, workers=2, retries=1,
+                             timeout=0.5, fault_injector=slow)
+        elapsed = time.perf_counter() - start
+        assert healed == clean
+        assert elapsed < 5.0  # did not wait out the wedged attempt
+
+    def test_pooled_exhaustion_raises(self):
+        plan = ShardPlan(trials=400, shards=2, seed=9)
+        always_failing = ScriptedFaults(failures={0: 99})
+        with pytest.raises(ShardExecutionError):
+            run_sharded(_sum_kernel, plan, workers=2, retries=1,
+                        fault_injector=always_failing)
+
+
+class TestRunShardedFaultPlumbing:
+    def test_serial_injector_heals_identically(self):
+        plan = ShardPlan(trials=1000, shards=4, seed=12)
+        clean = run_sharded(_sum_kernel, plan, workers=1)
+        healed = run_sharded(_sum_kernel, plan, workers=1, retries=3,
+                             fault_injector=ScriptedFaults(failures={0: 2}))
+        assert healed == clean
+
+    def test_unpicklable_injector_falls_back_to_serial(self):
+        plan = ShardPlan(trials=1000, shards=4, seed=13)
+        clean = run_sharded(_sum_kernel, plan, workers=1)
+        failures = {1: 1}
+        injector = lambda index, attempt: (  # noqa: E731 — deliberately unpicklable
+            (_ for _ in ()).throw(InjectedFault("boom"))
+            if attempt < failures.get(index, 0) else None)
+        healed = run_sharded(_sum_kernel, plan, workers=4, retries=1,
+                             fault_injector=injector)
+        assert healed == clean

@@ -7,16 +7,21 @@ where shards execute, never what they compute.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core import SC, WO, estimate_non_manifestation, non_manifestation_probability
 from repro.parallel import (
+    DEFAULT_SHARDS,
     ShardPlan,
     is_picklable,
+    merge_bernoulli,
     merge_categorical,
     parallel_map,
     plan_shards,
+    resolve_shards,
     resolve_workers,
     run_sharded,
 )
@@ -92,6 +97,77 @@ class TestResolveWorkers:
             resolve_workers(0)
 
 
+class TestResolveShards:
+    """The shard count — the statistical identity — never derives from
+    the machine: parallel runs with no explicit ``shards`` all use
+    :data:`DEFAULT_SHARDS`, and only ``workers=1`` stays single-shard."""
+
+    def test_single_worker_defaults_to_one_shard(self):
+        assert resolve_shards(1, None) == 1
+
+    def test_parallel_defaults_are_worker_independent(self):
+        assert resolve_shards(2, None) == DEFAULT_SHARDS
+        assert resolve_shards(4, None) == DEFAULT_SHARDS
+        assert resolve_shards(None, None) == DEFAULT_SHARDS
+
+    def test_explicit_shards_pass_through(self):
+        assert resolve_shards(1, 6) == 6
+        assert resolve_shards(None, 3) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resolve_shards(1, 0)
+        with pytest.raises(ValueError):
+            resolve_shards(1, -2)
+
+
+class TestDefaultShardsWorkerInvariance:
+    """The headline regression: with ``shards`` unset, the worker count
+    must NOT leak into the statistical plan.  On the pre-fix engine the
+    default was ``shards=workers`` (and CPU count for ``workers=None``),
+    so these runs drew different streams and disagreed."""
+
+    def test_bernoulli_defaults_identical_across_workers(self):
+        results = [
+            run_bernoulli_trials(_coin, 5000, seed=3, workers=w)
+            for w in (2, 4, None)
+        ]
+        # workers=1 keeps the legacy single-stream path unless shards is
+        # given; pinning shards=DEFAULT_SHARDS joins it to the family.
+        results.append(run_bernoulli_trials(_coin, 5000, seed=3, workers=1,
+                                            shards=DEFAULT_SHARDS))
+        assert len({r.successes for r in results}) == 1
+        assert all(r.trials == 5000 and r.seed == 3 for r in results)
+
+    def test_estimate_event_defaults_identical_across_workers(self):
+        results = [
+            estimate_event(_batch_coin, 20_000, seed=7, workers=w)
+            for w in (2, 4, None)
+        ]
+        results.append(estimate_event(_batch_coin, 20_000, seed=7, workers=1,
+                                      shards=DEFAULT_SHARDS))
+        assert len({r.successes for r in results}) == 1
+
+    def test_categorical_defaults_identical_across_workers(self):
+        results = [
+            run_categorical_trials(_geom, 5000, seed=5, workers=w)
+            for w in (2, 4, None)
+        ]
+        results.append(run_categorical_trials(_geom, 5000, seed=5, workers=1,
+                                              shards=DEFAULT_SHARDS))
+        assert len({tuple(sorted(r.counts.items())) for r in results}) == 1
+
+    def test_estimator_defaults_identical_across_workers(self):
+        results = [
+            estimate_non_manifestation(SC, 2, 10_000, seed=41, workers=w)
+            for w in (2, 4, None)
+        ]
+        results.append(estimate_non_manifestation(SC, 2, 10_000, seed=41,
+                                                  workers=1,
+                                                  shards=DEFAULT_SHARDS))
+        assert len({r.successes for r in results}) == 1
+
+
 class TestRunSharded:
     def test_results_in_shard_order(self):
         plan = ShardPlan(trials=10, shards=4, seed=0)
@@ -107,6 +183,28 @@ class TestRunSharded:
 
 def _sum_kernel(source, shard_trials) -> int:
     return int(source.bernoulli_array(0.5, shard_trials).sum()) if shard_trials else 0
+
+
+def _positive_kernel(source, shard_trials) -> int:
+    assert shard_trials > 0, "zero-trial shard must never reach the kernel"
+    return int(source.bernoulli_array(0.5, shard_trials).sum())
+
+
+class TestEmptyShards:
+    """Zero-trial shards (more shards than trials) are skipped entirely:
+    never submitted to a pool, never run through a kernel."""
+
+    def test_zero_trial_shards_never_reach_the_kernel(self):
+        plan = ShardPlan(trials=5, shards=16, seed=1)
+        assert plan.shard_trials().count(0) == 11
+        serial = run_sharded(_positive_kernel, plan, workers=1)
+        pooled = run_sharded(_positive_kernel, plan, workers=2)
+        assert serial == pooled
+        assert sum(serial) <= 5
+
+    def test_harness_tolerates_more_shards_than_trials(self):
+        result = run_bernoulli_trials(_coin, 5, seed=1, shards=16)
+        assert result.trials == 5
 
 
 class TestShardedHarness:
@@ -189,6 +287,57 @@ class TestMergeCategorical:
         b = run_categorical_trials(_geom, 100, seed=0, confidence=0.99)
         with pytest.raises(ValueError):
             merge_categorical([a, b])
+
+
+class TestMergeDegenerateInputs:
+    """Zero-trial results (empty shards, older journals) are filtered out
+    of merges instead of poisoning the pooled estimate."""
+
+    def test_bernoulli_filters_zero_trial_inputs(self):
+        from repro.stats import BernoulliResult
+
+        real = run_bernoulli_trials(_coin, 1000, seed=2)
+        empty = BernoulliResult(0, 0, real.confidence, None)
+        merged = merge_bernoulli([empty, real, empty])
+        assert (merged.successes, merged.trials) == (real.successes, 1000)
+
+    def test_categorical_filters_zero_trial_inputs(self):
+        from repro.stats import CategoricalResult
+
+        real = run_categorical_trials(_geom, 1000, seed=2)
+        empty = CategoricalResult({}, 0, real.confidence, None)
+        merged = merge_categorical([empty, real])
+        assert merged.counts == real.counts
+        assert merged.trials == 1000
+
+    def test_all_degenerate_rejected(self):
+        from repro.stats import BernoulliResult, CategoricalResult
+
+        with pytest.raises(ValueError):
+            merge_bernoulli([BernoulliResult(0, 0, 0.99, None)])
+        with pytest.raises(ValueError):
+            merge_categorical([CategoricalResult({}, 0, 0.99, None)])
+
+
+class TestCategoricalCacheIsolation:
+    """Regression: ``_cache`` is ``init=False``, so ``dataclasses.replace``
+    builds a fresh memo instead of aliasing the source's — a copy with a
+    different confidence must not serve the original's intervals."""
+
+    def test_replace_does_not_alias_the_interval_cache(self):
+        original = run_categorical_trials(_geom, 2000, seed=2, confidence=0.99)
+        warmed = original.probability(1)  # populate the original's cache
+        copy = dataclasses.replace(original, confidence=0.5)
+        assert copy._cache is not original._cache
+        narrow = copy.probability(1)
+        assert narrow.low > warmed.low and narrow.high < warmed.high
+
+    def test_replace_preserves_counts_and_equality_semantics(self):
+        original = run_categorical_trials(_geom, 500, seed=3)
+        original.probability(1)
+        copy = dataclasses.replace(original, seed=None)
+        assert copy.counts == original.counts
+        assert copy._cache == {}
 
 
 class TestParallelAgreesWithClosedForms:
