@@ -10,7 +10,8 @@ dispatch onto the shared process-pool engine
 (:func:`repro.stats.parallel.parallel_map`) and come back in grid order —
 ``workers=1`` (the default) is the plain serial loop, and the row values
 are identical either way because each point is a deterministic analytic
-evaluation.
+evaluation.  ``progress=True`` shows a live per-point progress line
+(each grid point counts as one unit; see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -25,7 +26,20 @@ from ..core.manifestation import (
 )
 from ..core.memory_models import PAPER_MODELS, MemoryModel
 from ..core.window_analytic import window_distribution
+from ..obs import RunObserver
 from ..stats.parallel import parallel_map
+
+
+def _observed_map(function, items, workers, retries, timeout, progress, label):
+    """Dispatch one sweep onto ``parallel_map``, optionally with progress."""
+    observer = RunObserver.from_options(progress=progress, label=label)
+    try:
+        return parallel_map(function, items, workers=workers,
+                            retries=retries, timeout=timeout,
+                            observer=observer)
+    finally:
+        if observer is not None:
+            observer.finish()
 
 __all__ = ["thread_sweep", "settle_sweep", "store_probability_sweep", "window_pmf_table", "critical_section_sweep", "beta_sweep"]
 
@@ -52,6 +66,7 @@ def thread_sweep(
     workers: int | None = 1,
     retries: int = 0,
     timeout: float | None = None,
+    progress: bool = False,
 ) -> list[dict[str, object]]:
     """``ln Pr[A]`` per model over thread counts (Theorem 6.3's curve).
 
@@ -61,8 +76,8 @@ def thread_sweep(
     """
     row = partial(_thread_sweep_row, models=list(models),
                   store_probability=store_probability, beta=beta)
-    return parallel_map(row, thread_counts, workers=workers,
-                        retries=retries, timeout=timeout)
+    return _observed_map(row, thread_counts, workers, retries, timeout,
+                         progress, "thread-sweep")
 
 
 def _settle_sweep_row(
@@ -91,6 +106,7 @@ def settle_sweep(
     workers: int | None = 1,
     retries: int = 0,
     timeout: float | None = None,
+    progress: bool = False,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the swap-success probability ``s`` varies.
 
@@ -99,8 +115,8 @@ def settle_sweep(
     """
     row = partial(_settle_sweep_row, models=list(models), n=n,
                   store_probability=store_probability, beta=beta)
-    return parallel_map(row, settle_probabilities, workers=workers,
-                        retries=retries, timeout=timeout)
+    return _observed_map(row, settle_probabilities, workers, retries, timeout,
+                         progress, "settle-sweep")
 
 
 def _store_probability_sweep_row(
@@ -126,6 +142,7 @@ def store_probability_sweep(
     workers: int | None = 1,
     retries: int = 0,
     timeout: float | None = None,
+    progress: bool = False,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the program's store fraction ``p`` varies.
 
@@ -133,8 +150,8 @@ def store_probability_sweep(
     SC and WO columns are flat, which the sweep makes visible.
     """
     row = partial(_store_probability_sweep_row, models=list(models), n=n, beta=beta)
-    return parallel_map(row, store_probabilities, workers=workers,
-                        retries=retries, timeout=timeout)
+    return _observed_map(row, store_probabilities, workers, retries, timeout,
+                         progress, "store-probability-sweep")
 
 
 def window_pmf_table(
@@ -184,6 +201,7 @@ def critical_section_sweep(
     workers: int | None = 1,
     retries: int = 0,
     timeout: float | None = None,
+    progress: bool = False,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the base critical-section duration L grows.
 
@@ -195,8 +213,8 @@ def critical_section_sweep(
     both halves visible (each row carries the SC/WO ratio).
     """
     row = partial(_critical_section_sweep_row, models=list(models), n=n, beta=beta)
-    return parallel_map(row, lengths, workers=workers,
-                        retries=retries, timeout=timeout)
+    return _observed_map(row, lengths, workers, retries, timeout,
+                         progress, "critical-section-sweep")
 
 
 def _beta_sweep_row(
@@ -227,6 +245,7 @@ def beta_sweep(
     workers: int | None = 1,
     retries: int = 0,
     timeout: float | None = None,
+    progress: bool = False,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the shift-distribution ratio β varies (§7 robustness).
 
@@ -238,8 +257,8 @@ def beta_sweep(
     """
     row = partial(_beta_sweep_row, models=list(models), n=n,
                   store_probability=store_probability)
-    return parallel_map(row, betas, workers=workers,
-                        retries=retries, timeout=timeout)
+    return _observed_map(row, betas, workers, retries, timeout,
+                         progress, "beta-sweep")
 
 
 def monte_carlo_check(
@@ -252,14 +271,19 @@ def monte_carlo_check(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: object | None = None,
+    manifest: object | None = None,
+    trace: object | None = None,
+    progress: bool = False,
 ) -> list[dict[str, object]]:
     """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches.
 
-    The Monte-Carlo leg forwards ``workers``/``shards`` and the
-    fault-tolerance options (``retries``/``timeout``/``checkpoint``) to
+    The Monte-Carlo leg forwards ``workers``/``shards``, the
+    fault-tolerance options (``retries``/``timeout``/``checkpoint``), and
+    the observability options (``manifest``/``trace``/``progress``) to
     :func:`repro.core.manifestation.estimate_non_manifestation`; the
     per-model checkpoint keys keep one journal file safe across the whole
-    model loop.
+    model loop, and each model's run appends its own labelled record to
+    the shared manifest file.
     """
     rows = []
     for model in models:
@@ -269,6 +293,7 @@ def monte_carlo_check(
         empirical = estimate_non_manifestation(
             model, n, trials, seed=seed, workers=workers, shards=shards,
             retries=retries, timeout=timeout, checkpoint=checkpoint,
+            manifest=manifest, trace=trace, progress=progress,
         )
         rows.append(
             {

@@ -16,23 +16,31 @@ Usage (``python -m repro <command>`` or the installed ``repro`` script):
 
 Every command prints plain-text tables from :mod:`repro.reporting`.
 
-The global ``--workers N`` flag (before the subcommand) fans Monte-Carlo
-trial budgets and sweep grids out over ``N`` worker processes via
-:mod:`repro.stats.parallel`.  The statistical identity of a run is
-``(seed, shards)``: workers change wall-clock time, never numbers, and
-``--shards`` left unset defaults to the fixed
-:data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever ``--workers`` is
-above 1 (never the worker count).  ``--retries`` / ``--shard-timeout`` /
-``--checkpoint`` harden long runs: failed shards retry with backoff,
-stuck shards time out, and completed shards journal to a resumable
-checkpoint file — an interrupted run re-executes only the missing shards
-and merges to the identical result:
+The global ``--workers N`` flag fans Monte-Carlo trial budgets and sweep
+grids out over ``N`` worker processes via :mod:`repro.stats.parallel`.
+The statistical identity of a run is ``(seed, shards)``: workers change
+wall-clock time, never numbers, and ``--shards`` left unset defaults to
+the fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever
+``--workers`` is above 1 (never the worker count).  ``--retries`` /
+``--shard-timeout`` / ``--checkpoint`` harden long runs: failed shards
+retry with backoff, stuck shards time out, and completed shards journal
+to a resumable checkpoint file — an interrupted run re-executes only the
+missing shards and merges to the identical result.
+
+``--manifest FILE`` / ``--trace FILE`` / ``--progress`` observe a run:
+a validated JSON run manifest (per-shard durations, retry ledger, merged
+result), a JSONL span trace, and a live stderr progress line with ETA —
+all read-only with respect to the numbers (``docs/OBSERVABILITY.md``).
+On the engine-aware subcommands (``thm62``, ``machine``, ``scaling``)
+every engine flag may be placed before or after the subcommand:
 
 .. code-block:: console
 
    $ python -m repro --workers 4 machine --model TSO --trials 20000
    $ python -m repro --workers 4 --retries 2 --checkpoint run.jsonl \\
          thm62 --trials 1000000
+   $ python -m repro thm62 --trials 20000 --workers 2 --manifest m.json
+   $ python -m repro machine --model TSO --progress --trace spans.jsonl
 """
 
 from __future__ import annotations
@@ -98,7 +106,8 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
                 model, 2, args.trials, seed=args.seed,
                 workers=args.workers, shards=args.shards,
                 retries=args.retries, timeout=args.shard_timeout,
-                checkpoint=args.checkpoint,
+                checkpoint=args.checkpoint, manifest=args.manifest,
+                trace=args.trace, progress=args.progress,
             )
             row["monte carlo"] = empirical.estimate
             row["agrees"] = empirical.agrees_with(exact)
@@ -110,7 +119,8 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
 def _cmd_scaling(args: argparse.Namespace) -> None:
     counts = [n for n in (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
               if n <= args.max_n]
-    print(render_table(thread_sweep(counts, workers=args.workers), precision=3,
+    print(render_table(thread_sweep(counts, workers=args.workers,
+                                    progress=args.progress), precision=3,
                        title="Theorem 6.3: ln Pr[A] per model"))
     print()
     print(render_table(exponent_gap_curve(counts, weak_model=WO), precision=4,
@@ -159,6 +169,9 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         retries=args.retries,
         timeout=args.shard_timeout,
         checkpoint=args.checkpoint,
+        manifest=args.manifest,
+        trace=args.trace,
+        progress=args.progress,
     )
     print(result)
 
@@ -284,39 +297,77 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_engine_options(parser: argparse.ArgumentParser,
+                        suppress: bool = False) -> None:
+    """The engine/observability flag set, shared by the root parser and the
+    engine-aware subcommands.
+
+    The root parser carries the real defaults; subparsers re-declare the
+    same flags with ``argparse.SUPPRESS`` defaults so the flags may be
+    placed before *or after* the subcommand without the subparser's
+    defaults clobbering root-parsed values.
+    """
+    def default(value: object) -> object:
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--workers", type=_positive_int, default=default(1), metavar="N",
+        help="worker processes for Monte-Carlo trials and sweep grids "
+        "(default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--shards", type=_positive_int, default=default(None), metavar="S",
+        help="seed-disciplined shard count; the statistical identity of a "
+        "run is (seed, shards), so results are identical at any --workers "
+        "(default: 16 fixed shards whenever --workers exceeds 1)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=default(0), metavar="R",
+        help="extra attempts per failed shard, with exponential backoff "
+        "(default: 0 = fail fast); retried shards are bit-identical",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=default(None), metavar="SEC",
+        help="per-shard timeout in seconds for pooled execution; a timed-out "
+        "shard is charged a failed attempt (default: unbounded)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=default(None),
+        help="journal completed shards to FILE (JSONL); rerunning with the "
+        "same seed/shards/experiment resumes the missing shards only and "
+        "merges to the identical result",
+    )
+    parser.add_argument(
+        "--manifest", metavar="FILE", default=default(None),
+        help="append a validated run manifest (plan identity, per-shard "
+        "durations, retry ledger, merged result) to FILE as JSON "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=default(None),
+        help="write a JSONL span trace of the run (run > shards > merge) "
+        "to FILE",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        default=default(False),
+        help="show a live per-shard progress line (shards done, trials/s, "
+        "ETA) on stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'The Impact of Memory Models on Software "
         "Reliability in Multiprocessors' (PODC 2011).",
     )
-    parser.add_argument(
-        "--workers", type=_positive_int, default=1, metavar="N",
-        help="worker processes for Monte-Carlo trials and sweep grids "
-        "(default: 1 = serial; place before the subcommand)",
-    )
-    parser.add_argument(
-        "--shards", type=_positive_int, default=None, metavar="S",
-        help="seed-disciplined shard count; the statistical identity of a "
-        "run is (seed, shards), so results are identical at any --workers "
-        "(default: 16 fixed shards whenever --workers exceeds 1)",
-    )
-    parser.add_argument(
-        "--retries", type=int, default=0, metavar="R",
-        help="extra attempts per failed shard, with exponential backoff "
-        "(default: 0 = fail fast); retried shards are bit-identical",
-    )
-    parser.add_argument(
-        "--shard-timeout", type=float, default=None, metavar="SEC",
-        help="per-shard timeout in seconds for pooled execution; a timed-out "
-        "shard is charged a failed attempt (default: unbounded)",
-    )
-    parser.add_argument(
-        "--checkpoint", metavar="FILE", default=None,
-        help="journal completed shards to FILE (JSONL); rerunning with the "
-        "same seed/shards/experiment resumes the missing shards only and "
-        "merges to the identical result",
-    )
+    _add_engine_options(parser)
+    # Engine-aware subcommands accept the same flags *after* the
+    # subcommand (SUPPRESS defaults keep the root's values authoritative
+    # when a flag is only given up front).
+    engine = argparse.ArgumentParser(add_help=False)
+    _add_engine_options(engine, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print the Table 1 relaxation matrix").set_defaults(
@@ -330,14 +381,16 @@ def build_parser() -> argparse.ArgumentParser:
     window.add_argument("--precision", type=int, default=5)
     window.set_defaults(run=_cmd_window)
 
-    thm62 = sub.add_parser("thm62", help="the two-thread Theorem 6.2 table")
+    thm62 = sub.add_parser("thm62", help="the two-thread Theorem 6.2 table",
+                           parents=[engine])
     thm62.add_argument("--trials", type=int, default=0,
                        help="also run this many Monte-Carlo trials per model")
     thm62.add_argument("--seed", type=int, default=0)
     thm62.add_argument("--precision", type=int, default=6)
     thm62.set_defaults(run=_cmd_thm62)
 
-    scaling = sub.add_parser("scaling", help="Theorem 6.3 thread-scaling curves")
+    scaling = sub.add_parser("scaling", help="Theorem 6.3 thread-scaling curves",
+                             parents=[engine])
     scaling.add_argument("--max-n", type=int, default=64)
     scaling.set_defaults(run=_cmd_scaling)
 
@@ -345,7 +398,8 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--test", help="one test (SB, MP, LB, CoRR, 2+2W, IRIW, ...)")
     litmus.set_defaults(run=_cmd_litmus)
 
-    machine = sub.add_parser("machine", help="run the canonical bug on the simulator")
+    machine = sub.add_parser("machine", help="run the canonical bug on the simulator",
+                             parents=[engine])
     machine.add_argument("--model", default="TSO")
     machine.add_argument("--threads", type=int, default=2)
     machine.add_argument("--trials", type=int, default=2000)

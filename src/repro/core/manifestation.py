@@ -264,6 +264,9 @@ def estimate_non_manifestation(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    progress: bool = False,
 ) -> BernoulliResult:
     """Simulate the full §6 pipeline and estimate ``Pr[A]``.
 
@@ -277,6 +280,9 @@ def estimate_non_manifestation(
     layer; the checkpoint key is salted with the model name and the
     experiment parameters, so one journal file can hold several models'
     runs without cross-contamination.
+    ``manifest``/``trace``/``progress`` are the observability knobs
+    (see ``docs/OBSERVABILITY.md``); manifest run records carry the same
+    salted label, so one manifest file can hold all four models' runs.
     """
     if n < 2:
         raise ValueError(f"need n >= 2 threads, got {n}")
@@ -294,7 +300,8 @@ def estimate_non_manifestation(
     return estimate_event(batch_trial, trials, seed=seed, confidence=confidence,
                           workers=workers, shards=shards, retries=retries,
                           timeout=timeout, checkpoint=checkpoint,
-                          checkpoint_label=label)
+                          checkpoint_label=label, manifest=manifest,
+                          trace=trace, progress=progress)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,126 @@
+"""Live progress reporting for sharded runs (the ``--progress`` line).
+
+A progress sink receives one :class:`ProgressSnapshot` per completed (or
+checkpoint-resumed) shard.  The default sink, :class:`ProgressPrinter`,
+rewrites a single stderr line:
+
+.. code-block:: text
+
+   [repro] shards 5/16 · trials 93,750/300,000 · 45,678 trials/s · ETA 3.2s
+
+The ETA model (derived in ``docs/MATH.md`` §11): ``plan_shards``
+balances trial counts across shards to within one trial, so shard
+durations are near-iid draws from one distribution and the best
+predictor of a remaining shard's duration is a robust location estimate
+of the completed ones — the trimmed mean
+(:func:`repro.obs.metrics.trimmed_mean`).  With ``W`` workers draining
+the remaining shards in parallel,
+
+    ``ETA = remaining_shards x trimmed_mean(shard_seconds) / W``.
+
+Resumed shards cost nothing and never enter the mean.  Progress output
+goes to *stderr* so piping an estimator's stdout stays clean, and it is
+pure observability: enabling it cannot change any estimate.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import IO
+
+from .metrics import trimmed_mean
+
+__all__ = ["ProgressSnapshot", "ProgressPrinter", "estimate_eta"]
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """The state of a run after one more shard finished."""
+
+    done_shards: int
+    total_shards: int
+    done_trials: int
+    total_trials: int
+    elapsed_seconds: float
+    trials_per_second: float | None  # executed trials over parent wall time
+    eta_seconds: float | None  # None until one executed shard completed
+
+
+def estimate_eta(
+    shard_seconds: list[float],
+    remaining_shards: int,
+    workers: int = 1,
+) -> float | None:
+    """Expected seconds to finish ``remaining_shards`` (docs/MATH.md §11).
+
+    ``shard_seconds`` holds the durations of the shards *executed* so
+    far (resumed shards are free and must be excluded by the caller).
+    Returns ``None`` when no executed shard has completed yet — there is
+    nothing to extrapolate from.
+    """
+    if remaining_shards < 0:
+        raise ValueError(f"remaining_shards must be non-negative, got {remaining_shards}")
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if not shard_seconds:
+        return None
+    return remaining_shards * trimmed_mean(shard_seconds) / workers
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 90.0:
+        minutes, rest = divmod(seconds, 60.0)
+        return f"{int(minutes)}m{rest:02.0f}s"
+    return f"{seconds:.1f}s"
+
+
+def format_progress(snapshot: ProgressSnapshot) -> str:
+    """Render one snapshot as the single-line progress string."""
+    parts = [
+        f"shards {snapshot.done_shards}/{snapshot.total_shards}",
+        f"trials {snapshot.done_trials:,}/{snapshot.total_trials:,}",
+    ]
+    if snapshot.trials_per_second is not None:
+        parts.append(f"{snapshot.trials_per_second:,.0f} trials/s")
+    if snapshot.eta_seconds is not None:
+        parts.append(f"ETA {_format_seconds(snapshot.eta_seconds)}")
+    return "[repro] " + " · ".join(parts)
+
+
+__all__.append("format_progress")
+
+
+class ProgressPrinter:
+    """The default progress sink: one self-overwriting stderr line.
+
+    Each update rewrites the line with ``\\r`` (padded to blank the
+    previous render); :meth:`close` prints the final state and a
+    newline.  Any callable accepting a :class:`ProgressSnapshot` can
+    replace it (``progress=my_sink``), which is what the tests do.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._last_width = 0
+        self._last: ProgressSnapshot | None = None
+
+    def __call__(self, snapshot: ProgressSnapshot) -> None:
+        self._last = snapshot
+        line = format_progress(snapshot)
+        padding = " " * max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        try:
+            self._stream.write("\r" + line + padding)
+            self._stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: drop progress
+            pass
+
+    def close(self) -> None:
+        if self._last is None:
+            return
+        try:
+            self._stream.write("\r" + format_progress(self._last) + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass

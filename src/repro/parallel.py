@@ -23,14 +23,23 @@ and a retried or checkpoint-resumed shard is bit-identical to the
 attempt it replaces.  When parallelism is requested and ``shards`` is
 unset, the fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` applies —
 never the worker or CPU count.
+
+Observability: pass a :class:`repro.obs.RunObserver` (re-exported here)
+as ``observer=`` to :func:`run_sharded` / :func:`parallel_map` — or use
+the estimators' ``manifest=`` / ``trace=`` / ``progress=`` knobs — to
+collect per-shard wall times, the retry/timeout ledger, a span trace,
+and a validated run manifest, without touching any number
+(``docs/OBSERVABILITY.md``).
 """
 
+from .obs import RunObserver
 from .stats.checkpoint import ShardCheckpoint, plan_key
 from .stats.faults import (
     InjectedFault,
     RetryPolicy,
     ScriptedFaults,
     ShardExecutionError,
+    TaskTelemetry,
     execute_tasks,
 )
 from .stats.montecarlo import merge_bernoulli, merge_categorical
@@ -49,10 +58,12 @@ __all__ = [
     "DEFAULT_SHARDS",
     "InjectedFault",
     "RetryPolicy",
+    "RunObserver",
     "ScriptedFaults",
     "ShardCheckpoint",
     "ShardExecutionError",
     "ShardPlan",
+    "TaskTelemetry",
     "execute_tasks",
     "is_picklable",
     "merge_bernoulli",

@@ -160,6 +160,18 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.stats.faults", "repro.stats.checkpoint"),
         bench="benchmarks/bench_fault_recovery.py",
     ),
+    Experiment(
+        id="E19",
+        paper_artifact="infrastructure: observability",
+        summary="Read-only observability for the sharded engine: run "
+        "manifests (plan identity, per-shard durations, retry ledger, "
+        "merged result), span traces, and a live progress/ETA line — "
+        "inert by construction (telemetry rides the result channel, "
+        "merged numbers unchanged); overhead budget <=5% enforced in "
+        "BENCH_obs_overhead.json.",
+        modules=("repro.obs",),
+        bench="benchmarks/bench_obs_overhead.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 
+from ..obs import RunObserver
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.intervals import Proportion, wilson_interval
 from ..stats.montecarlo import CategoricalResult, merge_categorical
@@ -127,6 +128,9 @@ def run_canonical_bug(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    progress: bool = False,
     **core_options,
 ) -> CanonicalBugResult:
     """Run the canonical increment race ``trials`` times on the machine.
@@ -161,6 +165,10 @@ def run_canonical_bug(
         :func:`repro.stats.parallel.run_sharded`.  The checkpoint key is
         salted with the model/threads/variant, so one journal file can
         hold several machine experiments.
+    manifest, trace, progress:
+        Observability knobs (run manifest JSON, JSONL span trace, live
+        stderr progress); read-only with respect to the result — see
+        ``docs/OBSERVABILITY.md``.
     core_options:
         Forwarded to the core constructor (e.g. ``drain_probability``).
     """
@@ -190,14 +198,32 @@ def run_canonical_bug(
     variant = "atomic" if atomic else ("fenced" if fenced else "racy")
     label = (f"canonical:{model_name}:n={threads}:body={body_length}"
              f":variant={variant}")
-    merged = merge_categorical(run_sharded(
-        kernel, plan, workers, retries=retries, timeout=timeout,
-        checkpoint=checkpoint, checkpoint_label=label,
-    ))
-    return CanonicalBugResult(
-        model=model_name,
-        threads=threads,
-        trials=trials,
-        final_values=dict(merged.counts),
-        confidence=confidence,
-    )
+    observer = RunObserver.from_options(manifest=manifest, trace=trace,
+                                        progress=progress, label=label)
+
+    def build(parts: list[CategoricalResult]) -> CanonicalBugResult:
+        merged = merge_categorical(parts)
+        return CanonicalBugResult(
+            model=model_name,
+            threads=threads,
+            trials=trials,
+            final_values=dict(merged.counts),
+            confidence=confidence,
+        )
+
+    if observer is None:
+        return build(run_sharded(
+            kernel, plan, workers, retries=retries, timeout=timeout,
+            checkpoint=checkpoint, checkpoint_label=label,
+        ))
+    with observer.span("run"):
+        with observer.span("shards"):
+            parts = run_sharded(
+                kernel, plan, workers, retries=retries, timeout=timeout,
+                checkpoint=checkpoint, checkpoint_label=label,
+                observer=observer,
+            )
+        with observer.span("merge"):
+            result = build(parts)
+    observer.finish(result)
+    return result

@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import RunObserver
 from ..stats.bootstrap import BootstrapInterval, bootstrap_mean_interval
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
@@ -173,6 +174,9 @@ def measure_critical_windows(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    progress: bool = False,
     **core_options,
 ) -> WindowMeasurement:
     """Run the canonical race and measure every thread's critical window.
@@ -186,7 +190,9 @@ def measure_critical_windows(
     fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever
     parallelism is requested, never the worker count).
     ``retries``/``timeout``/``checkpoint`` configure the fault-tolerance
-    layer (:func:`repro.stats.parallel.run_sharded`).
+    layer (:func:`repro.stats.parallel.run_sharded`);
+    ``manifest``/``trace``/``progress`` the observability layer
+    (``docs/OBSERVABILITY.md``).
     """
     if threads < 2:
         raise ValueError(f"need at least 2 threads, got {threads}")
@@ -202,15 +208,31 @@ def measure_critical_windows(
     )
     plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
     label = f"windows:{model_name}:n={threads}:body={body_length}"
-    parts = run_sharded(kernel, plan, workers, retries=retries,
-                        timeout=timeout, checkpoint=checkpoint,
-                        checkpoint_label=label)
-    return WindowMeasurement(
-        model=model_name,
-        threads=threads,
-        trials=trials,
-        durations=np.concatenate([part.durations for part in parts]),
-        overlap_trials=sum(part.overlap_trials for part in parts),
-        manifest_trials=sum(part.manifest_trials for part in parts),
-        manifest_without_overlap=sum(part.manifest_without_overlap for part in parts),
-    )
+    observer = RunObserver.from_options(manifest=manifest, trace=trace,
+                                        progress=progress, label=label)
+
+    def build(parts: list[_WindowShard]) -> WindowMeasurement:
+        return WindowMeasurement(
+            model=model_name,
+            threads=threads,
+            trials=trials,
+            durations=np.concatenate([part.durations for part in parts]),
+            overlap_trials=sum(part.overlap_trials for part in parts),
+            manifest_trials=sum(part.manifest_trials for part in parts),
+            manifest_without_overlap=sum(part.manifest_without_overlap
+                                         for part in parts),
+        )
+
+    if observer is None:
+        return build(run_sharded(kernel, plan, workers, retries=retries,
+                                 timeout=timeout, checkpoint=checkpoint,
+                                 checkpoint_label=label))
+    with observer.span("run"):
+        with observer.span("shards"):
+            parts = run_sharded(kernel, plan, workers, retries=retries,
+                                timeout=timeout, checkpoint=checkpoint,
+                                checkpoint_label=label, observer=observer)
+        with observer.span("merge"):
+            result = build(parts)
+    observer.finish(result)
+    return result

@@ -38,6 +38,17 @@ process (provoking ``BrokenProcessPool``).
 :func:`execute_tasks`; checkpointing of completed shards lives in
 :mod:`repro.stats.checkpoint` and plugs in via the ``completed`` /
 ``on_result`` parameters.
+
+Failures are **never silent**: the engine emits structured events
+(``task_failed`` with an ``error``/``timeout``/``pool`` kind,
+``task_finished`` with attempt count and in-worker wall time,
+``pool_recycled``) through the ``on_event`` hook, which
+:mod:`repro.obs` turns into metrics, the live progress line, and the
+run manifest's retry ledger.  With ``timed=True`` each task's wall time
+and worker pid piggyback on the pool's own result transport
+(:class:`TaskTelemetry`) — a process-safe telemetry channel with no
+extra queues or shared state.  Both hooks default off, leaving the
+un-observed path byte-for-byte as before.
 """
 
 from __future__ import annotations
@@ -55,6 +66,7 @@ __all__ = [
     "InjectedFault",
     "ShardExecutionError",
     "ScriptedFaults",
+    "TaskTelemetry",
     "execute_tasks",
 ]
 
@@ -142,17 +154,40 @@ class ScriptedFaults:
             raise InjectedFault(f"injected fault: task {index}, attempt {attempt}")
 
 
+@dataclass(frozen=True)
+class TaskTelemetry:
+    """In-worker measurements that ride back with a task's result.
+
+    ``seconds`` is the wall time of the successful attempt measured
+    *inside* the worker (queueing and pickling excluded); ``worker`` is
+    the executing process's pid.  Both are observability-only — they are
+    stripped before results reach any merge.
+    """
+
+    seconds: float
+    worker: int
+
+
 def _run_task(
     function: Callable[..., T],
     arguments: tuple,
     index: int,
     attempt: int,
     injector: Callable[[int, int], None] | None,
-) -> T:
-    """One attempt of one task (module level: picklable for pool transport)."""
+    timed: bool = False,
+) -> T | tuple[T, TaskTelemetry]:
+    """One attempt of one task (module level: picklable for pool transport).
+
+    With ``timed=True`` the return value is ``(result, TaskTelemetry)``
+    — the telemetry channel of the observability layer.
+    """
     if injector is not None:
         injector(index, attempt)
-    return function(*arguments)
+    if not timed:
+        return function(*arguments)
+    started = time.perf_counter()
+    value = function(*arguments)
+    return value, TaskTelemetry(time.perf_counter() - started, os.getpid())
 
 
 def execute_tasks(
@@ -164,6 +199,7 @@ def execute_tasks(
     fault_injector: Callable[[int, int], None] | None = None,
     on_result: Callable[[int, T], None] | None = None,
     completed: dict[int, T] | None = None,
+    on_event: Callable[[str, dict], None] | None = None,
 ) -> list[T]:
     """Run ``function(*argument_tuples[i])`` for every ``i``, fault-tolerantly.
 
@@ -173,6 +209,16 @@ def execute_tasks(
     fires in the parent process as each task finishes — the checkpoint
     journaling hook.  ``serial`` forces the in-process path (``None``
     auto-selects: serial when one worker or at most one outstanding task).
+
+    ``on_event(name, payload)`` is the observability hook, fired in the
+    parent:  ``("task_finished", {index, attempts, seconds, worker})``
+    when a task completes (``seconds``/``worker`` measured in-worker via
+    :class:`TaskTelemetry`), ``("task_failed", {index, attempt, kind,
+    error})`` for each failed attempt that will be retried (``kind`` is
+    ``"error"``, ``"timeout"`` or ``"pool"``), and ``("pool_recycled",
+    {})`` when the pool is torn down and rebuilt.  Passing ``on_event``
+    enables in-task timing; leaving it ``None`` keeps the execution path
+    identical to the un-instrumented engine.
 
     Retry correctness is the caller's contract: tasks must be pure
     (deterministic in their arguments, no side effects that accumulate
@@ -190,10 +236,10 @@ def execute_tasks(
     if outstanding:
         if serial:
             _execute_serial(function, tasks, outstanding, policy,
-                            fault_injector, on_result, results)
+                            fault_injector, on_result, results, on_event)
         else:
             _execute_pooled(function, tasks, outstanding, workers, policy,
-                            fault_injector, on_result, results)
+                            fault_injector, on_result, results, on_event)
     return [results[index] for index in range(len(tasks))]
 
 
@@ -205,24 +251,47 @@ def _execute_serial(
     fault_injector: Callable[[int, int], None] | None,
     on_result: Callable[[int, T], None] | None,
     results: dict[int, Any],
+    on_event: Callable[[str, dict], None] | None = None,
 ) -> None:
     """In-process execution with retry (timeouts are not enforceable here)."""
+    timed = on_event is not None
     for index in outstanding:
         failures = 0
         while True:
             try:
-                result = _run_task(function, tasks[index], index, failures,
-                                   fault_injector)
+                outcome = _run_task(function, tasks[index], index, failures,
+                                    fault_injector, timed)
             except Exception as error:
                 failures += 1
+                if on_event is not None:
+                    on_event("task_failed", {"index": index,
+                                             "attempt": failures - 1,
+                                             "kind": "error",
+                                             "error": repr(error)})
                 if failures > policy.retries:
                     raise ShardExecutionError(index, failures, error) from error
                 time.sleep(policy.delay(failures))
             else:
+                if timed:
+                    result, telemetry = outcome
+                    on_event("task_finished", {"index": index,
+                                               "attempts": failures + 1,
+                                               "seconds": telemetry.seconds,
+                                               "worker": telemetry.worker})
+                else:
+                    result = outcome
                 results[index] = result
                 if on_result is not None:
                     on_result(index, result)
                 break
+
+
+def _failure_kind(error: BaseException) -> str:
+    if isinstance(error, _FutureTimeout):
+        return "timeout"
+    if isinstance(error, BrokenExecutor):
+        return "pool"
+    return "error"
 
 
 def _execute_pooled(
@@ -234,6 +303,7 @@ def _execute_pooled(
     fault_injector: Callable[[int, int], None] | None,
     on_result: Callable[[int, T], None] | None,
     results: dict[int, Any],
+    on_event: Callable[[str, dict], None] | None = None,
 ) -> None:
     """Process-pool execution in waves: submit all pending, harvest, retry.
 
@@ -244,6 +314,7 @@ def _execute_pooled(
     because the executor is unusable), after which only the tasks whose
     results were lost are resubmitted.
     """
+    timed = on_event is not None
     remaining: dict[int, int] = {index: 0 for index in outstanding}
     pool: ProcessPoolExecutor | None = None
     pool_size = min(workers, len(remaining))
@@ -255,14 +326,14 @@ def _execute_pooled(
                 stuck = False
             futures = {
                 index: pool.submit(_run_task, function, tasks[index], index,
-                                   remaining[index], fault_injector)
+                                   remaining[index], fault_injector, timed)
                 for index in sorted(remaining)
             }
             recycle = False
             failed: dict[int, BaseException] = {}
             for index, future in futures.items():
                 try:
-                    result = future.result(timeout=policy.timeout)
+                    outcome = future.result(timeout=policy.timeout)
                 except _FutureTimeout as error:
                     failed[index] = error
                     recycle = stuck = True
@@ -272,11 +343,25 @@ def _execute_pooled(
                 except Exception as error:
                     failed[index] = error
                 else:
+                    if timed:
+                        result, telemetry = outcome
+                        on_event("task_finished",
+                                 {"index": index,
+                                  "attempts": remaining[index] + 1,
+                                  "seconds": telemetry.seconds,
+                                  "worker": telemetry.worker})
+                    else:
+                        result = outcome
                     results[index] = result
                     del remaining[index]
                     if on_result is not None:
                         on_result(index, result)
             for index, error in failed.items():
+                if on_event is not None:
+                    on_event("task_failed", {"index": index,
+                                             "attempt": remaining[index],
+                                             "kind": _failure_kind(error),
+                                             "error": repr(error)})
                 remaining[index] += 1
                 if remaining[index] > policy.retries:
                     raise ShardExecutionError(index, remaining[index],
@@ -284,6 +369,8 @@ def _execute_pooled(
             if recycle:
                 pool.shutdown(wait=not stuck, cancel_futures=True)
                 pool = None
+                if on_event is not None:
+                    on_event("pool_recycled", {})
             if remaining and failed:
                 time.sleep(policy.delay(max(remaining[index]
                                             for index in failed)))

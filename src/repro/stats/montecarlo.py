@@ -11,15 +11,26 @@ The harness standardises three things across the library:
 3. **Reporting** — results carry enough metadata (trial counts, seeds,
    confidence level) for the benchmark harness to print self-describing
    rows.
+
+Every estimator additionally exposes the observability knobs
+``manifest=PATH`` (append a validated run manifest), ``trace=PATH``
+(JSONL span trace: ``run`` > ``shards`` > ``merge``), and
+``progress=True`` (live stderr progress line) — all off by default and
+all strictly read-only with respect to the estimates (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
+import os
+import time
 from collections import Counter
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field, replace
 from functools import partial
 from pathlib import Path
+
+from repro.obs import RunObserver, ShardEvent
 
 from .checkpoint import ShardCheckpoint
 from .intervals import Proportion, wilson_interval
@@ -166,6 +177,48 @@ def _resolve_plan(
     return ShardPlan(trials, resolve_shards(workers, shards), seed)
 
 
+def _run_observed(observer, execute, merge, seed):
+    """Run a sharded estimation, optionally under a :class:`RunObserver`.
+
+    ``execute(observer)`` must return the per-shard results (it forwards
+    the observer into :func:`~repro.stats.parallel.run_sharded`);
+    ``merge`` pools them.  With an observer the work is wrapped in the
+    canonical span tree (``run`` > ``shards`` / ``merge``) and
+    ``observer.finish`` seals progress, trace, and manifest.
+    """
+    if observer is None:
+        return replace(merge(execute(None)), seed=seed)
+    with observer.span("run"):
+        with observer.span("shards"):
+            parts = execute(observer)
+        with observer.span("merge"):
+            merged = replace(merge(parts), seed=seed)
+    observer.finish(merged)
+    return merged
+
+
+def _run_legacy_observed(observer, label, trials, seed, compute):
+    """Observe the legacy single-stream serial path (``mode="serial-legacy"``).
+
+    The legacy derivation has no shard plan, so the manifest records one
+    synthetic shard covering the whole budget, timed around ``compute``.
+    """
+    if observer is None:
+        return compute()
+    observer.run_started(trials=trials, shards=1, seed=seed, workers=1,
+                         label=label, mode="serial-legacy")
+    with observer.span("run"):
+        with observer.span("shards"):
+            started = time.perf_counter()
+            result = compute()
+            observer.shard_finished(ShardEvent(
+                shard=0, trials=trials,
+                seconds=time.perf_counter() - started,
+                attempts=1, worker=os.getpid()))
+    observer.finish(result)
+    return result
+
+
 def run_bernoulli_trials(
     trial: Callable[[RandomSource], bool],
     trials: int,
@@ -176,6 +229,9 @@ def run_bernoulli_trials(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    progress: bool = False,
 ) -> BernoulliResult:
     """Run ``trials`` independent Bernoulli trials of ``trial``.
 
@@ -190,23 +246,34 @@ def run_bernoulli_trials(
     (lambda/closure) degrades to in-process execution with the same
     sharded result.  ``retries``/``timeout``/``checkpoint`` configure the
     fault-tolerance layer (see :func:`~repro.stats.parallel.run_sharded`).
+
+    ``manifest``/``trace``/``progress`` are the observability knobs
+    (run manifest JSON, JSONL span trace, live stderr progress); all are
+    read-only with respect to the estimate — see ``docs/OBSERVABILITY.md``.
     """
     _check_trials(trials)
     plan = _resolve_plan(trials, seed, workers, shards)
+    observer = RunObserver.from_options(manifest=manifest, trace=trace,
+                                        progress=progress, label="bernoulli")
     if plan is None:
-        root = RandomSource(seed)
-        successes = 0
-        for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
-            batch_source = root.child()
-            sources = batch_source.spawn(batch)
-            successes += sum(1 for source in sources if trial(source))
-        return BernoulliResult(successes, trials, confidence, seed)
+        def compute() -> BernoulliResult:
+            root = RandomSource(seed)
+            successes = 0
+            for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
+                batch_source = root.child()
+                sources = batch_source.spawn(batch)
+                successes += sum(1 for source in sources if trial(source))
+            return BernoulliResult(successes, trials, confidence, seed)
+        return _run_legacy_observed(observer, "bernoulli", trials, seed, compute)
     kernel = partial(_bernoulli_shard, trial=trial, confidence=confidence)
-    merged = merge_bernoulli(run_sharded(
-        kernel, plan, workers, retries=retries, timeout=timeout,
-        checkpoint=checkpoint, checkpoint_label="bernoulli",
-    ))
-    return replace(merged, seed=seed)
+
+    def execute(obs: RunObserver | None) -> list[BernoulliResult]:
+        return run_sharded(
+            kernel, plan, workers, retries=retries, timeout=timeout,
+            checkpoint=checkpoint, checkpoint_label="bernoulli", observer=obs,
+        )
+
+    return _run_observed(observer, execute, merge_bernoulli, seed)
 
 
 def run_categorical_trials(
@@ -219,29 +286,41 @@ def run_categorical_trials(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    progress: bool = False,
 ) -> CategoricalResult:
     """Run ``trials`` independent categorical trials of ``trial``.
 
     ``trial`` returns an integer category (e.g. the observed critical-window
     growth γ); the result aggregates the counts into an empirical PMF.
-    Sharding/parallelism/fault tolerance follow :func:`run_bernoulli_trials`.
+    Sharding/parallelism/fault tolerance and the
+    ``manifest``/``trace``/``progress`` observability knobs follow
+    :func:`run_bernoulli_trials`.
     """
     _check_trials(trials)
     plan = _resolve_plan(trials, seed, workers, shards)
+    observer = RunObserver.from_options(manifest=manifest, trace=trace,
+                                        progress=progress, label="categorical")
     if plan is None:
-        root = RandomSource(seed)
-        counts: Counter[int] = Counter()
-        for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
-            batch_source = root.child()
-            sources = batch_source.spawn(batch)
-            counts.update(trial(source) for source in sources)
-        return CategoricalResult(dict(counts), trials, confidence, seed)
+        def compute() -> CategoricalResult:
+            root = RandomSource(seed)
+            counts: Counter[int] = Counter()
+            for batch in iter_batches(trials, DEFAULT_BATCH_SIZE):
+                batch_source = root.child()
+                sources = batch_source.spawn(batch)
+                counts.update(trial(source) for source in sources)
+            return CategoricalResult(dict(counts), trials, confidence, seed)
+        return _run_legacy_observed(observer, "categorical", trials, seed, compute)
     kernel = partial(_categorical_shard, trial=trial, confidence=confidence)
-    merged = merge_categorical(run_sharded(
-        kernel, plan, workers, retries=retries, timeout=timeout,
-        checkpoint=checkpoint, checkpoint_label="categorical",
-    ))
-    return replace(merged, seed=seed)
+
+    def execute(obs: RunObserver | None) -> list[CategoricalResult]:
+        return run_sharded(
+            kernel, plan, workers, retries=retries, timeout=timeout,
+            checkpoint=checkpoint, checkpoint_label="categorical", observer=obs,
+        )
+
+    return _run_observed(observer, execute, merge_categorical, seed)
 
 
 def estimate_event(
@@ -256,6 +335,9 @@ def estimate_event(
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
     checkpoint_label: str = "event",
+    manifest: str | Path | None = None,
+    trace: str | Path | None = None,
+    progress: bool = False,
 ) -> BernoulliResult:
     """Vectorised Bernoulli estimation.
 
@@ -263,28 +345,39 @@ def estimate_event(
     ``source`` and return the number of successes.  This is the fast path
     for numpy-vectorisable events (e.g. shift-process disjointness), where
     spawning one :class:`RandomSource` per trial would dominate runtime.
-    Sharding/parallelism/fault tolerance follow
+    Sharding/parallelism/fault tolerance and the
+    ``manifest``/``trace``/``progress`` observability knobs follow
     :func:`run_bernoulli_trials`; ``checkpoint_label`` lets callers key
     the checkpoint by their experiment parameters (different events with
-    the same ``(trials, shards, seed)`` must not share journal records).
+    the same ``(trials, shards, seed)`` must not share journal records)
+    and doubles as the manifest run label.
     """
     _check_trials(trials)
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     plan = _resolve_plan(trials, seed, workers, shards)
+    observer = RunObserver.from_options(manifest=manifest, trace=trace,
+                                        progress=progress, label=checkpoint_label)
     if plan is None:
-        root = RandomSource(seed)
-        successes = 0
-        for batch in iter_batches(trials, batch_size):
-            successes += int(batch_trial(root.child(), batch))
-        return BernoulliResult(successes, trials, confidence, seed)
+        def compute() -> BernoulliResult:
+            root = RandomSource(seed)
+            successes = 0
+            for batch in iter_batches(trials, batch_size):
+                successes += int(batch_trial(root.child(), batch))
+            return BernoulliResult(successes, trials, confidence, seed)
+        return _run_legacy_observed(observer, checkpoint_label, trials, seed,
+                                    compute)
     kernel = partial(_event_shard, batch_trial=batch_trial,
                      batch_size=batch_size, confidence=confidence)
-    merged = merge_bernoulli(run_sharded(
-        kernel, plan, workers, retries=retries, timeout=timeout,
-        checkpoint=checkpoint, checkpoint_label=checkpoint_label,
-    ))
-    return replace(merged, seed=seed)
+
+    def execute(obs: RunObserver | None) -> list[BernoulliResult]:
+        return run_sharded(
+            kernel, plan, workers, retries=retries, timeout=timeout,
+            checkpoint=checkpoint, checkpoint_label=checkpoint_label,
+            observer=obs,
+        )
+
+    return _run_observed(observer, execute, merge_bernoulli, seed)
 
 
 def merge_bernoulli(results: Iterable[BernoulliResult]) -> BernoulliResult:

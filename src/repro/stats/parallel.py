@@ -28,6 +28,11 @@ process fan-out, under one discipline:
   ``BrokenProcessPool`` recovery) and can journal completed shards to a
   :class:`repro.stats.checkpoint.ShardCheckpoint`; both are sound
   because each shard is a pure function of ``(seed, shards, i)``.
+* **Read-only observability** — an optional
+  :class:`repro.obs.RunObserver` receives per-shard wall times, retry
+  and timeout events, and pool recycles over the existing result
+  channel; enabling it cannot perturb the seeding discipline or any
+  merged number (see ``docs/OBSERVABILITY.md``).
 
 The consuming layers (:mod:`repro.stats.montecarlo`,
 :mod:`repro.sim.executor`, :mod:`repro.sim.measurement`,
@@ -45,7 +50,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, TypeVar
 
-from .checkpoint import ShardCheckpoint
+from repro.obs import RunObserver, ShardEvent
+
+from .checkpoint import ShardCheckpoint, plan_key
 from .faults import RetryPolicy, execute_tasks
 from .rng import RandomSource
 
@@ -168,6 +175,7 @@ def run_sharded(
     checkpoint: str | Path | ShardCheckpoint | None = None,
     checkpoint_label: str = "",
     fault_injector: Callable[[int, int], None] | None = None,
+    observer: RunObserver | None = None,
 ) -> list[T]:
     """Run ``kernel(shard_source, shard_trials)`` once per non-empty shard.
 
@@ -191,6 +199,14 @@ def run_sharded(
     experiment parameters; ignored when ``checkpoint`` is pre-keyed).
     ``fault_injector`` is the deterministic kill hook used by tests
     (see :class:`~repro.stats.faults.ScriptedFaults`).
+
+    ``observer`` (a :class:`repro.obs.RunObserver`) receives the run's
+    telemetry: a ``run_started`` description of the plan, one
+    ``shard_resumed``/``shard_finished`` per shard (with in-worker wall
+    time and pid), every failed attempt, and every pool recycle.
+    Observation rides the existing result channel and cannot change any
+    number; ``observer=None`` (the default) leaves the hot path
+    untouched.
     """
     workers = resolve_workers(workers)
     counts = plan.shard_trials()
@@ -220,6 +236,46 @@ def run_sharded(
         or not is_picklable(kernel)
         or (fault_injector is not None and not is_picklable(fault_injector))
     )
+
+    on_event = None
+    if observer is not None:
+        observer.run_started(
+            trials=plan.trials,
+            shards=plan.shards,
+            seed=plan.seed,
+            workers=workers,
+            active_shards=len(active),
+            label=checkpoint_label or None,
+            key=(journal.key if journal is not None
+                 else plan_key(plan.trials, plan.shards, plan.seed,
+                               checkpoint_label)),
+            retries=retries,
+            timeout=timeout,
+            checkpoint=str(journal.path) if journal is not None else None,
+        )
+        for local, shard in enumerate(active):
+            if local in completed:
+                observer.shard_resumed(shard, counts[shard])
+
+        def on_event(name: str, payload: dict,
+                     _observer: RunObserver = observer) -> None:
+            # execute_tasks speaks local task indices; translate to the
+            # global shard numbering of the plan.
+            if name == "task_finished":
+                _observer.shard_finished(ShardEvent(
+                    shard=active[payload["index"]],
+                    trials=counts[active[payload["index"]]],
+                    seconds=payload["seconds"],
+                    attempts=payload["attempts"],
+                    worker=payload["worker"],
+                ))
+            elif name == "task_failed":
+                _observer.task_failed(active[payload["index"]],
+                                      payload["attempt"], payload["kind"],
+                                      payload["error"])
+            elif name == "pool_recycled":
+                _observer.pool_recycled()
+
     return execute_tasks(
         kernel,
         [(sources[index], counts[index]) for index in active],
@@ -229,6 +285,7 @@ def run_sharded(
         fault_injector=fault_injector,
         on_result=on_result,
         completed=completed,
+        on_event=on_event,
     )
 
 
@@ -239,6 +296,7 @@ def parallel_map(
     *,
     retries: int = 0,
     timeout: float | None = None,
+    observer: RunObserver | None = None,
 ) -> list[T]:
     """Map ``function`` over ``items``, preserving input order.
 
@@ -248,7 +306,9 @@ def parallel_map(
     (``retries`` extra attempts, ``timeout`` seconds per pooled attempt,
     ``BrokenProcessPool`` recovery).  Serial fallback rules match
     ``run_sharded`` — one worker, one item, or an unpicklable
-    function/item runs inline.
+    function/item runs inline.  ``observer`` receives per-item telemetry
+    exactly as :func:`run_sharded` does per shard (each item counts as
+    one "trial" of the observed run).
     """
     items = list(items)
     workers = resolve_workers(workers)
@@ -258,10 +318,33 @@ def parallel_map(
         or not is_picklable(function)
         or not all(is_picklable(item) for item in items)
     )
+
+    on_event = None
+    if observer is not None and items:
+        observer.run_started(trials=len(items), shards=len(items), seed=None,
+                             workers=workers, retries=retries, timeout=timeout)
+
+        def on_event(name: str, payload: dict,
+                     _observer: RunObserver = observer) -> None:
+            if name == "task_finished":
+                _observer.shard_finished(ShardEvent(
+                    shard=payload["index"],
+                    trials=1,
+                    seconds=payload["seconds"],
+                    attempts=payload["attempts"],
+                    worker=payload["worker"],
+                ))
+            elif name == "task_failed":
+                _observer.task_failed(payload["index"], payload["attempt"],
+                                      payload["kind"], payload["error"])
+            elif name == "pool_recycled":
+                _observer.pool_recycled()
+
     return execute_tasks(
         function,
         [(item,) for item in items],
         workers=workers,
         policy=RetryPolicy(retries=retries, timeout=timeout),
         serial=serial,
+        on_event=on_event,
     )

@@ -121,3 +121,48 @@ class TestFaultToleranceFlags:
         journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
         resumed = run_cli(capsys, "--checkpoint", str(journal), *base)
         assert resumed == clean
+
+
+class TestObservabilityFlags:
+    def test_manifest_after_subcommand(self, capsys, tmp_path):
+        from repro.obs import load_manifest
+
+        manifest = tmp_path / "m.json"
+        base = ["thm62", "--trials", "4000", "--seed", "3", "--shards", "4"]
+        clean = run_cli(capsys, *base)
+        observed = run_cli(capsys, *base, "--manifest", str(manifest))
+        assert observed == clean  # manifests never change numbers
+        document = load_manifest(manifest)
+        assert [run["label"].split(":")[1] for run in document["runs"]] == [
+            "SC", "TSO", "PSO", "WO",
+        ]
+        for run in document["runs"]:
+            assert len(run["shards"]) == 4
+            assert run["result"]["trials"] == 4000
+
+    def test_manifest_flag_before_subcommand(self, capsys, tmp_path):
+        manifest = tmp_path / "m.json"
+        run_cli(capsys, "--manifest", str(manifest), "machine",
+                "--model", "SC", "--trials", "50", "--seed", "5",
+                "--shards", "2")
+        from repro.obs import load_manifest
+
+        document = load_manifest(manifest)
+        assert document["runs"][0]["label"].startswith("canonical:SC")
+
+    def test_trace_and_progress(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "spans.jsonl"
+        assert main(["machine", "--model", "SC", "--trials", "50",
+                     "--seed", "5", "--shards", "2", "--trace", str(trace),
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        names = [json.loads(line)["name"]
+                 for line in trace.read_text().splitlines()]
+        assert names == ["shards", "merge", "run"]  # children close first
+        assert "shards 2/2" in captured.err
+
+    def test_scaling_accepts_progress(self, capsys):
+        out = run_cli(capsys, "scaling", "--max-n", "4", "--progress")
+        assert "ln Pr[A] SC" in out

@@ -1,0 +1,75 @@
+"""Docs-consistency checks (tier 2, ``-m docs``).
+
+The observability layer is only useful if its surface is documented: a
+metric name you cannot look up, or a CLI flag missing from the API
+reference, is operationally invisible.  These checks pin the public
+``repro.obs`` surface, the metrics catalogue, and the engine CLI flags
+to ``docs/API.md`` / ``docs/OBSERVABILITY.md`` so the docs cannot drift
+from the code.  CI runs them as a dedicated step.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import build_parser
+from repro.obs import METRICS_CATALOGUE
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+pytestmark = pytest.mark.docs
+
+
+@pytest.fixture(scope="module")
+def api_text() -> str:
+    return (DOCS / "API.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def obs_text() -> str:
+    return (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+
+
+def test_every_obs_export_is_documented(api_text, obs_text):
+    documented = api_text + obs_text
+    missing = [name for name in obs.__all__ if name not in documented]
+    assert not missing, (
+        f"public repro.obs exports missing from docs/API.md and "
+        f"docs/OBSERVABILITY.md: {missing}"
+    )
+
+
+def test_every_metric_is_catalogued_in_docs(obs_text):
+    missing = [name for name in METRICS_CATALOGUE if name not in obs_text]
+    assert not missing, (
+        f"metrics missing from the docs/OBSERVABILITY.md catalogue: {missing}"
+    )
+
+
+def test_engine_cli_flags_are_documented(api_text, obs_text):
+    documented = api_text + obs_text
+    parser = build_parser()
+    flags = [option
+             for action in parser._actions
+             for option in action.option_strings
+             # argparse's automatic --help needs no documentation
+             if option.startswith("--") and option != "--help"]
+    missing = [flag for flag in flags if flag not in documented]
+    assert not missing, f"root CLI flags missing from the docs: {missing}"
+
+
+def test_observability_flags_in_readme():
+    readme = README.read_text(encoding="utf-8")
+    for flag in ("--manifest", "--progress"):
+        assert flag in readme, f"README lacks the {flag} observe-a-run example"
+
+
+def test_docs_cross_link_each_other(api_text, obs_text):
+    assert "OBSERVABILITY.md" in api_text
+    assert "API.md" in obs_text
+    readme = README.read_text(encoding="utf-8")
+    assert "docs/OBSERVABILITY.md" in readme

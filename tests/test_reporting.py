@@ -96,12 +96,12 @@ class TestFigures:
 
 
 class TestExperimentRegistry:
-    def test_eighteen_experiments(self):
-        assert len(EXPERIMENTS) == 18
+    def test_nineteen_experiments(self):
+        assert len(EXPERIMENTS) == 19
 
     def test_ids_sequential(self):
         assert [experiment.id for experiment in EXPERIMENTS] == [
-            f"E{i}" for i in range(1, 19)
+            f"E{i}" for i in range(1, 20)
         ]
 
     def test_lookup(self):
