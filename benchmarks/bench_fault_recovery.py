@@ -21,18 +21,15 @@ land in ``BENCH_fault_recovery.json`` at the repo root.
 from __future__ import annotations
 
 import time
-from pathlib import Path
 
-from conftest import show
+from conftest import results_path, scaled, show, smoke_mode
 
 from repro.core import TSO, estimate_non_manifestation
 from repro.parallel import ScriptedFaults, ShardPlan, run_sharded
 from repro.reporting import render_table
 from repro.reporting.io import write_rows
 
-RESULTS_JSON = Path(__file__).resolve().parent.parent / "BENCH_fault_recovery.json"
-
-TRIALS = 200_000
+TRIALS = scaled(200_000, 40_000)
 SHARDS = 8
 SEED = 1887
 WORKERS = 2
@@ -86,19 +83,32 @@ def test_fault_recovery(run_once, tmp_path):
     rows = run_once(compute)
     show(render_table(rows, precision=4,
                       title="E18: fault recovery — identical numbers, low overhead"))
+
+    by_variant = {row["variant"]: row for row in rows}
+    base = max(by_variant["baseline"]["seconds"], 1e-9)
     write_rows(
-        RESULTS_JSON,
+        results_path("fault_recovery"),
         rows,
         metadata={
             "experiment": "fault_recovery",
             "seed": SEED,
             "shards": SHARDS,
             "workers": WORKERS,
+            "smoke": smoke_mode(),
             "checkpoint_overhead_ceiling": CHECKPOINT_OVERHEAD_CEILING,
+            # Only the checkpoint ratio is tracked for the CI
+            # regression gate: retry recovery pays a constant
+            # (re-executed shards + backoff), so its ratio is not
+            # scale-free across trial budgets.
+            "tracked": {
+                "checkpoint_overhead": {
+                    "value": round(
+                        by_variant["checkpoint-write"]["seconds"] / base, 4),
+                    "higher_is_better": False,
+                },
+            },
         },
     )
-
-    by_variant = {row["variant"]: row for row in rows}
     assert len({row["successes"] for row in rows}) == 1, (
         "recovery variants diverged from the baseline's numbers"
     )

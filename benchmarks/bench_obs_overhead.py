@@ -21,17 +21,14 @@ at the repo root.
 from __future__ import annotations
 
 import time
-from pathlib import Path
 
-from conftest import show
+from conftest import results_path, scaled, show, smoke_mode
 
 from repro.core import TSO, estimate_non_manifestation
 from repro.reporting import render_table
 from repro.reporting.io import write_rows
 
-RESULTS_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
-
-TRIALS = 200_000
+TRIALS = scaled(200_000, 40_000)
 SHARDS = 8
 SEED = 1887
 WORKERS = 2
@@ -101,7 +98,7 @@ def test_obs_overhead(run_once, tmp_path):
          f"(ceiling {OBSERVED_OVERHEAD_CEILING}x)")
 
     write_rows(
-        RESULTS_JSON,
+        results_path("obs_overhead"),
         rows,
         metadata={
             "experiment": "obs_overhead",
@@ -109,10 +106,19 @@ def test_obs_overhead(run_once, tmp_path):
             "shards": SHARDS,
             "workers": WORKERS,
             "repeats": REPEATS,
+            "smoke": smoke_mode(),
             "disabled_ratio": round(disabled_ratio, 4),
             "observed_ratio": round(observed_ratio, 4),
             "observed_overhead_ceiling": OBSERVED_OVERHEAD_CEILING,
             "disabled_overhead_ceiling": DISABLED_OVERHEAD_CEILING,
+            # Overhead ratios are scale-free, so the CI regression gate
+            # can compare a smoke run against this committed baseline.
+            "tracked": {
+                "disabled_ratio": {"value": round(disabled_ratio, 4),
+                                   "higher_is_better": False},
+                "observed_ratio": {"value": round(observed_ratio, 4),
+                                   "higher_is_better": False},
+            },
         },
     )
 

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate: fresh tracked metrics vs committed baselines.
+
+Every bench that writes a ``BENCH_*.json`` may declare *tracked* metrics
+in its metadata::
+
+    "tracked": {
+        "settling_speedup": {"value": 38.1, "higher_is_better": true},
+        ...
+    }
+
+Tracked metrics are dimensionless **ratios** (speedups, overhead factors)
+by convention, so a smoke run on a different host is still comparable to
+the committed full-budget baseline.  This script pairs each committed
+baseline (repo root by default) with the same-named results file from a
+fresh run (``--results-dir``, where CI's bench-smoke job pointed
+``REPRO_BENCH_DIR``) and **fails** — exit status 1 — if any tracked
+metric moved more than ``--threshold`` (default 25%) in the bad
+direction.
+
+Skips are loud, never silent: a baseline without tracked metrics, a
+bench that produced no fresh results, and a host with fewer CPUs than
+the baseline's declared ``required_cpu_count`` are each logged and
+ignored (parallel speedups are not a software property of a host that
+lacks the cores).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: Regressions beyond this fraction of the baseline value fail the gate.
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_document(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def regression_fraction(baseline: float, fresh: float,
+                        higher_is_better: bool) -> float:
+    """Fractional move in the *bad* direction (negative = improvement)."""
+    scale = max(abs(baseline), 1e-12)
+    if higher_is_better:
+        return (baseline - fresh) / scale
+    return (fresh - baseline) / scale
+
+
+def check_baseline(baseline_path: Path, results_dir: Path,
+                   threshold: float) -> list[str]:
+    """Compare one committed baseline; returns failure messages."""
+    name = baseline_path.name
+    baseline = load_document(baseline_path)
+    metadata = baseline.get("metadata", {})
+    tracked = metadata.get("tracked")
+    if not tracked:
+        print(f"[check-regression] SKIP {name}: no tracked metrics in baseline")
+        return []
+
+    required_cpus = int(metadata.get("required_cpu_count", 1))
+    host_cpus = os.cpu_count() or 1
+    if host_cpus < required_cpus:
+        print(f"[check-regression] SKIP {name}: host has {host_cpus} CPU(s), "
+              f"baseline requires >= {required_cpus}")
+        return []
+
+    fresh_path = results_dir / name
+    if not fresh_path.is_file():
+        print(f"[check-regression] SKIP {name}: no fresh results at {fresh_path}")
+        return []
+    fresh_tracked = load_document(fresh_path).get("metadata", {}).get("tracked", {})
+
+    failures: list[str] = []
+    for metric, spec in tracked.items():
+        base_value = float(spec["value"])
+        higher_is_better = bool(spec.get("higher_is_better", True))
+        fresh_spec = fresh_tracked.get(metric)
+        if fresh_spec is None:
+            print(f"[check-regression] SKIP {name}:{metric}: "
+                  f"metric missing from fresh results")
+            continue
+        fresh_value = float(fresh_spec["value"])
+        moved = regression_fraction(base_value, fresh_value, higher_is_better)
+        direction = "higher" if higher_is_better else "lower"
+        verdict = "OK"
+        if moved > threshold:
+            verdict = "FAIL"
+            failures.append(
+                f"{name}:{metric} regressed {moved:+.1%} "
+                f"(baseline {base_value:g}, fresh {fresh_value:g}, "
+                f"{direction} is better, threshold {threshold:.0%})"
+            )
+        print(f"[check-regression] {verdict} {name}:{metric} "
+              f"baseline={base_value:g} fresh={fresh_value:g} "
+              f"moved={moved:+.1%} ({direction} is better)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir", type=Path, required=True,
+                        help="directory holding the fresh BENCH_*.json files "
+                             "(the bench run's REPRO_BENCH_DIR)")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory of committed baselines (repo root)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional regression that fails the gate "
+                             "(default 0.25 = 25%%)")
+    options = parser.parse_args(argv)
+
+    baselines = sorted(options.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"[check-regression] no BENCH_*.json baselines under "
+              f"{options.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for baseline_path in baselines:
+        failures += check_baseline(baseline_path, options.results_dir,
+                                   options.threshold)
+
+    if failures:
+        print(f"\n[check-regression] {len(failures)} tracked metric(s) "
+              f"regressed beyond {options.threshold:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("[check-regression] gate passed: no tracked metric regressed "
+          f"beyond {options.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,12 +15,45 @@ them live instead).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 #: All rendered tables/figures from the most recent bench run.
 RESULTS_PATH = Path(__file__).resolve().parent / "latest_results.txt"
+
+#: Where committed BENCH_*.json baselines live (the repo root).
+BASELINE_DIR = Path(__file__).resolve().parent.parent
+
+
+def smoke_mode() -> bool:
+    """True when ``REPRO_BENCH_SMOKE`` is set (CI's bench-smoke job).
+
+    Smoke mode shrinks trial budgets so every bench exercises its full
+    code path in seconds.  Result files are still written (normally to
+    ``REPRO_BENCH_DIR``) so ``check_regression.py`` can compare the
+    tracked ratio metrics against the committed baselines.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def scaled(full: int, smoke: int) -> int:
+    """Pick the full-run or smoke-run budget for the current mode."""
+    return smoke if smoke_mode() else full
+
+
+def results_path(name: str) -> Path:
+    """Resolve where ``BENCH_<name>.json`` should be written.
+
+    ``REPRO_BENCH_DIR`` redirects output (CI smoke runs write to a
+    scratch directory so the committed baselines are never clobbered);
+    unset, results land next to the committed baselines in the repo root.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    base = Path(override) if override else BASELINE_DIR
+    base.mkdir(parents=True, exist_ok=True)
+    return base / f"BENCH_{name}.json"
 
 
 def pytest_sessionstart(session):

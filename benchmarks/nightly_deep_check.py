@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Nightly deep cross-check: 10^6-trial vectorized Thm 6.2/6.3 validation.
+
+CI's per-commit suites keep trial budgets small; statistical bugs that
+hide inside wide confidence intervals only surface at depth.  This
+script — run by the scheduled nightly workflow — drives the **vectorized
+backend** of :func:`repro.core.estimate_non_manifestation` at a deep
+trial budget (default 10^6) and asserts the paper's closed-form
+Theorem 6.2 values at every memory model:
+
+* **SC** — the 0.999 CI must contain ``1/6``;
+* **WO** — the CI must contain ``7/54``;
+* **TSO** — the CI must intersect the paper's bracket
+  ``(58/441, 58/441 + 1/189)``;
+* **PSO** — the CI must contain the library's exact n = 2 derivation
+  (:func:`repro.core.non_manifestation_probability`, the Footnote 4
+  extension).
+
+It then checks the Theorem 6.3 regime: a deep n = 3 TSO run whose
+manifestation CI must intersect the rigorous Bonferroni brackets of
+:func:`repro.core.manifestation_bounds` (exact even for the dependent
+TSO fleet).  Exit status is non-zero on any violation, so the nightly
+job fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.core import (
+    PSO,
+    SC,
+    TSO,
+    WO,
+    estimate_non_manifestation,
+    manifestation_bounds,
+    non_manifestation_probability,
+    tso_two_thread_bounds,
+)
+from repro.stats.intervals import wilson_interval
+
+#: Nightly runs are one-sided gates, so use a conservative coverage:
+#: a false alarm every ~1000 nights per check is acceptable noise.
+CONFIDENCE = 0.999
+
+
+def check(name: str, ok: bool, detail: str, failures: list[str]) -> None:
+    verdict = "OK  " if ok else "FAIL"
+    print(f"[nightly] {verdict} {name}: {detail}")
+    if not ok:
+        failures.append(f"{name}: {detail}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=1_000_000,
+                        help="Monte-Carlo trials per check (default 10^6)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    options = parser.parse_args(argv)
+
+    failures: list[str] = []
+    start = time.perf_counter()
+
+    def estimate(model, n: int):
+        return estimate_non_manifestation(
+            model, n, options.trials, seed=options.seed,
+            confidence=CONFIDENCE, workers=options.workers,
+            backend="vectorized",
+        )
+
+    # --- Theorem 6.2: n = 2, all four models -------------------------
+    sc = estimate(SC, 2).proportion
+    check("thm62/SC", sc.contains(1.0 / 6.0),
+          f"CI [{sc.low:.5f}, {sc.high:.5f}] vs exact 1/6 = {1 / 6:.5f}",
+          failures)
+
+    wo = estimate(WO, 2).proportion
+    check("thm62/WO", wo.contains(7.0 / 54.0),
+          f"CI [{wo.low:.5f}, {wo.high:.5f}] vs exact 7/54 = {7 / 54:.5f}",
+          failures)
+
+    tso = estimate(TSO, 2).proportion
+    tso_low, tso_high = tso_two_thread_bounds()
+    check("thm62/TSO",
+          tso.low <= tso_high and tso.high >= tso_low,
+          f"CI [{tso.low:.5f}, {tso.high:.5f}] vs paper bracket "
+          f"({tso_low:.5f}, {tso_high:.5f})",
+          failures)
+
+    pso = estimate(PSO, 2).proportion
+    pso_exact = non_manifestation_probability(PSO, 2).value
+    check("thm62/PSO", pso.contains(pso_exact),
+          f"CI [{pso.low:.5f}, {pso.high:.5f}] vs derived {pso_exact:.5f}",
+          failures)
+
+    # --- Theorem 6.3 regime: n = 3 TSO vs Bonferroni brackets --------
+    deep = estimate(TSO, 3)
+    manifested = wilson_interval(deep.trials - deep.successes, deep.trials,
+                                 CONFIDENCE)
+    bound_low, bound_high = manifestation_bounds(TSO, 3)
+    check("thm63/TSO-n3",
+          manifested.low <= bound_high and manifested.high >= bound_low,
+          f"manifestation CI [{manifested.low:.5f}, {manifested.high:.5f}] "
+          f"vs Bonferroni [{bound_low:.5f}, {bound_high:.5f}]",
+          failures)
+
+    elapsed = time.perf_counter() - start
+    print(f"[nightly] {options.trials} trials/check, seed {options.seed}, "
+          f"{options.workers} worker(s), {elapsed:.1f}s total")
+    if failures:
+        print(f"[nightly] {len(failures)} deep check(s) failed:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("[nightly] all deep closed-form checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

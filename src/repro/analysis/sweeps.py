@@ -274,12 +274,14 @@ def monte_carlo_check(
     manifest: object | None = None,
     trace: object | None = None,
     progress: bool = False,
+    backend: str = "vectorized",
 ) -> list[dict[str, object]]:
     """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches.
 
     The Monte-Carlo leg forwards ``workers``/``shards``, the
-    fault-tolerance options (``retries``/``timeout``/``checkpoint``), and
-    the observability options (``manifest``/``trace``/``progress``) to
+    fault-tolerance options (``retries``/``timeout``/``checkpoint``), the
+    observability options (``manifest``/``trace``/``progress``), and the
+    kernel ``backend`` to
     :func:`repro.core.manifestation.estimate_non_manifestation`; the
     per-model checkpoint keys keep one journal file safe across the whole
     model loop, and each model's run appends its own labelled record to
@@ -294,6 +296,7 @@ def monte_carlo_check(
             model, n, trials, seed=seed, workers=workers, shards=shards,
             retries=retries, timeout=timeout, checkpoint=checkpoint,
             manifest=manifest, trace=trace, progress=progress,
+            backend=backend,
         )
         rows.append(
             {

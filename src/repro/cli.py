@@ -31,6 +31,12 @@ missing shards and merges to the identical result.
 a validated JSON run manifest (per-shard durations, retry ledger, merged
 result), a JSONL span trace, and a live stderr progress line with ETA —
 all read-only with respect to the numbers (``docs/OBSERVABILITY.md``).
+
+``--backend {scalar,vectorized}`` selects the simulation kernel
+(``docs/KERNELS.md``): whole-array NumPy batches versus the draw-by-draw
+reference loop.  The backends are statistically equivalent; left unset,
+each command keeps its native default (``thm62``: vectorized,
+``machine``: scalar).
 On the engine-aware subcommands (``thm62``, ``machine``, ``scaling``)
 every engine flag may be placed before or after the subcommand:
 
@@ -108,6 +114,7 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
                 retries=args.retries, timeout=args.shard_timeout,
                 checkpoint=args.checkpoint, manifest=args.manifest,
                 trace=args.trace, progress=args.progress,
+                backend=args.backend or "vectorized",
             )
             row["monte carlo"] = empirical.estimate
             row["agrees"] = empirical.agrees_with(exact)
@@ -172,6 +179,7 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         manifest=args.manifest,
         trace=args.trace,
         progress=args.progress,
+        backend=args.backend or "scalar",
     )
     print(result)
 
@@ -353,6 +361,13 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         default=default(False),
         help="show a live per-shard progress line (shards done, trials/s, "
         "ETA) on stderr",
+    )
+    parser.add_argument(
+        "--backend", choices=["scalar", "vectorized"], default=default(None),
+        help="simulation kernel: 'vectorized' runs whole-array NumPy "
+        "batches, 'scalar' the draw-by-draw reference (statistically "
+        "equivalent; see docs/KERNELS.md). Default: each command's native "
+        "backend (thm62: vectorized; machine: scalar)",
     )
 
 

@@ -39,12 +39,12 @@ import numpy as np
 
 from ..errors import ModelDefinitionError
 from ..stats.checkpoint import ShardCheckpoint
-from ..stats.montecarlo import BernoulliResult, estimate_event
+from ..stats.montecarlo import BernoulliResult, run_event_trials
 from ..stats.rng import RandomSource
 from .distributions import DiscreteDistribution, ValueWithError
 from .memory_models import PSO, SC, TSO, WO, MemoryModel
 from .settling import DEFAULT_BODY_LENGTH
-from .shift import DEFAULT_SHIFT_RATIO, batch_disjoint
+from .shift import DEFAULT_SHIFT_RATIO
 from .shift_analytic import (
     WINDOW_LENGTH_OFFSET,
     disjointness_iid,
@@ -56,7 +56,6 @@ from .window_analytic import (
     window_distribution,
     window_from_run_distribution,
 )
-from .window_sampling import sample_growth_matrix
 
 __all__ = [
     "non_manifestation_probability",
@@ -237,16 +236,38 @@ def _disjointness_batch_trial(
 ) -> int:
     """One vectorised §6 batch: settle windows, shift threads, count A.
 
-    Module level (rather than a closure inside the estimator) so that a
-    ``functools.partial`` over it pickles and the batches can fan out over
-    worker processes.
+    The kernel itself lives in :func:`repro.kernels.joined.
+    non_manifestation_batch` (relocated verbatim, so fixed-seed results
+    are unchanged); this module-level wrapper keeps the historical pickle
+    identity for ``functools.partial`` fan-out over worker processes.
+    The import is deferred because :mod:`repro.kernels` imports this
+    module's package during its own initialisation.
     """
-    growths = sample_growth_matrix(
-        model, source, batch, n, body_length, store_probability
+    from ..kernels.joined import non_manifestation_batch
+
+    return non_manifestation_batch(
+        source, batch, model, n, store_probability, beta, body_length,
+        critical_section_length,
     )
-    lengths = growths + critical_section_length
-    shifts = source.geometric_array(beta, (batch, n))
-    return int(batch_disjoint(shifts, lengths).sum())
+
+
+def _disjointness_scalar_trial(
+    source: RandomSource,
+    batch: int,
+    model: MemoryModel,
+    n: int,
+    store_probability: float,
+    beta: float,
+    body_length: int,
+    critical_section_length: int,
+) -> int:
+    """The ``backend="scalar"`` batch trial (reference draw-by-draw loop)."""
+    from ..kernels.joined import non_manifestation_scalar_batch
+
+    return non_manifestation_scalar_batch(
+        source, batch, model, n, store_probability, beta, body_length,
+        critical_section_length,
+    )
 
 
 def estimate_non_manifestation(
@@ -267,6 +288,7 @@ def estimate_non_manifestation(
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
+    backend: str = "vectorized",
 ) -> BernoulliResult:
     """Simulate the full §6 pipeline and estimate ``Pr[A]``.
 
@@ -283,11 +305,25 @@ def estimate_non_manifestation(
     ``manifest``/``trace``/``progress`` are the observability knobs
     (see ``docs/OBSERVABILITY.md``); manifest run records carry the same
     salted label, so one manifest file can hold all four models' runs.
+
+    ``backend`` selects the trial kernel (see ``docs/KERNELS.md``):
+    ``"vectorized"`` (the default, and this estimator's historical
+    implementation — fixed-seed results are unchanged) runs each batch as
+    whole-array operations; ``"scalar"`` runs the draw-by-draw reference
+    loop of :class:`repro.core.settling.SettlingProcess`.  The two are
+    statistically equivalent but draw in different stream orders, so their
+    fixed-seed outputs differ; checkpoint/manifest labels are salted with
+    the backend to keep their journals separate.
     """
+    from ..kernels import resolve_backend
+
     if n < 2:
         raise ValueError(f"need n >= 2 threads, got {n}")
+    kernel = (_disjointness_batch_trial
+              if resolve_backend(backend) == "vectorized"
+              else _disjointness_scalar_trial)
     batch_trial = partial(
-        _disjointness_batch_trial,
+        kernel,
         model=model,
         n=n,
         store_probability=store_probability,
@@ -296,12 +332,14 @@ def estimate_non_manifestation(
         critical_section_length=critical_section_length,
     )
     label = (f"nonmanifestation:{model.name}:n={n}:p={store_probability}"
-             f":beta={beta}:body={body_length}:L={critical_section_length}")
-    return estimate_event(batch_trial, trials, seed=seed, confidence=confidence,
-                          workers=workers, shards=shards, retries=retries,
-                          timeout=timeout, checkpoint=checkpoint,
-                          checkpoint_label=label, manifest=manifest,
-                          trace=trace, progress=progress)
+             f":beta={beta}:body={body_length}:L={critical_section_length}"
+             f":backend={backend}")
+    return run_event_trials(batch_trial, trials, seed=seed,
+                            confidence=confidence,
+                            workers=workers, shards=shards, retries=retries,
+                            timeout=timeout, checkpoint=checkpoint,
+                            checkpoint_label=label, manifest=manifest,
+                            trace=trace, progress=progress)
 
 
 # ----------------------------------------------------------------------

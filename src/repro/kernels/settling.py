@@ -1,0 +1,134 @@
+"""Vectorized settling kernels — Theorem 4.1 window growths in batch.
+
+The scalar reference, :func:`repro.core.settling.sample_window_growth`,
+draws one thread's critical-window growth γ per call.  These kernels draw
+a whole batch as array operations, using the same model-specific laws:
+
+* **SC** — γ = 0 (point mass).
+* **WO** — two coupled geometric climbs; the window is program-independent.
+* **TSO/PSO** — the trailing-store-run Markov chain of Lemma 4.2 advanced
+  ``body_length`` rounds with array state, then the critical-load climb
+  (and, for PSO, the critical-store chase).
+* anything else — an honest scalar loop over the reference sampler, so
+  custom models still work (just not fast).
+
+The vectorized chain draws its per-round climb variable unconditionally
+(the scalar chain draws it only on load rounds); the unused draws are
+independent of everything else, so the sampled law is identical while the
+stream positions differ — the backends are statistically equivalent, not
+bit-identical (see ``docs/KERNELS.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instructions import DEFAULT_STORE_PROBABILITY
+from ..core.memory_models import PSO, SC, TSO, WO, MemoryModel
+from ..core.settling import (
+    DEFAULT_BODY_LENGTH,
+    _require_store_load_only,
+    sample_window_growth,
+)
+from ..stats.rng import RandomSource
+
+__all__ = ["window_growth_batch", "trailing_run_batch"]
+
+
+def trailing_run_batch(
+    model: MemoryModel,
+    source: RandomSource,
+    trials: int,
+    body_length: int = DEFAULT_BODY_LENGTH,
+    store_probability: float = DEFAULT_STORE_PROBABILITY,
+) -> np.ndarray:
+    """Batch trailing-store-run lengths µ (the ``L_µ`` of Lemma 4.2).
+
+    Vectorized analogue of :func:`repro.core.settling.sample_trailing_run`:
+    TSO/PSO only (other models raise).  Returns an int64 array of shape
+    ``(trials,)``.
+    """
+    settle = _require_store_load_only(model)
+    _check_trials(trials)
+    return _trailing_run_chain(source, settle, store_probability, trials, body_length)
+
+
+def window_growth_batch(
+    model: MemoryModel,
+    source: RandomSource,
+    trials: int,
+    body_length: int = DEFAULT_BODY_LENGTH,
+    store_probability: float = DEFAULT_STORE_PROBABILITY,
+) -> np.ndarray:
+    """Batch critical-window growths γ (the events ``B_γ`` of Theorem 4.1).
+
+    Vectorized analogue of
+    :func:`repro.core.settling.sample_window_growth`; rows are i.i.d.
+    single-thread draws (for the shared-program *matrix* coupling of §6
+    use :func:`repro.core.window_sampling.sample_growth_matrix`).
+    Returns an int64 array of shape ``(trials,)``.
+    """
+    _check_trials(trials)
+    if model.relaxed_pairs == SC.relaxed_pairs:
+        return np.zeros(trials, dtype=np.int64)
+    settle = model.uniform_settle_probability
+    if settle is None:
+        return _window_growth_reference(model, source, trials, body_length,
+                                        store_probability)
+    if model.relaxed_pairs == WO.relaxed_pairs:
+        load_climb = np.minimum(source.geometric_array(settle, trials), body_length)
+        store_chase = np.minimum(source.geometric_array(settle, trials), load_climb)
+        return load_climb - store_chase
+    if model.relaxed_pairs in (TSO.relaxed_pairs, PSO.relaxed_pairs):
+        runs = _trailing_run_chain(source, settle, store_probability, trials,
+                                   body_length)
+        load_climb = np.minimum(source.geometric_array(settle, trials), runs)
+        if model.relaxed_pairs == TSO.relaxed_pairs:
+            return load_climb
+        store_chase = np.minimum(source.geometric_array(settle, trials), load_climb)
+        return load_climb - store_chase
+    return _window_growth_reference(model, source, trials, body_length,
+                                    store_probability)
+
+
+def _trailing_run_chain(
+    source: RandomSource,
+    settle: float,
+    store_probability: float,
+    trials: int,
+    body_length: int,
+) -> np.ndarray:
+    """Advance ``trials`` independent trailing-run chains ``body_length`` rounds.
+
+    Per round: a ST extends the run (``k → k + 1``); a LD climbs
+    ``j = min(Geom(s), k)`` stores, splitting the run to ``j`` when it
+    stops early (the same per-round idiom as
+    :func:`repro.core.window_sampling.sample_growth_matrix`, without the
+    shared-program coupling).
+    """
+    runs = np.zeros(trials, dtype=np.int64)
+    for _ in range(body_length):
+        is_store = source.bernoulli_array(store_probability, trials)
+        climbs = source.geometric_array(settle, trials)
+        runs = np.where(is_store, runs + 1, np.minimum(runs, climbs))
+    return runs
+
+
+def _window_growth_reference(
+    model: MemoryModel,
+    source: RandomSource,
+    trials: int,
+    body_length: int,
+    store_probability: float,
+) -> np.ndarray:
+    """Custom-model fallback: the scalar reference sampler, looped."""
+    return np.array(
+        [sample_window_growth(model, source, body_length, store_probability)
+         for _ in range(trials)],
+        dtype=np.int64,
+    )
+
+
+def _check_trials(trials: int) -> None:
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")

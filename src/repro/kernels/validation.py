@@ -1,0 +1,107 @@
+"""Statistical equivalence harness for scalar-vs-vectorized backends.
+
+The two backends draw randomness in different stream orders, so their
+fixed-seed outputs differ bit-for-bit while sampling the same law.  The
+correctness claim is therefore *statistical*: two independent samples of
+the same Bernoulli event must produce proportions whose gap is explained
+by sampling noise.  This module centralises that check so every
+equivalence test in the suite applies the same two-sample z-tolerance
+instead of ad-hoc magic constants.
+
+``equivalence_tolerance`` is the half-width of the two-sample normal
+test for the difference of proportions at the given confidence — at the
+suite's default 0.999 a true-null test flakes about once per thousand
+runs per assertion, and any systematic semantic divergence larger than
+the tolerance fails deterministically as trial counts grow.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..stats.intervals import normal_quantile, wilson_interval
+
+__all__ = [
+    "equivalence_tolerance",
+    "assert_equivalent_proportions",
+    "assert_contains_probability",
+]
+
+#: Per-assertion confidence used by the suite's equivalence tests: tight
+#: enough to catch semantic drift, loose enough (≈1/1000 false-positive
+#: rate per assertion) not to flake CI.
+DEFAULT_EQUIVALENCE_CONFIDENCE = 0.999
+
+
+def equivalence_tolerance(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    confidence: float = DEFAULT_EQUIVALENCE_CONFIDENCE,
+) -> float:
+    """Allowed |p̂_a − p̂_b| for two same-law Bernoulli samples.
+
+    The two-sample z half-width with the pooled variance estimate, plus
+    the two discretisation quanta ``1/trials`` (a one-count difference
+    must never fail on its own at tiny sample sizes).
+    """
+    _check(successes_a, trials_a)
+    _check(successes_b, trials_b)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / trials_a + 1.0 / trials_b)
+    z = normal_quantile(0.5 + confidence / 2.0)
+    return z * math.sqrt(variance) + 1.0 / trials_a + 1.0 / trials_b
+
+
+def assert_equivalent_proportions(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    confidence: float = DEFAULT_EQUIVALENCE_CONFIDENCE,
+    context: str = "",
+) -> None:
+    """Assert two Bernoulli samples are consistent with one shared p.
+
+    Raises ``AssertionError`` with both proportions, the gap and the
+    tolerance when the two-sample test rejects at ``confidence``.
+    """
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    tolerance = equivalence_tolerance(
+        successes_a, trials_a, successes_b, trials_b, confidence
+    )
+    gap = abs(p_a - p_b)
+    label = f" [{context}]" if context else ""
+    assert gap <= tolerance, (
+        f"backend proportions diverge{label}: "
+        f"{p_a:.6f} ({successes_a}/{trials_a}) vs "
+        f"{p_b:.6f} ({successes_b}/{trials_b}); "
+        f"gap {gap:.6f} > tolerance {tolerance:.6f} @ {confidence}"
+    )
+
+
+def assert_contains_probability(
+    successes: int,
+    trials: int,
+    probability: float,
+    confidence: float = DEFAULT_EQUIVALENCE_CONFIDENCE,
+    context: str = "",
+) -> None:
+    """Assert a closed-form probability lies in the sample's Wilson CI."""
+    interval = wilson_interval(successes, trials, confidence)
+    label = f" [{context}]" if context else ""
+    assert interval.contains(probability), (
+        f"closed form outside Monte-Carlo interval{label}: "
+        f"expected {probability:.6f}, observed {interval}"
+    )
+
+
+def _check(successes: int, trials: int) -> None:
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")

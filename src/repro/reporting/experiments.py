@@ -172,6 +172,18 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.obs",),
         bench="benchmarks/bench_obs_overhead.py",
     ),
+    Experiment(
+        id="E20",
+        paper_artifact="infrastructure: vectorized kernels",
+        summary="Whole-array NumPy kernels for the settling/shift/joined/"
+        "machine processes (backend='vectorized' / --backend), "
+        "statistically equivalent to the scalar reference and pinned by "
+        "closed-form, two-sample and exact-support checks; >=10x "
+        "single-core speedup committed in BENCH_vectorized_kernels.json "
+        "and guarded by the CI benchmark-regression gate.",
+        modules=("repro.kernels",),
+        bench="benchmarks/bench_vectorized_kernels.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}

@@ -46,6 +46,52 @@ __all__ = ["CanonicalBugResult", "run_canonical_bug"]
 #: size (two streams per trial: body sampling and machine execution).
 TRIAL_SPAWN_BATCH = 1024
 
+#: Trials per whole-array kernel call on the vectorized backend.
+VECTORIZED_TRIAL_BATCH = 4096
+
+
+def _machine_backend_beta(
+    model_name: str,
+    scheduler: Scheduler | None,
+    fenced: bool,
+    atomic: bool,
+    core_options: dict[str, object],
+) -> float:
+    """Validate vectorized-backend constraints; returns the launch β.
+
+    The vectorized machine kernel covers the racy canonical workload on
+    SC/TSO/PSO under the geometric-launch scheduler only (see
+    :mod:`repro.kernels.machine`); everything else needs the scalar
+    machine, so ask for it by name rather than silently falling back.
+    """
+    from ..errors import SimulationError
+    from ..kernels.machine import SUPPORTED_MACHINE_MODELS
+
+    if model_name.upper() not in SUPPORTED_MACHINE_MODELS:
+        known = ", ".join(SUPPORTED_MACHINE_MODELS)
+        raise SimulationError(
+            f"backend='vectorized' supports {known}; {model_name!r} needs "
+            "backend='scalar'"
+        )
+    if fenced or atomic:
+        raise SimulationError(
+            "backend='vectorized' covers only the racy canonical variant; "
+            "use backend='scalar' for fenced/atomic programs"
+        )
+    if scheduler is not None and not isinstance(scheduler, GeometricLaunchScheduler):
+        raise SimulationError(
+            "backend='vectorized' requires the geometric-launch scheduler "
+            f"(got {type(scheduler).__name__}); use backend='scalar'"
+        )
+    unknown = set(core_options) - {"drain_probability", "buffer_capacity"}
+    if unknown:
+        raise SimulationError(
+            "backend='vectorized' accepts only drain_probability/"
+            f"buffer_capacity core options (got {sorted(unknown)}); "
+            "use backend='scalar'"
+        )
+    return scheduler.beta if scheduler is not None else GeometricLaunchScheduler().beta
+
 
 @dataclass(frozen=True)
 class CanonicalBugResult:
@@ -113,6 +159,34 @@ def _canonical_bug_shard(
     return CategoricalResult(dict(outcomes), shard_trials, confidence, None)
 
 
+def _canonical_bug_vectorized_shard(
+    source: RandomSource,
+    shard_trials: int,
+    model_name: str,
+    threads: int,
+    body_length: int,
+    beta: float,
+    confidence: float,
+    core_options: dict[str, object],
+) -> CategoricalResult:
+    """One shard of canonical-bug trials on the whole-array kernel.
+
+    Each batch consumes one child stream (mirroring the engine's event
+    kernels), so results are bit-reproducible for fixed
+    ``(seed, shards, backend)`` at any worker count.  Imported lazily:
+    :mod:`repro.kernels` imports this package during initialisation.
+    """
+    from ..kernels.machine import canonical_bug_batch
+
+    outcomes: Counter[int] = Counter()
+    for batch in iter_batches(shard_trials, VECTORIZED_TRIAL_BATCH):
+        outcomes.update(canonical_bug_batch(
+            source.child(), batch, model_name, threads=threads,
+            body_length=body_length, beta=beta, **core_options,
+        ))
+    return CategoricalResult(dict(outcomes), shard_trials, confidence, None)
+
+
 def run_canonical_bug(
     model_name: str,
     threads: int,
@@ -131,6 +205,7 @@ def run_canonical_bug(
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
+    backend: str = "scalar",
     **core_options,
 ) -> CanonicalBugResult:
     """Run the canonical increment race ``trials`` times on the machine.
@@ -169,9 +244,18 @@ def run_canonical_bug(
         Observability knobs (run manifest JSON, JSONL span trace, live
         stderr progress); read-only with respect to the result — see
         ``docs/OBSERVABILITY.md``.
+    backend:
+        ``"scalar"`` (default) runs the cycle-accurate object machine;
+        ``"vectorized"`` runs the whole-array kernel of
+        :mod:`repro.kernels.machine` — statistically equivalent,
+        typically an order of magnitude faster, but restricted to the
+        racy variant on SC/TSO/PSO under the geometric-launch scheduler
+        (anything else raises).  See ``docs/KERNELS.md``.
     core_options:
         Forwarded to the core constructor (e.g. ``drain_probability``).
     """
+    from ..kernels import resolve_backend
+
     if threads < 2:
         raise ValueError(f"the race needs at least 2 threads, got {threads}")
     if trials < 1:
@@ -184,20 +268,33 @@ def run_canonical_bug(
         builder = canonical_increment_fenced
     else:
         builder = canonical_increment
-    kernel = partial(
-        _canonical_bug_shard,
-        model_name=model_name,
-        threads=threads,
-        body_length=body_length,
-        scheduler=scheduler,
-        builder=builder,
-        confidence=confidence,
-        core_options=core_options,
-    )
+    if resolve_backend(backend) == "vectorized":
+        beta = _machine_backend_beta(model_name, scheduler, fenced, atomic,
+                                     core_options)
+        kernel = partial(
+            _canonical_bug_vectorized_shard,
+            model_name=model_name,
+            threads=threads,
+            body_length=body_length,
+            beta=beta,
+            confidence=confidence,
+            core_options=core_options,
+        )
+    else:
+        kernel = partial(
+            _canonical_bug_shard,
+            model_name=model_name,
+            threads=threads,
+            body_length=body_length,
+            scheduler=scheduler,
+            builder=builder,
+            confidence=confidence,
+            core_options=core_options,
+        )
     plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
     variant = "atomic" if atomic else ("fenced" if fenced else "racy")
     label = (f"canonical:{model_name}:n={threads}:body={body_length}"
-             f":variant={variant}")
+             f":variant={variant}:backend={backend}")
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label=label)
 

@@ -33,7 +33,7 @@ from ..stats.bootstrap import BootstrapInterval, bootstrap_mean_interval
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
 from ..stats.rng import RandomSource, iter_batches
-from .executor import TRIAL_SPAWN_BATCH
+from .executor import TRIAL_SPAWN_BATCH, _machine_backend_beta
 from .machine import Machine, MachineResult
 from .memory import AccessKind
 from .programs import SHARED_COUNTER, canonical_increment, sample_body_types
@@ -162,6 +162,52 @@ def _window_shard(
     )
 
 
+def _window_shard_vectorized(
+    source: RandomSource,
+    shard_trials: int,
+    model_name: str,
+    threads: int,
+    body_length: int,
+    beta: float,
+    core_options: dict[str, object],
+) -> _WindowShard:
+    """Whole-array window measurement for one shard.
+
+    The overlap check sorts each trial's windows by read cycle and tests
+    adjacent pairs — equivalent to :func:`_windows_overlap` (for sorted
+    intervals any overlapping pair implies an overlapping adjacent pair).
+    Lazy kernel import: :mod:`repro.kernels` imports this package during
+    its own initialisation.
+    """
+    from ..kernels.machine import machine_race_batch
+
+    durations: list[np.ndarray] = []
+    overlap_trials = 0
+    manifest_trials = 0
+    manifest_without_overlap = 0
+    for batch in iter_batches(shard_trials, TRIAL_SPAWN_BATCH):
+        reads, commits, finals = machine_race_batch(
+            source.child(), batch, model_name, threads=threads,
+            body_length=body_length, beta=beta, **core_options,
+        )
+        durations.append((commits - reads).ravel())
+        order = np.argsort(reads, axis=1, kind="stable")
+        starts = np.take_along_axis(reads, order, axis=1)
+        ends = np.take_along_axis(commits, order, axis=1)
+        overlapped = (starts[:, 1:] <= ends[:, :-1]).any(axis=1)
+        manifested = finals < threads
+        overlap_trials += int(overlapped.sum())
+        manifest_trials += int(manifested.sum())
+        manifest_without_overlap += int((manifested & ~overlapped).sum())
+    return _WindowShard(
+        durations=np.concatenate(durations) if durations
+        else np.empty(0, dtype=np.int64),
+        overlap_trials=overlap_trials,
+        manifest_trials=manifest_trials,
+        manifest_without_overlap=manifest_without_overlap,
+    )
+
+
 def measure_critical_windows(
     model_name: str,
     threads: int,
@@ -177,6 +223,7 @@ def measure_critical_windows(
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
+    backend: str = "scalar",
     **core_options,
 ) -> WindowMeasurement:
     """Run the canonical race and measure every thread's critical window.
@@ -192,22 +239,40 @@ def measure_critical_windows(
     ``retries``/``timeout``/``checkpoint`` configure the fault-tolerance
     layer (:func:`repro.stats.parallel.run_sharded`);
     ``manifest``/``trace``/``progress`` the observability layer
-    (``docs/OBSERVABILITY.md``).
+    (``docs/OBSERVABILITY.md``).  ``backend="vectorized"`` measures the
+    same statistics on the whole-array kernel of
+    :mod:`repro.kernels.machine` (racy canonical workload, SC/TSO/PSO,
+    geometric-launch scheduler only — see ``docs/KERNELS.md``).
     """
+    from ..kernels import resolve_backend
+
     if threads < 2:
         raise ValueError(f"need at least 2 threads, got {threads}")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    kernel = partial(
-        _window_shard,
-        model_name=model_name,
-        threads=threads,
-        body_length=body_length,
-        scheduler=scheduler,
-        core_options=core_options,
-    )
+    if resolve_backend(backend) == "vectorized":
+        beta = _machine_backend_beta(model_name, scheduler, False, False,
+                                     core_options)
+        kernel = partial(
+            _window_shard_vectorized,
+            model_name=model_name,
+            threads=threads,
+            body_length=body_length,
+            beta=beta,
+            core_options=core_options,
+        )
+    else:
+        kernel = partial(
+            _window_shard,
+            model_name=model_name,
+            threads=threads,
+            body_length=body_length,
+            scheduler=scheduler,
+            core_options=core_options,
+        )
     plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
-    label = f"windows:{model_name}:n={threads}:body={body_length}"
+    label = (f"windows:{model_name}:n={threads}:body={body_length}"
+             f":backend={backend}")
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label=label)
 

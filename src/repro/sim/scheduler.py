@@ -72,6 +72,11 @@ class GeometricLaunchScheduler(Scheduler):
         self._delays = [source.geometric(self._beta) for _ in range(core_count)]
 
     @property
+    def beta(self) -> float:
+        """The geometric launch-delay ratio (Definition 1's β)."""
+        return self._beta
+
+    @property
     def delays(self) -> list[int]:
         """The sampled launch delays (available after :meth:`prepare`)."""
         return list(self._delays)

@@ -29,6 +29,7 @@ from .montecarlo import (
     merge_categorical,
     run_bernoulli_trials,
     run_categorical_trials,
+    run_event_trials,
 )
 from .parallel import (
     DEFAULT_SHARDS,
@@ -72,6 +73,7 @@ __all__ = [
     "resolve_workers",
     "run_bernoulli_trials",
     "run_categorical_trials",
+    "run_event_trials",
     "run_sharded",
     "ShardPlan",
     "spawn_sources",

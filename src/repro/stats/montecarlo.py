@@ -42,6 +42,7 @@ __all__ = [
     "CategoricalResult",
     "run_bernoulli_trials",
     "run_categorical_trials",
+    "run_event_trials",
     "estimate_event",
     "merge_bernoulli",
     "merge_categorical",
@@ -150,9 +151,18 @@ def _event_shard(
     batch_size: int,
     confidence: float,
 ) -> BernoulliResult:
-    """Shard kernel for :func:`estimate_event`."""
+    """Shard kernel for :func:`run_event_trials`.
+
+    ``batch_trial`` is guaranteed to only ever see positive batch sizes:
+    vectorised kernels are entitled to reject ``batch <= 0`` as a
+    programming error, so empty batches — zero-trial shards, or budgets
+    that divide exactly into ``shards * batch_size`` — are skipped here
+    without touching the kernel or its random stream.
+    """
     successes = 0
     for batch in iter_batches(shard_trials, batch_size):
+        if batch <= 0:
+            continue
         successes += int(batch_trial(source.child(), batch))
     return BernoulliResult(successes, shard_trials, confidence, None)
 
@@ -323,7 +333,7 @@ def run_categorical_trials(
     return _run_observed(observer, execute, merge_categorical, seed)
 
 
-def estimate_event(
+def run_event_trials(
     batch_trial: Callable[[RandomSource, int], int],
     trials: int,
     seed: int | None = 0,
@@ -342,15 +352,21 @@ def estimate_event(
     """Vectorised Bernoulli estimation.
 
     ``batch_trial(source, size)`` must run ``size`` independent trials using
-    ``source`` and return the number of successes.  This is the fast path
-    for numpy-vectorisable events (e.g. shift-process disjointness), where
-    spawning one :class:`RandomSource` per trial would dominate runtime.
-    Sharding/parallelism/fault tolerance and the
+    ``source`` and return the number of successes, and is only ever called
+    with ``size >= 1`` (empty batches are filtered by the engine, so
+    kernels may treat ``size <= 0`` as a programming error).  This is the
+    fast path for numpy-vectorisable events (e.g. shift-process
+    disjointness), where spawning one :class:`RandomSource` per trial
+    would dominate runtime — the :mod:`repro.kernels` batch kernels all
+    ride this entry point.  Sharding/parallelism/fault tolerance and the
     ``manifest``/``trace``/``progress`` observability knobs follow
     :func:`run_bernoulli_trials`; ``checkpoint_label`` lets callers key
     the checkpoint by their experiment parameters (different events with
     the same ``(trials, shards, seed)`` must not share journal records)
     and doubles as the manifest run label.
+
+    ``estimate_event`` is the historical name for this function and
+    remains available as an alias.
     """
     _check_trials(trials)
     if batch_size <= 0:
@@ -378,6 +394,10 @@ def estimate_event(
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)
+
+
+#: Historical alias for :func:`run_event_trials` (the pre-kernels name).
+estimate_event = run_event_trials
 
 
 def merge_bernoulli(results: Iterable[BernoulliResult]) -> BernoulliResult:

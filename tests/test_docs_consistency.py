@@ -34,6 +34,11 @@ def obs_text() -> str:
     return (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
 
 
+@pytest.fixture(scope="module")
+def kernels_text() -> str:
+    return (DOCS / "KERNELS.md").read_text(encoding="utf-8")
+
+
 def test_every_obs_export_is_documented(api_text, obs_text):
     documented = api_text + obs_text
     missing = [name for name in obs.__all__ if name not in documented]
@@ -73,3 +78,50 @@ def test_docs_cross_link_each_other(api_text, obs_text):
     assert "API.md" in obs_text
     readme = README.read_text(encoding="utf-8")
     assert "docs/OBSERVABILITY.md" in readme
+
+
+def test_every_kernel_export_is_documented(api_text, kernels_text):
+    import repro.kernels as kernels
+
+    documented = api_text + kernels_text
+    missing = [name for name in kernels.__all__ if name not in documented]
+    assert not missing, (
+        f"public repro.kernels exports missing from docs/API.md and "
+        f"docs/KERNELS.md: {missing}"
+    )
+
+
+def test_kernel_catalogue_matches_kernels_doc(kernels_text):
+    from repro.kernels import KERNEL_CATALOGUE
+
+    for kernel, (artifact, _summary) in KERNEL_CATALOGUE.items():
+        assert kernel in kernels_text, (
+            f"kernel {kernel} missing from docs/KERNELS.md catalogue"
+        )
+        assert artifact in kernels_text, (
+            f"paper artifact {artifact!r} ({kernel}) missing from "
+            f"docs/KERNELS.md"
+        )
+
+
+def test_backend_flag_and_e20_documented(api_text, kernels_text):
+    from repro.reporting import get_experiment
+
+    e20 = get_experiment("E20")
+    assert e20.modules == ("repro.kernels",)
+    experiments = (README.parent / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "## E20" in experiments, "EXPERIMENTS.md lacks the E20 section"
+    assert e20.bench in experiments
+    for text, where in ((api_text, "docs/API.md"),
+                        (kernels_text, "docs/KERNELS.md")):
+        assert "--backend" in text, f"{where} lacks the --backend flag"
+    readme = README.read_text(encoding="utf-8")
+    assert "--backend" in readme, "README lacks a --backend example"
+    assert "docs/KERNELS.md" in readme
+
+
+def test_run_event_trials_documented(api_text):
+    assert "run_event_trials" in api_text
+    assert "estimate_event" in api_text, (
+        "the historical estimate_event alias should stay documented"
+    )
