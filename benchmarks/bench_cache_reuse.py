@@ -1,0 +1,136 @@
+"""E21 — the shard result cache: warm re-runs fetch instead of recompute.
+
+The content-addressed cache (:mod:`repro.cache`, docs/CACHING.md) keys
+every completed shard by the run's full v2 identity — trials, shards,
+seed, label, and the kernel fingerprint — so an identical re-run, or a
+sweep revisiting the same grid point, can fetch its finished shards
+with **bit-identical** results (equal key ⇒ equal computation).  This
+bench quantifies the payoff on the paper's headline estimator: the
+Theorem 6.2 sweep (Pr[A] at ``n = 2`` for all four memory models) is
+run **cold** (empty store: compute + write-through), **warm**
+(identical re-run: every shard fetched), and **uncached** (reference),
+into a scratch store torn down afterwards.
+
+Committed floor: the warm sweep is at least ``5x`` faster than the cold
+one in full mode — and the three result sets must be *equal*, not
+statistically close.  The tracked regression metric is the speedup
+capped at ``8.0``: raw warm speedups are huge (the warm leg does no
+trial work at all) and noisy across hosts, so the gate pins "still
+comfortably above the floor" rather than a meaningless 100x-vs-300x
+comparison.  Smoke mode shrinks budgets and skips the absolute floor
+(per-run engine overhead dominates tiny budgets) but still requires the
+warm leg to win and the results to be identical.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import results_path, scaled, show, smoke_mode
+
+from repro.cache import ShardStore
+from repro.core import PAPER_MODELS, estimate_non_manifestation
+from repro.reporting import render_table
+from repro.reporting.io import write_rows
+
+SEED = 21_011
+SHARDS = 16
+WARM_REPEATS = 3
+
+#: Full-mode floor: a warm sweep must beat the cold one by this factor.
+SPEEDUP_FLOOR = 5.0
+
+#: Tracked-metric cap — keeps the committed baseline host-independent.
+SPEEDUP_CAP = 8.0
+
+
+def _sweep(trials: int, cache: ShardStore | None):
+    return tuple(
+        estimate_non_manifestation(model, 2, trials, seed=SEED,
+                                   shards=SHARDS, cache=cache)
+        for model in PAPER_MODELS
+    )
+
+
+def _timed(runner):
+    start = time.perf_counter()
+    result = runner()
+    return result, time.perf_counter() - start
+
+
+def test_cache_reuse_speedup(run_once):
+    trials = scaled(1_000_000, 150_000)
+    scratch = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        store = ShardStore(scratch)
+
+        def compute():
+            uncached, uncached_s = _timed(lambda: _sweep(trials, None))
+            cold, cold_s = _timed(lambda: _sweep(trials, store))
+            # Warm legs are pure fetches; best-of-N is the noise-robust
+            # estimate (the cold leg cannot repeat without going warm).
+            warm_legs = [_timed(lambda: _sweep(trials, store))
+                         for _ in range(WARM_REPEATS)]
+            warm = warm_legs[0][0]
+            warm_s = min(seconds for _, seconds in warm_legs)
+            return uncached, uncached_s, cold, cold_s, warm, warm_s
+
+        uncached, uncached_s, cold, cold_s, warm, warm_s = run_once(compute)
+        stats = store.stats()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    rows = [
+        {"leg": "uncached", "trials": trials * len(PAPER_MODELS),
+         "seconds": round(uncached_s, 4)},
+        {"leg": "cold (compute + store)", "trials": trials * len(PAPER_MODELS),
+         "seconds": round(cold_s, 4)},
+        {"leg": "warm (all shards fetched)", "trials": 0,
+         "seconds": round(warm_s, 4)},
+    ]
+    show(render_table(rows, precision=4,
+                      title="E21: Theorem 6.2 sweep, cold vs warm cache"))
+    show(f"[cache] warm speedup {speedup:.1f}x "
+         f"(floor {SPEEDUP_FLOOR}x full mode, tracked capped at "
+         f"{SPEEDUP_CAP}x) · store: {stats.entries} entries, "
+         f"{stats.hits} hits, {stats.stored} stored")
+
+    write_rows(
+        results_path("cache_reuse"),
+        rows,
+        metadata={
+            "experiment": "cache_reuse",
+            "seed": SEED,
+            "shards": SHARDS,
+            "smoke": smoke_mode(),
+            "cpu_count": os.cpu_count(),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "warm_speedup_raw": round(speedup, 2),
+            "tracked": {
+                "warm_speedup_capped": {
+                    "value": round(min(speedup, SPEEDUP_CAP), 2),
+                    "higher_is_better": True,
+                },
+            },
+        },
+    )
+
+    # The cache's whole claim: fetches are the computation, bit for bit.
+    assert cold == uncached, "cold cached sweep diverged from uncached"
+    assert warm == uncached, "warm cached sweep diverged from uncached"
+    expected = len(PAPER_MODELS) * SHARDS
+    assert stats.stored == expected, (cold, stats)
+    assert stats.hits >= expected * WARM_REPEATS
+
+    assert speedup > 1.0, (
+        f"warm cache run is slower than cold ({speedup:.2f}x)"
+    )
+    if not smoke_mode():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"warm speedup {speedup:.1f}x below the committed "
+            f"{SPEEDUP_FLOOR}x floor"
+        )

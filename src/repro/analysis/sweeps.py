@@ -271,6 +271,7 @@ def monte_carlo_check(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: object | None = None,
+    cache: object | None = None,
     manifest: object | None = None,
     trace: object | None = None,
     progress: bool = False,
@@ -280,8 +281,10 @@ def monte_carlo_check(
 
     The Monte-Carlo leg forwards ``workers``/``shards``, the
     fault-tolerance options (``retries``/``timeout``/``checkpoint``), the
-    observability options (``manifest``/``trace``/``progress``), and the
-    kernel ``backend`` to
+    result cache (``cache`` — overlapping sweep points and re-runs fetch
+    completed shards instead of recomputing them, see ``docs/CACHING.md``),
+    the observability options (``manifest``/``trace``/``progress``), and
+    the kernel ``backend`` to
     :func:`repro.core.manifestation.estimate_non_manifestation`; the
     per-model checkpoint keys keep one journal file safe across the whole
     model loop, and each model's run appends its own labelled record to
@@ -295,7 +298,7 @@ def monte_carlo_check(
         empirical = estimate_non_manifestation(
             model, n, trials, seed=seed, workers=workers, shards=shards,
             retries=retries, timeout=timeout, checkpoint=checkpoint,
-            manifest=manifest, trace=trace, progress=progress,
+            cache=cache, manifest=manifest, trace=trace, progress=progress,
             backend=backend,
         )
         rows.append(

@@ -32,6 +32,13 @@ a validated JSON run manifest (per-shard durations, retry ledger, merged
 result), a JSONL span trace, and a live stderr progress line with ETA —
 all read-only with respect to the numbers (``docs/OBSERVABILITY.md``).
 
+``--cache DIR`` (or ``--cache auto`` for the default store under
+``~/.cache/repro``) keeps completed shards in a content-addressed result
+cache keyed by the v2 checkpoint key — re-runs and overlapping sweep
+points fetch their shards instead of recomputing them, with bit-identical
+results (``docs/CACHING.md``).  ``repro cache {stats,clear,verify}``
+inspects and manages the store.
+
 ``--backend {scalar,vectorized}`` selects the simulation kernel
 (``docs/KERNELS.md``): whole-array NumPy batches versus the draw-by-draw
 reference loop.  The backends are statistically equivalent; left unset,
@@ -112,7 +119,8 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
                 model, 2, args.trials, seed=args.seed,
                 workers=args.workers, shards=args.shards,
                 retries=args.retries, timeout=args.shard_timeout,
-                checkpoint=args.checkpoint, manifest=args.manifest,
+                checkpoint=args.checkpoint, cache=args.cache,
+                manifest=args.manifest,
                 trace=args.trace, progress=args.progress,
                 backend=args.backend or "vectorized",
             )
@@ -176,6 +184,7 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         retries=args.retries,
         timeout=args.shard_timeout,
         checkpoint=args.checkpoint,
+        cache=args.cache,
         manifest=args.manifest,
         trace=args.trace,
         progress=args.progress,
@@ -286,6 +295,32 @@ def _cmd_verify(args: argparse.Namespace) -> None:
     print(f"all {len(checks)} checks passed — the reproduction matches the paper")
 
 
+def _cmd_cache(args: argparse.Namespace) -> None:
+    """Inspect or manage the content-addressed shard result cache."""
+    from .cache import ShardStore, default_cache_root
+
+    root = args.dir if args.dir is not None else default_cache_root()
+    store = ShardStore(root)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache root    {stats.root}")
+        print(f"entries       {stats.entries}")
+        print(f"total bytes   {stats.total_bytes}")
+        print(f"size cap      {stats.max_bytes}")
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}")
+    else:  # verify
+        checked, corrupt = store.verify()
+        print(f"verified {checked} cache entr{'y' if checked == 1 else 'ies'} "
+              f"in {store.root}: {len(corrupt)} corrupt")
+        for path in corrupt:
+            print(f"  corrupt: {path}")
+        if corrupt:
+            raise SystemExit(1)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> None:
     rows = [
         {
@@ -344,6 +379,13 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         help="journal completed shards to FILE (JSONL); rerunning with the "
         "same seed/shards/experiment resumes the missing shards only and "
         "merges to the identical result",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=default(None),
+        help="keep completed shards in a content-addressed result cache "
+        "('auto' = the default store under ~/.cache/repro, or a "
+        "directory); re-runs fetch cached shards with bit-identical "
+        "results (see docs/CACHING.md and 'repro cache')",
     )
     parser.add_argument(
         "--manifest", metavar="FILE", default=default(None),
@@ -447,6 +489,17 @@ def build_parser() -> argparse.ArgumentParser:
     multibug.add_argument("--bugs", type=int, nargs="+",
                           default=[1, 2, 4, 16, 64, 256])
     multibug.set_defaults(run=_cmd_multibug)
+
+    cache = sub.add_parser("cache",
+                           help="inspect/manage the shard result cache")
+    cache.add_argument("action", choices=["stats", "clear", "verify"],
+                       help="stats: entry count and size; clear: delete every "
+                       "entry; verify: integrity-check entries (exit 1 if any "
+                       "is corrupt)")
+    cache.add_argument("--dir", metavar="DIR", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                       "~/.cache/repro/shards)")
+    cache.set_defaults(run=_cmd_cache)
 
     sub.add_parser("experiments", help="list the paper-artifact registry").set_defaults(
         run=_cmd_experiments

@@ -285,6 +285,8 @@ def estimate_non_manifestation(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    fingerprint: str | None = None,
+    cache: object | None = None,
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
@@ -301,7 +303,13 @@ def estimate_non_manifestation(
     ``retries``/``timeout``/``checkpoint`` configure the fault-tolerance
     layer; the checkpoint key is salted with the model name and the
     experiment parameters, so one journal file can hold several models'
-    runs without cross-contamination.
+    runs without cross-contamination.  Since the v2 key format the key
+    also folds in the kernel *fingerprint* (derived automatically from
+    the fully-bound trial kernel, or passed explicitly via
+    ``fingerprint=``), which is what distinguishes the two backends —
+    the label no longer carries a ``backend=`` salt.  ``cache=`` enables
+    the content-addressed shard result cache (``"auto"``, a directory,
+    or a :class:`repro.cache.ShardStore`; see ``docs/CACHING.md``).
     ``manifest``/``trace``/``progress`` are the observability knobs
     (see ``docs/OBSERVABILITY.md``); manifest run records carry the same
     salted label, so one manifest file can hold all four models' runs.
@@ -312,8 +320,8 @@ def estimate_non_manifestation(
     whole-array operations; ``"scalar"`` runs the draw-by-draw reference
     loop of :class:`repro.core.settling.SettlingProcess`.  The two are
     statistically equivalent but draw in different stream orders, so their
-    fixed-seed outputs differ; checkpoint/manifest labels are salted with
-    the backend to keep their journals separate.
+    fixed-seed outputs differ; their distinct kernel fingerprints keep
+    their checkpoint journals and cache entries separate.
     """
     from ..kernels import resolve_backend
 
@@ -332,13 +340,13 @@ def estimate_non_manifestation(
         critical_section_length=critical_section_length,
     )
     label = (f"nonmanifestation:{model.name}:n={n}:p={store_probability}"
-             f":beta={beta}:body={body_length}:L={critical_section_length}"
-             f":backend={backend}")
+             f":beta={beta}:body={body_length}:L={critical_section_length}")
     return run_event_trials(batch_trial, trials, seed=seed,
                             confidence=confidence,
                             workers=workers, shards=shards, retries=retries,
                             timeout=timeout, checkpoint=checkpoint,
-                            checkpoint_label=label, manifest=manifest,
+                            checkpoint_label=label, fingerprint=fingerprint,
+                            cache=cache, manifest=manifest,
                             trace=trace, progress=progress)
 
 

@@ -61,6 +61,11 @@ METRICS_CATALOGUE: dict[str, tuple[str, str, str]] = {
     "run.shard_seconds": ("histogram", "seconds", "in-worker wall time per executed shard"),
     "run.trials_per_second": ("gauge", "trials/s", "executed trials over parent wall time"),
     "run.elapsed_seconds": ("gauge", "seconds", "parent wall time of the whole run"),
+    "run.cache_hits": ("counter", "shards", "shards fetched from the result cache"),
+    "run.cache_misses": ("counter", "shards", "cache probes that found no entry"),
+    "run.cache_stored": ("counter", "shards", "executed shards written to the result cache"),
+    "run.cache_evictions": ("counter", "entries", "cache entries evicted by this run's writes"),
+    "run.journal_skipped": ("counter", "lines", "torn/undecodable checkpoint journal lines skipped on load"),
 }
 
 
@@ -234,8 +239,10 @@ class ShardEvent:
     (it travels back with the shard result, so queueing and transport
     are excluded); ``attempts`` counts every attempt including the
     successful one; ``resumed`` shards were loaded from a checkpoint
-    journal and never executed (their ``seconds`` is 0.0, ``attempts``
-    0, ``worker`` ``None``).
+    journal or the result cache and never executed (their ``seconds``
+    is 0.0, ``attempts`` 0, ``worker`` ``None``); ``cached`` marks the
+    resumed shards that came from the content-addressed result cache
+    rather than a checkpoint journal.
     """
 
     shard: int
@@ -244,6 +251,7 @@ class ShardEvent:
     attempts: int
     timeouts: int = 0
     resumed: bool = False
+    cached: bool = False
     worker: int | None = None
 
     def throughput(self) -> float | None:
@@ -260,6 +268,7 @@ class ShardEvent:
             "attempts": self.attempts,
             "timeouts": self.timeouts,
             "resumed": self.resumed,
+            "cached": self.cached,
             "worker": self.worker,
         }
 

@@ -80,6 +80,8 @@ class RunObserver:
         self.retry_ledger: list[dict[str, object]] = []
         self._timeouts: dict[int, int] = {}
         self._recycles = 0
+        self._cache = {"hits": 0, "misses": 0, "stored": 0, "evictions": 0}
+        self._journal_skipped = 0
         self._run: dict[str, object] | None = None
         self._started = time.perf_counter()
         self._active_shards = 0
@@ -142,6 +144,23 @@ class RunObserver:
         """A shard satisfied from the checkpoint journal (not executed)."""
         self._record(ShardEvent(shard=shard, trials=trials, seconds=0.0,
                                 attempts=0, resumed=True))
+
+    def shard_cached(self, shard: int, trials: int) -> None:
+        """A shard fetched from the content-addressed result cache."""
+        self._record(ShardEvent(shard=shard, trials=trials, seconds=0.0,
+                                attempts=0, resumed=True, cached=True))
+
+    def cache_summary(self, *, hits: int, misses: int, stored: int,
+                      evictions: int) -> None:
+        """The engine's per-run cache tallies (reported once, post-run)."""
+        self._cache["hits"] += hits
+        self._cache["misses"] += misses
+        self._cache["stored"] += stored
+        self._cache["evictions"] += evictions
+
+    def journal_skipped(self, lines: int) -> None:
+        """Torn/undecodable journal lines dropped while loading a checkpoint."""
+        self._journal_skipped += lines
 
     def shard_finished(self, event: ShardEvent) -> None:
         """A shard executed to completion (reported with worker telemetry)."""
@@ -218,6 +237,13 @@ class RunObserver:
             sum(1 for entry in self.retry_ledger if entry["kind"] == "timeout")
         )
         registry.counter("run.pool_recycles", "events").inc(self._recycles)
+        registry.counter("run.cache_hits", "shards").inc(self._cache["hits"])
+        registry.counter("run.cache_misses", "shards").inc(self._cache["misses"])
+        registry.counter("run.cache_stored", "shards").inc(self._cache["stored"])
+        registry.counter("run.cache_evictions", "entries").inc(
+            self._cache["evictions"]
+        )
+        registry.counter("run.journal_skipped", "lines").inc(self._journal_skipped)
         seconds = registry.histogram("run.shard_seconds", "seconds")
         for event in executed:
             seconds.observe(event.seconds)

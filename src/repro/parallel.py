@@ -33,7 +33,7 @@ and a validated run manifest, without touching any number
 """
 
 from .obs import RunObserver
-from .stats.checkpoint import ShardCheckpoint, plan_key
+from .stats.checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from .stats.faults import (
     InjectedFault,
     RetryPolicy,
@@ -66,6 +66,7 @@ __all__ = [
     "TaskTelemetry",
     "execute_tasks",
     "is_picklable",
+    "kernel_fingerprint",
     "merge_bernoulli",
     "merge_categorical",
     "parallel_map",

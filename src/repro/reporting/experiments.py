@@ -184,13 +184,25 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.kernels",),
         bench="benchmarks/bench_vectorized_kernels.py",
     ),
+    Experiment(
+        id="E21",
+        paper_artifact="infrastructure: run identity + result cache",
+        summary="v2 checkpoint keys fingerprint the trial kernel (the v1 "
+        "format let different kernels silently share a journal); on top, "
+        "a content-addressed, integrity-checked shard result cache "
+        "(cache='auto' / --cache) makes warm re-runs and overlapping "
+        "sweep points fetch finished shards bit-identically — warm >=5x "
+        "cold committed in BENCH_cache_reuse.json.",
+        modules=("repro.cache", "repro.stats.checkpoint"),
+        bench="benchmarks/bench_cache_reuse.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}
 
 
 def get_experiment(experiment_id: str) -> Experiment:
-    """Look up an experiment by id (``"E1"`` … ``"E12"``)."""
+    """Look up an experiment by id (``"E1"`` … ``"E21"``)."""
     try:
         return _REGISTRY[experiment_id.upper()]
     except KeyError:

@@ -202,6 +202,8 @@ def run_canonical_bug(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    fingerprint: str | None = None,
+    cache: object | None = None,
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
@@ -239,7 +241,15 @@ def run_canonical_bug(
         timeout, resumable shard journal); see
         :func:`repro.stats.parallel.run_sharded`.  The checkpoint key is
         salted with the model/threads/variant, so one journal file can
-        hold several machine experiments.
+        hold several machine experiments.  Since the v2 key format the
+        key also folds in the kernel fingerprint (derived automatically,
+        or passed via ``fingerprint=``), which distinguishes the two
+        backends — the label carries no ``backend=`` salt.
+    fingerprint, cache:
+        The v2 keying and caching channel: ``fingerprint`` overrides the
+        derived kernel fingerprint; ``cache`` enables the
+        content-addressed shard result cache (``"auto"``, a directory,
+        or a :class:`repro.cache.ShardStore` — see ``docs/CACHING.md``).
     manifest, trace, progress:
         Observability knobs (run manifest JSON, JSONL span trace, live
         stderr progress); read-only with respect to the result — see
@@ -294,7 +304,7 @@ def run_canonical_bug(
     plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
     variant = "atomic" if atomic else ("fenced" if fenced else "racy")
     label = (f"canonical:{model_name}:n={threads}:body={body_length}"
-             f":variant={variant}:backend={backend}")
+             f":variant={variant}")
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label=label)
 
@@ -312,12 +322,14 @@ def run_canonical_bug(
         return build(run_sharded(
             kernel, plan, workers, retries=retries, timeout=timeout,
             checkpoint=checkpoint, checkpoint_label=label,
+            fingerprint=fingerprint, cache=cache,
         ))
     with observer.span("run"):
         with observer.span("shards"):
             parts = run_sharded(
                 kernel, plan, workers, retries=retries, timeout=timeout,
                 checkpoint=checkpoint, checkpoint_label=label,
+                fingerprint=fingerprint, cache=cache,
                 observer=observer,
             )
         with observer.span("merge"):

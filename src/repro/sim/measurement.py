@@ -220,6 +220,8 @@ def measure_critical_windows(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    fingerprint: str | None = None,
+    cache: object | None = None,
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
@@ -238,6 +240,9 @@ def measure_critical_windows(
     parallelism is requested, never the worker count).
     ``retries``/``timeout``/``checkpoint`` configure the fault-tolerance
     layer (:func:`repro.stats.parallel.run_sharded`);
+    ``fingerprint``/``cache`` the v2 checkpoint keying (the kernel
+    fingerprint distinguishes the backends; labels carry no ``backend=``
+    salt) and the content-addressed shard cache (``docs/CACHING.md``);
     ``manifest``/``trace``/``progress`` the observability layer
     (``docs/OBSERVABILITY.md``).  ``backend="vectorized"`` measures the
     same statistics on the whole-array kernel of
@@ -271,8 +276,7 @@ def measure_critical_windows(
             core_options=core_options,
         )
     plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
-    label = (f"windows:{model_name}:n={threads}:body={body_length}"
-             f":backend={backend}")
+    label = f"windows:{model_name}:n={threads}:body={body_length}"
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label=label)
 
@@ -291,12 +295,15 @@ def measure_critical_windows(
     if observer is None:
         return build(run_sharded(kernel, plan, workers, retries=retries,
                                  timeout=timeout, checkpoint=checkpoint,
-                                 checkpoint_label=label))
+                                 checkpoint_label=label,
+                                 fingerprint=fingerprint, cache=cache))
     with observer.span("run"):
         with observer.span("shards"):
             parts = run_sharded(kernel, plan, workers, retries=retries,
                                 timeout=timeout, checkpoint=checkpoint,
-                                checkpoint_label=label, observer=observer)
+                                checkpoint_label=label,
+                                fingerprint=fingerprint, cache=cache,
+                                observer=observer)
         with observer.span("merge"):
             result = build(parts)
     observer.finish(result)

@@ -7,7 +7,7 @@ splittable.
 """
 
 from .bootstrap import BootstrapInterval, bootstrap_mean_interval
-from .checkpoint import ShardCheckpoint, plan_key
+from .checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from .convergence import BatchSummary, required_trials, standard_error, summarise_batches
 from .faults import (
     InjectedFault,
@@ -62,6 +62,7 @@ __all__ = [
     "estimate_event",
     "estimate_to_precision",
     "iter_batches",
+    "kernel_fingerprint",
     "merge_bernoulli",
     "merge_categorical",
     "normal_quantile",

@@ -239,6 +239,8 @@ def run_bernoulli_trials(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    fingerprint: str | None = None,
+    cache: object | None = None,
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
@@ -255,7 +257,10 @@ def run_bernoulli_trials(
     ``(seed, shards)`` at any worker count.  A non-picklable ``trial``
     (lambda/closure) degrades to in-process execution with the same
     sharded result.  ``retries``/``timeout``/``checkpoint`` configure the
-    fault-tolerance layer (see :func:`~repro.stats.parallel.run_sharded`).
+    fault-tolerance layer, and ``fingerprint``/``cache`` the v2
+    checkpoint keying and content-addressed shard cache (see
+    :func:`~repro.stats.parallel.run_sharded`; the legacy serial path
+    has no shard plan and therefore never caches).
 
     ``manifest``/``trace``/``progress`` are the observability knobs
     (run manifest JSON, JSONL span trace, live stderr progress); all are
@@ -280,7 +285,8 @@ def run_bernoulli_trials(
     def execute(obs: RunObserver | None) -> list[BernoulliResult]:
         return run_sharded(
             kernel, plan, workers, retries=retries, timeout=timeout,
-            checkpoint=checkpoint, checkpoint_label="bernoulli", observer=obs,
+            checkpoint=checkpoint, checkpoint_label="bernoulli",
+            fingerprint=fingerprint, cache=cache, observer=obs,
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)
@@ -296,6 +302,8 @@ def run_categorical_trials(
     retries: int = 0,
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
+    fingerprint: str | None = None,
+    cache: object | None = None,
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
@@ -304,7 +312,8 @@ def run_categorical_trials(
 
     ``trial`` returns an integer category (e.g. the observed critical-window
     growth γ); the result aggregates the counts into an empirical PMF.
-    Sharding/parallelism/fault tolerance and the
+    Sharding/parallelism/fault tolerance, the ``fingerprint``/``cache``
+    keying and caching channel, and the
     ``manifest``/``trace``/``progress`` observability knobs follow
     :func:`run_bernoulli_trials`.
     """
@@ -327,7 +336,8 @@ def run_categorical_trials(
     def execute(obs: RunObserver | None) -> list[CategoricalResult]:
         return run_sharded(
             kernel, plan, workers, retries=retries, timeout=timeout,
-            checkpoint=checkpoint, checkpoint_label="categorical", observer=obs,
+            checkpoint=checkpoint, checkpoint_label="categorical",
+            fingerprint=fingerprint, cache=cache, observer=obs,
         )
 
     return _run_observed(observer, execute, merge_categorical, seed)
@@ -345,6 +355,8 @@ def run_event_trials(
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
     checkpoint_label: str = "event",
+    fingerprint: str | None = None,
+    cache: object | None = None,
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
@@ -358,12 +370,16 @@ def run_event_trials(
     fast path for numpy-vectorisable events (e.g. shift-process
     disjointness), where spawning one :class:`RandomSource` per trial
     would dominate runtime — the :mod:`repro.kernels` batch kernels all
-    ride this entry point.  Sharding/parallelism/fault tolerance and the
+    ride this entry point.  Sharding/parallelism/fault tolerance, the
+    ``fingerprint``/``cache`` keying and caching channel, and the
     ``manifest``/``trace``/``progress`` observability knobs follow
     :func:`run_bernoulli_trials`; ``checkpoint_label`` lets callers key
     the checkpoint by their experiment parameters (different events with
     the same ``(trials, shards, seed)`` must not share journal records)
-    and doubles as the manifest run label.
+    and doubles as the manifest run label.  Since the v2 key format the
+    kernel itself is fingerprinted into the key as well, so two
+    *different* ``batch_trial`` callables can no longer silently share a
+    journal even under an identical label.
 
     ``estimate_event`` is the historical name for this function and
     remains available as an alias.
@@ -390,7 +406,7 @@ def run_event_trials(
         return run_sharded(
             kernel, plan, workers, retries=retries, timeout=timeout,
             checkpoint=checkpoint, checkpoint_label=checkpoint_label,
-            observer=obs,
+            fingerprint=fingerprint, cache=cache, observer=obs,
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,7 +53,7 @@ from typing import Any, TypeVar
 
 from repro.obs import RunObserver, ShardEvent
 
-from .checkpoint import ShardCheckpoint, plan_key
+from .checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from .faults import RetryPolicy, execute_tasks
 from .rng import RandomSource
 
@@ -174,6 +175,8 @@ def run_sharded(
     timeout: float | None = None,
     checkpoint: str | Path | ShardCheckpoint | None = None,
     checkpoint_label: str = "",
+    fingerprint: str | None = None,
+    cache: Any = None,
     fault_injector: Callable[[int, int], None] | None = None,
     observer: RunObserver | None = None,
 ) -> list[T]:
@@ -197,8 +200,22 @@ def run_sharded(
     executes only the remainder — bit-identical to an uninterrupted run.
     ``checkpoint_label`` salts the checkpoint key (callers encode their
     experiment parameters; ignored when ``checkpoint`` is pre-keyed).
+    ``fingerprint`` is the kernel fingerprint folded into the v2 key;
+    left ``None``, it is derived from ``kernel`` via
+    :func:`~repro.stats.checkpoint.kernel_fingerprint` whenever a
+    checkpoint, cache, or observer needs a key — so two different
+    kernels can never reuse each other's journaled or cached shards.
     ``fault_injector`` is the deterministic kill hook used by tests
     (see :class:`~repro.stats.faults.ScriptedFaults`).
+
+    ``cache`` (``"auto"``, a directory, or a
+    :class:`repro.cache.ShardStore`; see ``docs/CACHING.md``) consults
+    the content-addressed shard store before executing: shards whose
+    entry key — the run's v2 key plus the shard index and trial count —
+    is already stored are fetched instead of recomputed, and newly
+    executed shards are stored for future runs.  Because the entry key
+    encodes the full computational identity, cached merges are
+    bit-identical to uncached ones.
 
     ``observer`` (a :class:`repro.obs.RunObserver`) receives the run's
     telemetry: a ``run_started`` description of the plan, one
@@ -213,21 +230,71 @@ def run_sharded(
     sources = plan.shard_sources()
     active = [index for index, count in enumerate(counts) if count > 0]
 
+    store = None
+    if cache is not None and cache is not False:
+        from repro.cache import resolve_cache
+        store = resolve_cache(cache)
+
+    if fingerprint is None and (checkpoint is not None or store is not None
+                                or observer is not None):
+        fingerprint = kernel_fingerprint(kernel)
+
     journal: ShardCheckpoint | None = None
+    journal_skipped = 0
     completed: dict[int, T] = {}
     if checkpoint is not None:
         journal = (checkpoint if isinstance(checkpoint, ShardCheckpoint)
                    else ShardCheckpoint.for_plan(checkpoint, plan,
-                                                 label=checkpoint_label))
+                                                 label=checkpoint_label,
+                                                 fingerprint=fingerprint or ""))
         stored = journal.load()
+        journal_skipped = journal.skipped_lines
+        if journal_skipped:
+            print(f"[repro] warning: skipped {journal_skipped} torn/undecodable "
+                  f"line(s) in checkpoint journal {journal.path}; the affected "
+                  "shards will re-execute", file=sys.stderr)
         completed = {local: stored[shard]
                      for local, shard in enumerate(active) if shard in stored}
+    resumed_locals = set(completed)
+
+    run_key = (journal.key if journal is not None
+               else plan_key(plan.trials, plan.shards, plan.seed,
+                             checkpoint_label, fingerprint or ""))
+
+    cached_locals: set[int] = set()
+    cache_misses: dict[int, str] = {}  # local index -> store entry key
+    cache_stored = 0
+    cache_evicted = 0
+    if store is not None:
+        from repro.cache import shard_entry_key
+        miss = object()
+        for local, shard in enumerate(active):
+            if local in completed:
+                continue
+            entry_key = shard_entry_key(run_key, shard, counts[shard])
+            value = store.get(entry_key, miss)
+            if value is miss:
+                cache_misses[local] = entry_key
+            else:
+                completed[local] = value
+                cached_locals.add(local)
+        if journal is not None:
+            # Keep the journal complete: cache-fetched shards are as
+            # final as executed ones, and a later journal-only resume
+            # should not have to recompute them.
+            for local in sorted(cached_locals):
+                journal.record(active[local], completed[local])
 
     on_result = None
-    if journal is not None:
-        def on_result(local: int, result: T,
-                      _journal: ShardCheckpoint = journal) -> None:
-            _journal.record(active[local], result)
+    if journal is not None or cache_misses:
+        def on_result(local: int, result: T) -> None:
+            nonlocal cache_stored, cache_evicted
+            if journal is not None:
+                journal.record(active[local], result)
+            entry_key = cache_misses.get(local)
+            if entry_key is not None:
+                cache_evicted += store.put(entry_key, result)
+                cache_stored += 1
 
     outstanding = len(active) - len(completed)
     serial = (
@@ -246,15 +313,17 @@ def run_sharded(
             workers=workers,
             active_shards=len(active),
             label=checkpoint_label or None,
-            key=(journal.key if journal is not None
-                 else plan_key(plan.trials, plan.shards, plan.seed,
-                               checkpoint_label)),
+            key=run_key,
             retries=retries,
             timeout=timeout,
             checkpoint=str(journal.path) if journal is not None else None,
         )
+        if journal_skipped:
+            observer.journal_skipped(journal_skipped)
         for local, shard in enumerate(active):
-            if local in completed:
+            if local in cached_locals:
+                observer.shard_cached(shard, counts[shard])
+            elif local in resumed_locals:
                 observer.shard_resumed(shard, counts[shard])
 
         def on_event(name: str, payload: dict,
@@ -276,7 +345,7 @@ def run_sharded(
             elif name == "pool_recycled":
                 _observer.pool_recycled()
 
-    return execute_tasks(
+    results = execute_tasks(
         kernel,
         [(sources[index], counts[index]) for index in active],
         workers=workers,
@@ -287,6 +356,12 @@ def run_sharded(
         completed=completed,
         on_event=on_event,
     )
+    if observer is not None and store is not None:
+        observer.cache_summary(hits=len(cached_locals),
+                               misses=len(cache_misses),
+                               stored=cache_stored,
+                               evictions=cache_evicted)
+    return results
 
 
 def parallel_map(

@@ -13,7 +13,13 @@ import json
 import pytest
 
 from repro.core import SC, WO, estimate_non_manifestation
-from repro.parallel import ShardCheckpoint, ShardPlan, plan_key, run_sharded
+from repro.parallel import (
+    ShardCheckpoint,
+    ShardPlan,
+    kernel_fingerprint,
+    plan_key,
+    run_sharded,
+)
 from repro.stats import run_bernoulli_trials, run_categorical_trials
 
 
@@ -29,6 +35,17 @@ def _geom(source) -> int:
     return source.geometric(0.5)
 
 
+def _heads_kernel(source, shard_trials) -> int:
+    """Counts a common event (p = 0.9) — deliberately distinct from
+    :func:`_tails_kernel` in code, not just in name."""
+    return int(source.bernoulli_array(0.9, shard_trials).sum())
+
+
+def _tails_kernel(source, shard_trials) -> int:
+    """Counts a rare event (p = 0.1): reusing heads' journal is blatant."""
+    return int(source.bernoulli_array(0.1, shard_trials).sum())
+
+
 class TestPlanKey:
     def test_deterministic(self):
         assert plan_key(1000, 8, 42) == plan_key(1000, 8, 42)
@@ -40,6 +57,48 @@ class TestPlanKey:
         assert plan_key(1000, 8, 43, label="x") != base
         assert plan_key(1000, 8, 42, label="y") != base
         assert plan_key(1000, 8, None, label="x") != base
+
+    def test_sensitive_to_fingerprint(self):
+        base = plan_key(1000, 8, 42, label="x", fingerprint="aaaa")
+        assert plan_key(1000, 8, 42, label="x", fingerprint="bbbb") != base
+        assert plan_key(1000, 8, 42, label="x") != base
+
+    def test_label_fingerprint_boundary_is_unambiguous(self):
+        # The label is length-prefixed in the key payload, so moving
+        # characters across the label/fingerprint boundary changes the key.
+        assert (plan_key(1000, 8, 42, label="ab", fingerprint="cd")
+                != plan_key(1000, 8, 42, label="abc", fingerprint="d"))
+        assert (plan_key(1000, 8, 42, label="a:b", fingerprint="c")
+                != plan_key(1000, 8, 42, label="a", fingerprint="b:c"))
+
+    def test_kernel_fingerprint_separates_kernels(self):
+        assert kernel_fingerprint(_heads_kernel) != kernel_fingerprint(_tails_kernel)
+        assert kernel_fingerprint(_sum_kernel) == kernel_fingerprint(_sum_kernel)
+
+    def test_kernel_fingerprint_sees_partial_parameters(self):
+        from functools import partial
+
+        assert (kernel_fingerprint(partial(_sum_kernel, p=0.25))
+                != kernel_fingerprint(partial(_sum_kernel, p=0.75)))
+
+
+class TestCrossKernelRegression:
+    """The v1 key omitted the kernel: two *different* trial functions with
+    equal ``(trials, shards, seed)`` and an empty label silently shared one
+    journal, so the second run merged the first run's shards.  The v2 key
+    folds in the kernel fingerprint; this test fails on the old format."""
+
+    def test_different_kernels_never_share_a_journal(self, tmp_path):
+        plan = ShardPlan(trials=4000, shards=8, seed=77)
+        path = tmp_path / "shared.jsonl"
+        heads = run_sharded(_heads_kernel, plan, workers=1, checkpoint=path)
+        tails = run_sharded(_tails_kernel, plan, workers=1, checkpoint=path)
+        # Under key reuse, tails would *be* heads' journaled shards.
+        assert tails != heads
+        assert sum(tails) < plan.trials // 2 < sum(heads)
+        # And each kernel's own resume is still exact.
+        assert run_sharded(_heads_kernel, plan, workers=1, checkpoint=path) == heads
+        assert run_sharded(_tails_kernel, plan, workers=1, checkpoint=path) == tails
 
 
 class TestShardCheckpoint:
@@ -91,7 +150,9 @@ class TestResumeEqualsUninterrupted:
         uninterrupted = run_sharded(_sum_kernel, plan, workers=1)
         # Simulate an interruption after 3 of 8 shards by journaling only
         # that prefix, then resume at a *different* worker count.
-        journal = ShardCheckpoint.for_plan(tmp_path / "run.jsonl", plan)
+        journal = ShardCheckpoint.for_plan(
+            tmp_path / "run.jsonl", plan,
+            fingerprint=kernel_fingerprint(_sum_kernel))
         for shard in range(3):
             journal.record(shard, uninterrupted[shard])
         resumed = run_sharded(_sum_kernel, plan, workers=2, checkpoint=journal)
@@ -105,14 +166,21 @@ class TestResumeEqualsUninterrupted:
         def exploding_kernel(source, shard_trials):
             raise AssertionError("a fully-journaled run must not re-execute")
 
-        resumed = run_sharded(exploding_kernel, plan, workers=1, checkpoint=path)
+        # The v2 key includes the kernel fingerprint, so resuming under a
+        # *different* callable requires an explicit identity claim: a
+        # pre-keyed journal opened with the original kernel's fingerprint.
+        journal = ShardCheckpoint.for_plan(
+            path, plan, fingerprint=kernel_fingerprint(_sum_kernel))
+        resumed = run_sharded(exploding_kernel, plan, workers=1,
+                              checkpoint=journal)
         assert resumed == first
 
     def test_checkpoint_run_journals_every_shard(self, tmp_path):
         plan = ShardPlan(trials=1000, shards=4, seed=35)
         path = tmp_path / "run.jsonl"
         results = run_sharded(_sum_kernel, plan, workers=1, checkpoint=path)
-        journal = ShardCheckpoint.for_plan(path, plan)
+        journal = ShardCheckpoint.for_plan(
+            path, plan, fingerprint=kernel_fingerprint(_sum_kernel))
         assert journal.load() == dict(enumerate(results))
 
     def test_bernoulli_interrupted_resume_bit_identical(self, tmp_path):
@@ -173,7 +241,8 @@ class TestRetryWithCheckpoint:
         with pytest.raises(ShardExecutionError):
             run_sharded(_sum_kernel, plan, workers=1, checkpoint=path,
                         fault_injector=ScriptedFaults(failures={4: 99}))
-        journaled = ShardCheckpoint.for_plan(path, plan).load()
+        journaled = ShardCheckpoint.for_plan(
+            path, plan, fingerprint=kernel_fingerprint(_sum_kernel)).load()
         assert set(journaled) == {0, 1, 2, 3}  # serial order up to the crash
         # Second run (fault gone) resumes the remainder only.
         resumed = run_sharded(_sum_kernel, plan, workers=2, checkpoint=path)

@@ -125,3 +125,71 @@ def test_run_event_trials_documented(api_text):
     assert "estimate_event" in api_text, (
         "the historical estimate_event alias should stay documented"
     )
+
+
+def test_estimate_event_only_ever_described_as_alias():
+    """Prose may mention ``estimate_event`` only *as* the historical alias.
+
+    The rename to ``run_event_trials`` is done; any line presenting the
+    old name as current API (as docs/OBSERVABILITY.md once did) is a
+    regression.  Qualifier words: "alias", "historical", "renamed",
+    "old name".
+    """
+    qualifiers = ("alias", "historical", "renamed", "old name")
+    offenders = []
+    for path in sorted(DOCS.glob("*.md")) + [README]:
+        for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if "estimate_event" in line and not any(
+                    q in line.lower() for q in qualifiers):
+                offenders.append(f"{path.name}:{number}: {line.strip()}")
+    assert not offenders, (
+        "estimate_event mentioned as if it were current API "
+        f"(say 'alias'/'historical' on the same line): {offenders}"
+    )
+
+
+@pytest.fixture(scope="module")
+def caching_text() -> str:
+    return (DOCS / "CACHING.md").read_text(encoding="utf-8")
+
+
+def test_cache_surface_is_documented(api_text, caching_text):
+    import repro.cache as cache
+
+    documented = api_text + caching_text
+    missing = [name for name in cache.__all__ if name not in documented]
+    assert not missing, (
+        f"public repro.cache exports missing from docs/API.md and "
+        f"docs/CACHING.md: {missing}"
+    )
+    for needle in ("--cache", "repro cache", "kernel_fingerprint",
+                   "v2", "v1"):
+        assert needle in caching_text, f"docs/CACHING.md lacks {needle!r}"
+    # The three maintenance actions of the `repro cache` subcommand.
+    for action in ("stats", "clear", "verify"):
+        assert f"cache {action}" in caching_text
+
+
+def test_caching_doc_is_cross_linked(api_text, obs_text, kernels_text,
+                                     caching_text):
+    for text, where in ((api_text, "docs/API.md"),
+                        (obs_text, "docs/OBSERVABILITY.md"),
+                        (kernels_text, "docs/KERNELS.md")):
+        assert "CACHING.md" in text, f"{where} does not link docs/CACHING.md"
+    for target in ("API.md", "KERNELS.md", "OBSERVABILITY.md"):
+        assert target in caching_text
+    readme = README.read_text(encoding="utf-8")
+    assert "docs/CACHING.md" in readme
+    assert "--cache" in readme, "README lacks a --cache example"
+
+
+def test_cache_flag_and_e21_documented(api_text):
+    from repro.reporting import get_experiment
+
+    e21 = get_experiment("E21")
+    assert e21.modules == ("repro.cache", "repro.stats.checkpoint")
+    experiments = (README.parent / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "## E21" in experiments, "EXPERIMENTS.md lacks the E21 section"
+    assert e21.bench in experiments
+    assert "--cache" in api_text, "docs/API.md lacks the --cache flag"

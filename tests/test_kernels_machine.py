@@ -95,12 +95,21 @@ class TestStructuralInvariants:
                                                backend=backend)
         assert measurement.manifest_without_overlap == 0
 
-    def test_manifest_records_backend(self, tmp_path):
+    def test_backend_distinguished_by_fingerprint_not_label(self, tmp_path):
+        # Since the v2 checkpoint keys, the backend is carried by the
+        # kernel fingerprint (the two backends are different callables),
+        # not by a label salt — the label stays backend-free while the
+        # two backends' run keys differ.
         path = tmp_path / "manifest.json"
         run_canonical_bug("TSO", 2, 400, seed=23, backend="vectorized",
                           manifest=path)
-        label = json.loads(path.read_text())["runs"][0]["label"]
-        assert label.endswith(":backend=vectorized")
+        run_canonical_bug("TSO", 2, 400, seed=23, backend="scalar",
+                          manifest=path)
+        runs = json.loads(path.read_text())["runs"]
+        labels = [run["label"] for run in runs]
+        assert all(":backend=" not in label for label in labels)
+        assert labels[0] == labels[1]
+        assert runs[0]["plan"]["key"] != runs[1]["plan"]["key"]
 
 
 class TestGuardRails:

@@ -1,0 +1,65 @@
+"""Repo hygiene: generated artifacts must never be tracked.
+
+Committed bytecode (``benchmarks/__pycache__/*.pyc``) once rode along
+with a PR and silently went stale — the interpreter version in its name
+outlived the source it was compiled from.  This suite pins the cleanup:
+``git ls-files`` may not contain bytecode, tool caches, or benchmark
+scratch output (the committed ``BENCH_*.json`` baselines are data, not
+scratch, and stay tracked).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Glob patterns (matched against repo-relative POSIX paths) that must
+#: never appear in the git index.  Kept in sync with ``.gitignore``.
+FORBIDDEN_PATTERNS = (
+    "*__pycache__/*",
+    "*.pyc",
+    "*.pyo",
+    ".pytest_cache/*",
+    ".hypothesis/*",
+    "benchmarks/latest_results.txt",
+    "bench-smoke-out/*",
+)
+
+
+def _tracked_files() -> list[str]:
+    if shutil.which("git") is None:
+        pytest.skip("git executable not available")
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True,
+            text=True, check=True, timeout=30,
+        )
+    except (subprocess.CalledProcessError, subprocess.TimeoutExpired):
+        pytest.skip("not a git checkout")
+    return proc.stdout.splitlines()
+
+
+def test_no_generated_artifacts_are_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        for pattern in FORBIDDEN_PATTERNS
+        if fnmatch.fnmatch(path, pattern)
+    ]
+    assert not offenders, (
+        "generated artifacts are tracked by git (remove with "
+        f"`git rm --cached` and see .gitignore): {sorted(set(offenders))}"
+    )
+
+
+def test_gitignore_covers_the_forbidden_classes():
+    gitignore = (REPO_ROOT / ".gitignore").read_text(encoding="utf-8")
+    for needle in ("__pycache__/", "*.py[cod]",
+                   "benchmarks/latest_results.txt", "bench-smoke-out/"):
+        assert needle in gitignore, f".gitignore lost the {needle!r} rule"
