@@ -21,6 +21,12 @@ manifestation CI must intersect the rigorous Bonferroni brackets of
 :func:`repro.core.manifestation_bounds` (exact even for the dependent
 TSO fleet).  Exit status is non-zero on any violation, so the nightly
 job fails loudly.
+
+The full bracket set runs once per RNG plan (``spawn``, then
+``philox``): the counter-based Philox plan draws different streams from
+the same seed, so the closed forms are the only cross-plan referee — a
+plan whose deep CIs drift off the paper's brackets is a sampling bug no
+fixed-seed regression test can see.  ``--rng-plans`` restricts the list.
 """
 
 from __future__ import annotations
@@ -61,57 +67,69 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int,
                         default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--rng-plans", nargs="+", default=["spawn", "philox"],
+                        choices=["spawn", "philox"],
+                        help="RNG plans to run the full bracket set under "
+                             "(default: both)")
     options = parser.parse_args(argv)
 
     failures: list[str] = []
     start = time.perf_counter()
 
-    def estimate(model, n: int):
-        return estimate_non_manifestation(
-            model, n, options.trials, seed=options.seed,
-            confidence=CONFIDENCE, workers=options.workers,
-            backend="vectorized",
-        )
+    def run_brackets(rng_plan: str) -> None:
+        tag = "" if rng_plan == "spawn" else f"-{rng_plan}"
 
-    # --- Theorem 6.2: n = 2, all four models -------------------------
-    sc = estimate(SC, 2).proportion
-    check("thm62/SC", sc.contains(1.0 / 6.0),
-          f"CI [{sc.low:.5f}, {sc.high:.5f}] vs exact 1/6 = {1 / 6:.5f}",
-          failures)
+        def estimate(model, n: int):
+            return estimate_non_manifestation(
+                model, n, options.trials, seed=options.seed,
+                confidence=CONFIDENCE, workers=options.workers,
+                backend="vectorized", rng_plan=rng_plan,
+            )
 
-    wo = estimate(WO, 2).proportion
-    check("thm62/WO", wo.contains(7.0 / 54.0),
-          f"CI [{wo.low:.5f}, {wo.high:.5f}] vs exact 7/54 = {7 / 54:.5f}",
-          failures)
+        # --- Theorem 6.2: n = 2, all four models ---------------------
+        sc = estimate(SC, 2).proportion
+        check(f"thm62{tag}/SC", sc.contains(1.0 / 6.0),
+              f"CI [{sc.low:.5f}, {sc.high:.5f}] vs exact 1/6 = {1 / 6:.5f}",
+              failures)
 
-    tso = estimate(TSO, 2).proportion
-    tso_low, tso_high = tso_two_thread_bounds()
-    check("thm62/TSO",
-          tso.low <= tso_high and tso.high >= tso_low,
-          f"CI [{tso.low:.5f}, {tso.high:.5f}] vs paper bracket "
-          f"({tso_low:.5f}, {tso_high:.5f})",
-          failures)
+        wo = estimate(WO, 2).proportion
+        check(f"thm62{tag}/WO", wo.contains(7.0 / 54.0),
+              f"CI [{wo.low:.5f}, {wo.high:.5f}] vs exact 7/54 = {7 / 54:.5f}",
+              failures)
 
-    pso = estimate(PSO, 2).proportion
-    pso_exact = non_manifestation_probability(PSO, 2).value
-    check("thm62/PSO", pso.contains(pso_exact),
-          f"CI [{pso.low:.5f}, {pso.high:.5f}] vs derived {pso_exact:.5f}",
-          failures)
+        tso = estimate(TSO, 2).proportion
+        tso_low, tso_high = tso_two_thread_bounds()
+        check(f"thm62{tag}/TSO",
+              tso.low <= tso_high and tso.high >= tso_low,
+              f"CI [{tso.low:.5f}, {tso.high:.5f}] vs paper bracket "
+              f"({tso_low:.5f}, {tso_high:.5f})",
+              failures)
 
-    # --- Theorem 6.3 regime: n = 3 TSO vs Bonferroni brackets --------
-    deep = estimate(TSO, 3)
-    manifested = wilson_interval(deep.trials - deep.successes, deep.trials,
-                                 CONFIDENCE)
-    bound_low, bound_high = manifestation_bounds(TSO, 3)
-    check("thm63/TSO-n3",
-          manifested.low <= bound_high and manifested.high >= bound_low,
-          f"manifestation CI [{manifested.low:.5f}, {manifested.high:.5f}] "
-          f"vs Bonferroni [{bound_low:.5f}, {bound_high:.5f}]",
-          failures)
+        pso = estimate(PSO, 2).proportion
+        pso_exact = non_manifestation_probability(PSO, 2).value
+        check(f"thm62{tag}/PSO", pso.contains(pso_exact),
+              f"CI [{pso.low:.5f}, {pso.high:.5f}] vs derived {pso_exact:.5f}",
+              failures)
+
+        # --- Theorem 6.3 regime: n = 3 TSO vs Bonferroni brackets ----
+        deep = estimate(TSO, 3)
+        manifested = wilson_interval(deep.trials - deep.successes,
+                                     deep.trials, CONFIDENCE)
+        bound_low, bound_high = manifestation_bounds(TSO, 3)
+        check(f"thm63{tag}/TSO-n3",
+              manifested.low <= bound_high and manifested.high >= bound_low,
+              f"manifestation CI [{manifested.low:.5f}, "
+              f"{manifested.high:.5f}] "
+              f"vs Bonferroni [{bound_low:.5f}, {bound_high:.5f}]",
+              failures)
+
+    for rng_plan in options.rng_plans:
+        run_brackets(rng_plan)
 
     elapsed = time.perf_counter() - start
     print(f"[nightly] {options.trials} trials/check, seed {options.seed}, "
-          f"{options.workers} worker(s), {elapsed:.1f}s total")
+          f"{options.workers} worker(s), "
+          f"plans {'+'.join(options.rng_plans)}, {elapsed:.1f}s total")
     if failures:
         print(f"[nightly] {len(failures)} deep check(s) failed:",
               file=sys.stderr)

@@ -276,6 +276,8 @@ def monte_carlo_check(
     trace: object | None = None,
     progress: bool = False,
     backend: str = "vectorized",
+    rng_plan: str = "spawn",
+    transport: str = "auto",
 ) -> list[dict[str, object]]:
     """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches.
 
@@ -284,7 +286,8 @@ def monte_carlo_check(
     result cache (``cache`` — overlapping sweep points and re-runs fetch
     completed shards instead of recomputing them, see ``docs/CACHING.md``),
     the observability options (``manifest``/``trace``/``progress``), and
-    the kernel ``backend`` to
+    the kernel ``backend``, and the ``rng_plan``/``transport`` engine
+    knobs to
     :func:`repro.core.manifestation.estimate_non_manifestation`; the
     per-model checkpoint keys keep one journal file safe across the whole
     model loop, and each model's run appends its own labelled record to
@@ -299,7 +302,7 @@ def monte_carlo_check(
             model, n, trials, seed=seed, workers=workers, shards=shards,
             retries=retries, timeout=timeout, checkpoint=checkpoint,
             cache=cache, manifest=manifest, trace=trace, progress=progress,
-            backend=backend,
+            backend=backend, rng_plan=rng_plan, transport=transport,
         )
         rows.append(
             {

@@ -39,11 +39,15 @@ points fetch their shards instead of recomputing them, with bit-identical
 results (``docs/CACHING.md``).  ``repro cache {stats,clear,verify}``
 inspects and manages the store.
 
-``--backend {scalar,vectorized}`` selects the simulation kernel
-(``docs/KERNELS.md``): whole-array NumPy batches versus the draw-by-draw
-reference loop.  The backends are statistically equivalent; left unset,
-each command keeps its native default (``thm62``: vectorized,
-``machine``: scalar).
+``--backend {scalar,vectorized,fused}`` selects the simulation kernel
+(``docs/KERNELS.md``): whole-array NumPy batches, the draw-by-draw
+reference loop, or (joined-model commands only) the single-pass fused
+chain.  The backends are statistically equivalent; left unset, each
+command keeps its native default (``thm62``: vectorized, ``machine``:
+scalar).  ``--rng-plan {spawn,philox}`` selects the shard-stream
+derivation: ``spawn`` (default) reproduces every published number,
+``philox`` is the counter-addressed fast path — the two draw different
+streams and are never silently mixed (``docs/API.md``).
 On the engine-aware subcommands (``thm62``, ``machine``, ``scaling``)
 every engine flag may be placed before or after the subcommand:
 
@@ -123,6 +127,7 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
                 manifest=args.manifest,
                 trace=args.trace, progress=args.progress,
                 backend=args.backend or "vectorized",
+                rng_plan=args.rng_plan,
             )
             row["monte carlo"] = empirical.estimate
             row["agrees"] = empirical.agrees_with(exact)
@@ -189,6 +194,7 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         trace=args.trace,
         progress=args.progress,
         backend=args.backend or "scalar",
+        rng_plan=args.rng_plan,
     )
     print(result)
 
@@ -405,11 +411,22 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         "ETA) on stderr",
     )
     parser.add_argument(
-        "--backend", choices=["scalar", "vectorized"], default=default(None),
+        "--backend", choices=["scalar", "vectorized", "fused"],
+        default=default(None),
         help="simulation kernel: 'vectorized' runs whole-array NumPy "
-        "batches, 'scalar' the draw-by-draw reference (statistically "
-        "equivalent; see docs/KERNELS.md). Default: each command's native "
-        "backend (thm62: vectorized; machine: scalar)",
+        "batches, 'scalar' the draw-by-draw reference, 'fused' the "
+        "single-pass joined-model chain (statistically equivalent; see "
+        "docs/KERNELS.md; the machine paths reject 'fused'). Default: "
+        "each command's native backend (thm62: vectorized; machine: "
+        "scalar)",
+    )
+    parser.add_argument(
+        "--rng-plan", choices=["spawn", "philox"], default=default("spawn"),
+        help="shard-stream derivation: 'spawn' (default) is the "
+        "SeedSequence discipline of every published number; 'philox' "
+        "derives streams directly from (seed, shard, batch) counters — "
+        "faster fan-out, different (never silently mixed) streams. See "
+        "docs/API.md",
     )
 
 

@@ -270,6 +270,25 @@ def _disjointness_scalar_trial(
     )
 
 
+def _disjointness_fused_trial(
+    source: RandomSource,
+    batch: int,
+    model: MemoryModel,
+    n: int,
+    store_probability: float,
+    beta: float,
+    body_length: int,
+    critical_section_length: int,
+) -> int:
+    """The ``backend="fused"`` batch trial (single-pass fused chain)."""
+    from ..kernels.joined import non_manifestation_fused_batch
+
+    return non_manifestation_fused_batch(
+        source, batch, model, n, store_probability, beta, body_length,
+        critical_section_length,
+    )
+
+
 def estimate_non_manifestation(
     model: MemoryModel,
     n: int,
@@ -291,6 +310,8 @@ def estimate_non_manifestation(
     trace: str | Path | None = None,
     progress: bool = False,
     backend: str = "vectorized",
+    rng_plan: str = "spawn",
+    transport: str = "auto",
 ) -> BernoulliResult:
     """Simulate the full §6 pipeline and estimate ``Pr[A]``.
 
@@ -318,18 +339,28 @@ def estimate_non_manifestation(
     ``"vectorized"`` (the default, and this estimator's historical
     implementation — fixed-seed results are unchanged) runs each batch as
     whole-array operations; ``"scalar"`` runs the draw-by-draw reference
-    loop of :class:`repro.core.settling.SettlingProcess`.  The two are
-    statistically equivalent but draw in different stream orders, so their
-    fixed-seed outputs differ; their distinct kernel fingerprints keep
-    their checkpoint journals and cache entries separate.
+    loop of :class:`repro.core.settling.SettlingProcess`; ``"fused"``
+    runs the single-pass fused chain
+    (:func:`repro.kernels.joined.non_manifestation_fused_batch`), the
+    fastest single-core route.  Backends are statistically equivalent
+    but draw in different stream orders, so their fixed-seed outputs
+    differ; their distinct kernel fingerprints keep their checkpoint
+    journals and cache entries separate.
+
+    ``rng_plan`` selects the shard-stream derivation (``"spawn"`` is the
+    published-numbers default; ``"philox"`` the counter-addressed fast
+    path) and ``transport`` the shard result channel — both forwarded to
+    :func:`repro.stats.montecarlo.run_event_trials`.
     """
     from ..kernels import resolve_backend
 
     if n < 2:
         raise ValueError(f"need n >= 2 threads, got {n}")
-    kernel = (_disjointness_batch_trial
-              if resolve_backend(backend) == "vectorized"
-              else _disjointness_scalar_trial)
+    kernel = {
+        "vectorized": _disjointness_batch_trial,
+        "scalar": _disjointness_scalar_trial,
+        "fused": _disjointness_fused_trial,
+    }[resolve_backend(backend)]
     batch_trial = partial(
         kernel,
         model=model,
@@ -347,7 +378,8 @@ def estimate_non_manifestation(
                             timeout=timeout, checkpoint=checkpoint,
                             checkpoint_label=label, fingerprint=fingerprint,
                             cache=cache, manifest=manifest,
-                            trace=trace, progress=progress)
+                            trace=trace, progress=progress,
+                            rng_plan=rng_plan, transport=transport)
 
 
 # ----------------------------------------------------------------------

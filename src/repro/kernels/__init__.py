@@ -13,9 +13,13 @@ Backend contract
 Every kernel-backed driver (``estimate_non_manifestation``,
 ``run_canonical_bug``, ``measure_critical_windows``, the analysis sweeps,
 and the ``--backend`` CLI flag) accepts ``backend="scalar"`` or
-``backend="vectorized"``:
+``backend="vectorized"``; the joined-model paths additionally accept
+``backend="fused"`` (the single-pass
+:func:`repro.kernels.joined.non_manifestation_fused_batch` chain), and
+drivers without a fused kernel reject it explicitly via
+``resolve_backend(..., allowed=...)``:
 
-* The two backends draw randomness in different stream orders, so they
+* Different backends draw randomness in different stream orders, so they
   are **statistically equivalent** (same joint law), not bit-identical —
   except :func:`repro.kernels.joined.non_manifestation_batch`, which *is*
   the historical batch path of ``estimate_non_manifestation`` and keeps
@@ -34,7 +38,11 @@ contract and backend-selection guidance.
 
 from __future__ import annotations
 
-from .joined import non_manifestation_batch, non_manifestation_scalar_batch
+from .joined import (
+    non_manifestation_batch,
+    non_manifestation_fused_batch,
+    non_manifestation_scalar_batch,
+)
 from .machine import (
     SUPPORTED_MACHINE_MODELS,
     canonical_bug_batch,
@@ -63,6 +71,7 @@ __all__ = [
     "estimate_shift_disjointness",
     "non_manifestation_batch",
     "non_manifestation_scalar_batch",
+    "non_manifestation_fused_batch",
     "machine_race_batch",
     "canonical_bug_batch",
     "SUPPORTED_MACHINE_MODELS",
@@ -71,12 +80,21 @@ __all__ = [
     "assert_contains_probability",
 ]
 
-#: The recognised simulation backends.
-BACKENDS = ("scalar", "vectorized")
+#: The recognised simulation backends.  ``"fused"`` is the single-pass
+#: joined-model chain (:func:`non_manifestation_fused_batch`); drivers
+#: without a fused kernel restrict their accepted subset via the
+#: ``allowed`` parameter of :func:`resolve_backend`.
+BACKENDS = ("scalar", "vectorized", "fused")
 
 
-def resolve_backend(backend: str) -> str:
+def resolve_backend(backend: str,
+                    allowed: tuple[str, ...] | None = None) -> str:
     """Validate a backend name; returns it unchanged.
+
+    ``allowed`` restricts the accepted subset for drivers that do not
+    implement every backend (e.g. the machine paths have no fused
+    kernel) — unknown names and known-but-unsupported names both raise,
+    with messages that tell the two cases apart.
 
     >>> resolve_backend("vectorized")
     'vectorized'
@@ -84,6 +102,11 @@ def resolve_backend(backend: str) -> str:
     if backend not in BACKENDS:
         known = ", ".join(BACKENDS)
         raise ValueError(f"unknown backend {backend!r}; known backends: {known}")
+    if allowed is not None and backend not in allowed:
+        supported = ", ".join(allowed)
+        raise ValueError(
+            f"backend {backend!r} is not supported here; choose one of: {supported}"
+        )
     return backend
 
 
@@ -105,6 +128,10 @@ KERNEL_CATALOGUE: dict[str, tuple[str, str]] = {
     "non_manifestation_batch": (
         "Theorems 6.2 / 6.3",
         "Batch joined-model trials: shared program, settled windows, shifts, Pr[A].",
+    ),
+    "non_manifestation_fused_batch": (
+        "Theorems 6.2 / 6.3",
+        "Fused settle-shift-disjointness pass: inversion-sampled, in-place, z-equivalent.",
     ),
     "machine_race_batch": (
         "§2.2 canonical bug",

@@ -22,7 +22,11 @@ with fixed ``(seed, shards)`` is bit-identical for any worker count,
 and a retried or checkpoint-resumed shard is bit-identical to the
 attempt it replaces.  When parallelism is requested and ``shards`` is
 unset, the fixed :data:`~repro.stats.parallel.DEFAULT_SHARDS` applies —
-never the worker or CPU count.
+never the worker or CPU count.  ``rng_plan="philox"``
+(:class:`~repro.stats.rng.PhiloxSource`) swaps the spawn discipline for
+counter-addressed streams — same guarantees, different (never silently
+mixed) draws — and the :mod:`repro.stats.transport` layouts route shard
+results home through shared memory instead of pickle, bit-identically.
 
 Observability: pass a :class:`repro.obs.RunObserver` (re-exported here)
 as ``observer=`` to :func:`run_sharded` / :func:`parallel_map` — or use
@@ -53,26 +57,47 @@ from .stats.parallel import (
     resolve_workers,
     run_sharded,
 )
+from .stats.rng import RNG_PLANS, PhiloxSource, philox_stream, resolve_rng_plan
+from .stats.transport import (
+    TRANSPORTS,
+    BernoulliLayout,
+    CategoricalLayout,
+    ShardTable,
+    WindowLayout,
+    pickled_payload_bytes,
+    resolve_transport,
+)
 
 __all__ = [
+    "BernoulliLayout",
+    "CategoricalLayout",
     "DEFAULT_SHARDS",
     "InjectedFault",
+    "PhiloxSource",
+    "RNG_PLANS",
     "RetryPolicy",
     "RunObserver",
     "ScriptedFaults",
     "ShardCheckpoint",
     "ShardExecutionError",
     "ShardPlan",
+    "ShardTable",
+    "TRANSPORTS",
     "TaskTelemetry",
+    "WindowLayout",
     "execute_tasks",
     "is_picklable",
     "kernel_fingerprint",
     "merge_bernoulli",
     "merge_categorical",
     "parallel_map",
+    "philox_stream",
+    "pickled_payload_bytes",
     "plan_key",
     "plan_shards",
+    "resolve_rng_plan",
     "resolve_shards",
+    "resolve_transport",
     "resolve_workers",
     "run_sharded",
 ]

@@ -29,6 +29,7 @@ from ..stats.intervals import Proportion, wilson_interval
 from ..stats.montecarlo import CategoricalResult, merge_categorical
 from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
 from ..stats.rng import RandomSource, iter_batches
+from ..stats.transport import CategoricalLayout
 from .isa import ThreadProgram
 from .machine import Machine
 from .programs import (
@@ -208,6 +209,8 @@ def run_canonical_bug(
     trace: str | Path | None = None,
     progress: bool = False,
     backend: str = "scalar",
+    rng_plan: str = "spawn",
+    transport: str = "auto",
     **core_options,
 ) -> CanonicalBugResult:
     """Run the canonical increment race ``trials`` times on the machine.
@@ -260,7 +263,14 @@ def run_canonical_bug(
         :mod:`repro.kernels.machine` — statistically equivalent,
         typically an order of magnitude faster, but restricted to the
         racy variant on SC/TSO/PSO under the geometric-launch scheduler
-        (anything else raises).  See ``docs/KERNELS.md``.
+        (anything else raises).  The machine has no fused kernel, so
+        ``backend="fused"`` is rejected explicitly.  See
+        ``docs/KERNELS.md``.
+    rng_plan, transport:
+        The shard-stream derivation (``"spawn"`` default / ``"philox"``
+        counter-addressed fast path) and the shard result channel; see
+        :class:`repro.stats.parallel.ShardPlan` and
+        :mod:`repro.stats.transport`.
     core_options:
         Forwarded to the core constructor (e.g. ``drain_probability``).
     """
@@ -278,7 +288,7 @@ def run_canonical_bug(
         builder = canonical_increment_fenced
     else:
         builder = canonical_increment
-    if resolve_backend(backend) == "vectorized":
+    if resolve_backend(backend, allowed=("scalar", "vectorized")) == "vectorized":
         beta = _machine_backend_beta(model_name, scheduler, fenced, atomic,
                                      core_options)
         kernel = partial(
@@ -301,7 +311,7 @@ def run_canonical_bug(
             confidence=confidence,
             core_options=core_options,
         )
-    plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
+    plan = ShardPlan(trials, resolve_shards(workers, shards), seed, rng_plan)
     variant = "atomic" if atomic else ("fenced" if fenced else "racy")
     label = (f"canonical:{model_name}:n={threads}:body={body_length}"
              f":variant={variant}")
@@ -318,11 +328,13 @@ def run_canonical_bug(
             confidence=confidence,
         )
 
+    layout = CategoricalLayout(confidence)
     if observer is None:
         return build(run_sharded(
             kernel, plan, workers, retries=retries, timeout=timeout,
             checkpoint=checkpoint, checkpoint_label=label,
             fingerprint=fingerprint, cache=cache,
+            transport=transport, layout=layout,
         ))
     with observer.span("run"):
         with observer.span("shards"):
@@ -331,6 +343,7 @@ def run_canonical_bug(
                 checkpoint=checkpoint, checkpoint_label=label,
                 fingerprint=fingerprint, cache=cache,
                 observer=observer,
+                transport=transport, layout=layout,
             )
         with observer.span("merge"):
             result = build(parts)

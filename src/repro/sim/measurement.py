@@ -32,6 +32,7 @@ from ..obs import RunObserver
 from ..stats.bootstrap import BootstrapInterval, bootstrap_mean_interval
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
+from ..stats.transport import WindowLayout
 from ..stats.rng import RandomSource, iter_batches
 from .executor import TRIAL_SPAWN_BATCH, _machine_backend_beta
 from .machine import Machine, MachineResult
@@ -226,6 +227,8 @@ def measure_critical_windows(
     trace: str | Path | None = None,
     progress: bool = False,
     backend: str = "scalar",
+    rng_plan: str = "spawn",
+    transport: str = "auto",
     **core_options,
 ) -> WindowMeasurement:
     """Run the canonical race and measure every thread's critical window.
@@ -247,7 +250,12 @@ def measure_critical_windows(
     (``docs/OBSERVABILITY.md``).  ``backend="vectorized"`` measures the
     same statistics on the whole-array kernel of
     :mod:`repro.kernels.machine` (racy canonical workload, SC/TSO/PSO,
-    geometric-launch scheduler only — see ``docs/KERNELS.md``).
+    geometric-launch scheduler only — see ``docs/KERNELS.md``); the
+    machine has no fused kernel, so ``backend="fused"`` is rejected
+    explicitly.  ``rng_plan``/``transport`` select the shard-stream
+    derivation and the shard result channel (see
+    :class:`repro.stats.parallel.ShardPlan` and
+    :mod:`repro.stats.transport`).
     """
     from ..kernels import resolve_backend
 
@@ -255,7 +263,7 @@ def measure_critical_windows(
         raise ValueError(f"need at least 2 threads, got {threads}")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    if resolve_backend(backend) == "vectorized":
+    if resolve_backend(backend, allowed=("scalar", "vectorized")) == "vectorized":
         beta = _machine_backend_beta(model_name, scheduler, False, False,
                                      core_options)
         kernel = partial(
@@ -275,7 +283,7 @@ def measure_critical_windows(
             scheduler=scheduler,
             core_options=core_options,
         )
-    plan = ShardPlan(trials, resolve_shards(workers, shards), seed)
+    plan = ShardPlan(trials, resolve_shards(workers, shards), seed, rng_plan)
     label = f"windows:{model_name}:n={threads}:body={body_length}"
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label=label)
@@ -292,18 +300,21 @@ def measure_critical_windows(
                                          for part in parts),
         )
 
+    layout = WindowLayout(threads)
     if observer is None:
         return build(run_sharded(kernel, plan, workers, retries=retries,
                                  timeout=timeout, checkpoint=checkpoint,
                                  checkpoint_label=label,
-                                 fingerprint=fingerprint, cache=cache))
+                                 fingerprint=fingerprint, cache=cache,
+                                 transport=transport, layout=layout))
     with observer.span("run"):
         with observer.span("shards"):
             parts = run_sharded(kernel, plan, workers, retries=retries,
                                 timeout=timeout, checkpoint=checkpoint,
                                 checkpoint_label=label,
                                 fingerprint=fingerprint, cache=cache,
-                                observer=observer)
+                                observer=observer,
+                                transport=transport, layout=layout)
         with observer.span("merge"):
             result = build(parts)
     observer.finish(result)

@@ -40,7 +40,16 @@ from .parallel import (
     resolve_workers,
     run_sharded,
 )
-from .rng import DEFAULT_SEED, RandomSource, iter_batches, spawn_sources
+from .rng import (
+    DEFAULT_SEED,
+    RNG_PLANS,
+    PhiloxSource,
+    RandomSource,
+    iter_batches,
+    philox_stream,
+    resolve_rng_plan,
+    spawn_sources,
+)
 from .sequential import estimate_to_precision
 
 __all__ = [
@@ -52,6 +61,8 @@ __all__ = [
     "DEFAULT_SEED",
     "DEFAULT_SHARDS",
     "InjectedFault",
+    "PhiloxSource",
+    "RNG_PLANS",
     "Proportion",
     "RandomSource",
     "RetryPolicy",
@@ -67,8 +78,10 @@ __all__ = [
     "merge_categorical",
     "normal_quantile",
     "parallel_map",
+    "philox_stream",
     "plan_key",
     "plan_shards",
+    "resolve_rng_plan",
     "required_trials",
     "resolve_shards",
     "resolve_workers",

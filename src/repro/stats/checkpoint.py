@@ -74,19 +74,30 @@ _ADDRESS = re.compile(r"0x[0-9a-fA-F]+")
 
 
 def plan_key(trials: int, shards: int, seed: int | None, label: str = "",
-             fingerprint: str = "") -> str:
+             fingerprint: str = "", rng_plan: str = "spawn") -> str:
     """The identity hash a checkpoint is keyed by.
 
     Two runs share a key exactly when they share the statistical identity
     ``(trials, shards, seed)``, the caller's ``label`` (free-text
-    experiment salt), *and* the kernel ``fingerprint``
+    experiment salt), the kernel ``fingerprint``
     (:func:`kernel_fingerprint` — the digest of what each shard actually
-    computes).  The label is length-prefixed in the hash payload and the
-    fingerprint is pure hex, so no concatenation of components can
-    collide structurally with a different split of the same characters.
+    computes), *and* the RNG plan.  The label is length-prefixed in the
+    hash payload and the fingerprint is pure hex, so no concatenation of
+    components can collide structurally with a different split of the
+    same characters.
+
+    ``rng_plan`` selects the shard-stream derivation (see
+    :mod:`repro.stats.rng`).  The default ``"spawn"`` contributes nothing
+    to the payload, so every key minted before the plan knob existed is
+    unchanged — old journals and cache entries stay valid.  Any other
+    plan appends a ``:rng=<plan>`` suffix, which cannot collide with a
+    spawn-plan key because the fingerprint component is pure hex and the
+    suffix is not.
     """
     payload = (f"v{CHECKPOINT_FORMAT}:{trials}:{shards}:{seed!r}"
                f":{len(label)}:{label}:{fingerprint}")
+    if rng_plan != "spawn":
+        payload += f":rng={rng_plan}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -264,9 +275,12 @@ class ShardCheckpoint:
         :func:`kernel_fingerprint`; constructing a checkpoint with an
         explicit fingerprint (or pre-keying one with ``ShardCheckpoint(
         path, key)``) is the caller's assertion of the run's identity.
+        The plan's ``rng_plan`` folds into the key as well (a spawn-plan
+        and a philox-plan run never share journal records).
         """
         return cls(path, plan_key(plan.trials, plan.shards, plan.seed,
-                                  label, fingerprint))
+                                  label, fingerprint,
+                                  getattr(plan, "rng_plan", "spawn")))
 
     def load(self) -> dict[int, Any]:
         """Completed shard results recorded under this run's key.

@@ -36,6 +36,7 @@ from .checkpoint import ShardCheckpoint
 from .intervals import Proportion, wilson_interval
 from .parallel import ShardPlan, resolve_shards, run_sharded
 from .rng import RandomSource, iter_batches
+from .transport import BernoulliLayout, CategoricalLayout
 
 __all__ = [
     "BernoulliResult",
@@ -168,23 +169,29 @@ def _event_shard(
 
 
 def _resolve_plan(
-    trials: int, seed: int | None, workers: int | None, shards: int | None
+    trials: int, seed: int | None, workers: int | None, shards: int | None,
+    rng_plan: str = "spawn",
 ) -> ShardPlan | None:
     """The shard plan for a run, or ``None`` for the legacy serial path.
 
     ``shards=None`` with ``workers=1`` keeps the historical single-stream
     derivation (bit-compatible with pre-parallel releases); any explicit
     shard count — or any request for parallelism — switches to the
-    sharded derivation, whose results depend only on ``(seed, shards)``.
-    Crucially, ``shards`` defaults via
+    sharded derivation, whose results depend only on ``(seed, shards,
+    rng_plan)``.  Crucially, ``shards`` defaults via
     :func:`~repro.stats.parallel.resolve_shards` to the fixed
     :data:`~repro.stats.parallel.DEFAULT_SHARDS`, **never** the worker
     count (which would make published numbers depend on how many
     processes — or, for ``workers=None``, how many CPUs — ran them).
+
+    The legacy path exists only under the default ``rng_plan="spawn"``:
+    the Philox plan is counter-addressed per shard, so it always builds
+    a (possibly single-shard) plan — there is no pre-plan derivation to
+    stay bit-compatible with.
     """
-    if shards is None and workers == 1:
+    if rng_plan == "spawn" and shards is None and workers == 1:
         return None
-    return ShardPlan(trials, resolve_shards(workers, shards), seed)
+    return ShardPlan(trials, resolve_shards(workers, shards), seed, rng_plan)
 
 
 def _run_observed(observer, execute, merge, seed):
@@ -244,6 +251,8 @@ def run_bernoulli_trials(
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
+    rng_plan: str = "spawn",
+    transport: str = "auto",
 ) -> BernoulliResult:
     """Run ``trials`` independent Bernoulli trials of ``trial``.
 
@@ -265,9 +274,16 @@ def run_bernoulli_trials(
     ``manifest``/``trace``/``progress`` are the observability knobs
     (run manifest JSON, JSONL span trace, live stderr progress); all are
     read-only with respect to the estimate — see ``docs/OBSERVABILITY.md``.
+
+    ``rng_plan`` selects the shard-stream derivation (``"spawn"`` — the
+    published-numbers default — or the counter-based ``"philox"`` fast
+    path; see :class:`~repro.stats.parallel.ShardPlan`) and ``transport``
+    the shard result channel (see :mod:`repro.stats.transport`); neither
+    affects which estimate a fixed plan computes, and plan-dependent
+    streams are never silently mixed.
     """
     _check_trials(trials)
-    plan = _resolve_plan(trials, seed, workers, shards)
+    plan = _resolve_plan(trials, seed, workers, shards, rng_plan)
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label="bernoulli")
     if plan is None:
@@ -287,6 +303,7 @@ def run_bernoulli_trials(
             kernel, plan, workers, retries=retries, timeout=timeout,
             checkpoint=checkpoint, checkpoint_label="bernoulli",
             fingerprint=fingerprint, cache=cache, observer=obs,
+            transport=transport, layout=BernoulliLayout(confidence),
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)
@@ -307,18 +324,21 @@ def run_categorical_trials(
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
+    rng_plan: str = "spawn",
+    transport: str = "auto",
 ) -> CategoricalResult:
     """Run ``trials`` independent categorical trials of ``trial``.
 
     ``trial`` returns an integer category (e.g. the observed critical-window
     growth γ); the result aggregates the counts into an empirical PMF.
     Sharding/parallelism/fault tolerance, the ``fingerprint``/``cache``
-    keying and caching channel, and the
-    ``manifest``/``trace``/``progress`` observability knobs follow
+    keying and caching channel, the
+    ``manifest``/``trace``/``progress`` observability knobs, and the
+    ``rng_plan``/``transport`` engine knobs follow
     :func:`run_bernoulli_trials`.
     """
     _check_trials(trials)
-    plan = _resolve_plan(trials, seed, workers, shards)
+    plan = _resolve_plan(trials, seed, workers, shards, rng_plan)
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label="categorical")
     if plan is None:
@@ -338,6 +358,7 @@ def run_categorical_trials(
             kernel, plan, workers, retries=retries, timeout=timeout,
             checkpoint=checkpoint, checkpoint_label="categorical",
             fingerprint=fingerprint, cache=cache, observer=obs,
+            transport=transport, layout=CategoricalLayout(confidence),
         )
 
     return _run_observed(observer, execute, merge_categorical, seed)
@@ -360,6 +381,8 @@ def run_event_trials(
     manifest: str | Path | None = None,
     trace: str | Path | None = None,
     progress: bool = False,
+    rng_plan: str = "spawn",
+    transport: str = "auto",
 ) -> BernoulliResult:
     """Vectorised Bernoulli estimation.
 
@@ -381,13 +404,18 @@ def run_event_trials(
     *different* ``batch_trial`` callables can no longer silently share a
     journal even under an identical label.
 
+    ``rng_plan``/``transport`` follow :func:`run_bernoulli_trials`; note
+    that under ``rng_plan="philox"`` the per-batch stream a kernel's
+    ``source.child()`` yields is the counter address ``(seed, shard,
+    batch_index)`` — derivable after the fact without replaying the run.
+
     ``estimate_event`` is the historical name for this function and
     remains available as an alias.
     """
     _check_trials(trials)
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    plan = _resolve_plan(trials, seed, workers, shards)
+    plan = _resolve_plan(trials, seed, workers, shards, rng_plan)
     observer = RunObserver.from_options(manifest=manifest, trace=trace,
                                         progress=progress, label=checkpoint_label)
     if plan is None:
@@ -407,6 +435,7 @@ def run_event_trials(
             kernel, plan, workers, retries=retries, timeout=timeout,
             checkpoint=checkpoint, checkpoint_label=checkpoint_label,
             fingerprint=fingerprint, cache=cache, observer=obs,
+            transport=transport, layout=BernoulliLayout(confidence),
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)

@@ -51,11 +51,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, TypeVar
 
+import numpy as np
+
 from repro.obs import RunObserver, ShardEvent
 
 from .checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from .faults import RetryPolicy, execute_tasks
-from .rng import RandomSource
+from .rng import PhiloxSource, RandomSource, resolve_rng_plan
+from .transport import Packed, ShardTable, ShardWriter, resolve_transport
 
 __all__ = [
     "DEFAULT_SHARDS",
@@ -132,16 +135,35 @@ class ShardPlan:
     """A deterministic partition of one trial budget into seeded shards.
 
     The plan is the *statistical identity* of a sharded run: two runs with
-    equal ``(trials, shards, seed)`` draw identical randomness shard by
-    shard, no matter how many worker processes execute them.
+    equal ``(trials, shards, seed, rng_plan)`` draw identical randomness
+    shard by shard, no matter how many worker processes execute them.
+
+    ``rng_plan`` selects how shard streams derive from the seed (see
+    :mod:`repro.stats.rng`).  The default ``"spawn"`` pre-spawns one
+    ``SeedSequence`` child per shard — the discipline every published
+    number was produced under.  ``"philox"`` addresses shard ``i``'s
+    stream directly as the counter ``(seed, i)`` of a counter-based
+    Philox generator: no spawning, no per-shard RNG state shipped to
+    workers, and any batch's stream is derivable after the fact from its
+    indices alone.  The two plans sample the same laws from different
+    streams, so their fixed-seed numbers differ — checkpoint and cache
+    keys fold the plan in (:func:`repro.stats.checkpoint.plan_key`) and
+    the engine never silently mixes them.  A Philox plan requires a
+    concrete seed; ``seed=None`` is resolved to fresh OS entropy at plan
+    construction (once, so all shards share it).
     """
 
     trials: int
     shards: int
     seed: int | None
+    rng_plan: str = "spawn"
 
     def __post_init__(self) -> None:
         plan_shards(self.trials, self.shards)  # validate eagerly
+        resolve_rng_plan(self.rng_plan)
+        if self.rng_plan == "philox" and self.seed is None:
+            object.__setattr__(self, "seed",
+                               int(np.random.SeedSequence().entropy))
 
     def shard_trials(self) -> tuple[int, ...]:
         """Per-shard trial counts (balanced, summing to ``trials``)."""
@@ -150,10 +172,15 @@ class ShardPlan:
     def shard_sources(self) -> list[RandomSource]:
         """One independent child stream per shard, in shard order.
 
-        All shards spawn from the root in a single ``spawn`` call, so the
-        stream of shard ``i`` depends only on ``(seed, shards, i)`` — never
+        Under the spawn plan, all shards spawn from the root in a single
+        ``spawn`` call; under the Philox plan, shard ``i`` is the
+        counter address ``(seed, i)``.  Either way the stream of shard
+        ``i`` depends only on ``(seed, shards, i)`` and the plan — never
         on which shards ran before it or on which process runs it.
         """
+        if self.rng_plan == "philox":
+            return [PhiloxSource(self.seed, (index,))
+                    for index in range(self.shards)]
         return RandomSource(self.seed).spawn(self.shards)
 
 
@@ -164,6 +191,24 @@ def is_picklable(value: Any) -> bool:
     except Exception:  # pickle raises a zoo: PicklingError, TypeError, ...
         return False
     return True
+
+
+#: Fingerprint-keyed memo of :func:`is_picklable` verdicts.  A sweep calls
+#: ``run_sharded`` once per grid point with a freshly-bound partial of the
+#: same kernel; the fingerprint captures exactly the bound computation, so
+#: equal fingerprints pickle identically and the ``pickle.dumps`` probe
+#: runs once per distinct kernel instead of once per call.
+_PICKLABLE_MEMO: dict[str, bool] = {}
+
+
+def _kernel_picklable(kernel: Any, fingerprint: str | None) -> bool:
+    """Memoized picklability probe (falls back to a direct probe unkeyed)."""
+    if fingerprint is None:
+        return is_picklable(kernel)
+    verdict = _PICKLABLE_MEMO.get(fingerprint)
+    if verdict is None:
+        verdict = _PICKLABLE_MEMO[fingerprint] = is_picklable(kernel)
+    return verdict
 
 
 def run_sharded(
@@ -179,6 +224,8 @@ def run_sharded(
     cache: Any = None,
     fault_injector: Callable[[int, int], None] | None = None,
     observer: RunObserver | None = None,
+    transport: str = "auto",
+    layout: Any = None,
 ) -> list[T]:
     """Run ``kernel(shard_source, shard_trials)`` once per non-empty shard.
 
@@ -224,8 +271,23 @@ def run_sharded(
     Observation rides the existing result channel and cannot change any
     number; ``observer=None`` (the default) leaves the hot path
     untouched.
+
+    ``transport``/``layout`` select the shard result channel (see
+    :mod:`repro.stats.transport`).  With a ``layout`` describing the
+    result's fixed row shape, ``transport="shm"`` (or ``"auto"``, the
+    default, whenever a pool is actually in play) has workers write
+    packed results into a preallocated shared-memory table — one row per
+    shard, zero pickling of result objects — and the parent unpack rows
+    in shard order; results that overflow their row fall back to pickle
+    per shard automatically.  ``transport="pickle"`` forces the
+    historical channel.  The transport is a scheduling concern like
+    ``workers``: it is absent from every checkpoint/cache key and the
+    merged numbers are bit-identical across transports.
     """
     workers = resolve_workers(workers)
+    resolve_transport(transport)
+    if transport == "shm" and layout is None:
+        raise ValueError("transport='shm' requires a result layout")
     counts = plan.shard_trials()
     sources = plan.shard_sources()
     active = [index for index, count in enumerate(counts) if count > 0]
@@ -235,8 +297,12 @@ def run_sharded(
         from repro.cache import resolve_cache
         store = resolve_cache(cache)
 
+    # The fingerprint keys checkpoints, cache entries, *and* the
+    # picklability memo, so it is also derived whenever a pool is
+    # plausible (workers and more than one shard requested).
     if fingerprint is None and (checkpoint is not None or store is not None
-                                or observer is not None):
+                                or observer is not None
+                                or (workers > 1 and len(active) > 1)):
         fingerprint = kernel_fingerprint(kernel)
 
     journal: ShardCheckpoint | None = None
@@ -259,7 +325,8 @@ def run_sharded(
 
     run_key = (journal.key if journal is not None
                else plan_key(plan.trials, plan.shards, plan.seed,
-                             checkpoint_label, fingerprint or ""))
+                             checkpoint_label, fingerprint or "",
+                             plan.rng_plan))
 
     cached_locals: set[int] = set()
     cache_misses: dict[int, str] = {}  # local index -> store entry key
@@ -300,9 +367,37 @@ def run_sharded(
     serial = (
         workers == 1
         or outstanding <= 1
-        or not is_picklable(kernel)
+        or not _kernel_picklable(kernel, fingerprint)
         or (fault_injector is not None and not is_picklable(fault_injector))
     )
+
+    # Shared-memory transport: one preallocated int64 row per active
+    # shard; workers pack results in place and return a tiny marker.
+    # "auto" engages it only when a layout exists and a pool will
+    # actually carry results; forcing "shm" exercises the same packing
+    # on the serial path (the parent attaches to its own table).
+    use_shm = transport == "shm" or (transport == "auto"
+                                     and layout is not None and not serial)
+    table: ShardTable | None = None
+    runner: Callable[..., Any] = kernel
+    tasks: list[tuple] = [(sources[index], counts[index]) for index in active]
+    if use_shm:
+        width = layout.row_width(max(counts[index] for index in active))
+        table = ShardTable(len(active), width)
+        runner = ShardWriter(kernel, layout, table.name, width)
+        tasks = [(sources[index], counts[index], local)
+                 for local, index in enumerate(active)]
+        if on_result is not None:
+            journal_or_cache = on_result
+
+            def on_result(local: int, result: Any,
+                          _inner=journal_or_cache) -> None:
+                # Journals and caches must see real result objects, not
+                # transport markers; rows are fully written before the
+                # marker exists, so unpacking here is race-free.
+                if isinstance(result, Packed):
+                    result = layout.unpack(table.row(result.row))
+                _inner(local, result)
 
     on_event = None
     if observer is not None:
@@ -345,17 +440,25 @@ def run_sharded(
             elif name == "pool_recycled":
                 _observer.pool_recycled()
 
-    results = execute_tasks(
-        kernel,
-        [(sources[index], counts[index]) for index in active],
-        workers=workers,
-        policy=RetryPolicy(retries=retries, timeout=timeout),
-        serial=serial,
-        fault_injector=fault_injector,
-        on_result=on_result,
-        completed=completed,
-        on_event=on_event,
-    )
+    try:
+        results = execute_tasks(
+            runner,
+            tasks,
+            workers=workers,
+            policy=RetryPolicy(retries=retries, timeout=timeout),
+            serial=serial,
+            fault_injector=fault_injector,
+            on_result=on_result,
+            completed=completed,
+            on_event=on_event,
+        )
+        if use_shm:
+            results = [layout.unpack(table.row(result.row))
+                       if isinstance(result, Packed) else result
+                       for result in results]
+    finally:
+        if table is not None:
+            table.close()
     if observer is not None and store is not None:
         observer.cache_summary(hits=len(cached_locals),
                                misses=len(cache_misses),

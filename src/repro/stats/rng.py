@@ -18,6 +18,7 @@ module rather than calling :mod:`numpy.random` directly.  That gives us:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator
 
 import numpy as np
@@ -26,6 +27,24 @@ __all__ = ["RandomSource", "spawn_sources", "DEFAULT_SEED"]
 
 #: Seed used by convenience constructors when the caller does not supply one.
 DEFAULT_SEED = 0x5EED
+
+#: The recognised shard-stream derivations (the engine's ``rng_plan`` knob).
+#: ``"spawn"`` is the historical ``SeedSequence``-spawning discipline every
+#: published number was produced under; ``"philox"`` derives any stream
+#: directly from counters (see :class:`PhiloxSource`).
+RNG_PLANS = ("spawn", "philox")
+
+
+def resolve_rng_plan(rng_plan: str) -> str:
+    """Validate an ``rng_plan`` name; returns it unchanged.
+
+    >>> resolve_rng_plan("spawn")
+    'spawn'
+    """
+    if rng_plan not in RNG_PLANS:
+        known = ", ".join(RNG_PLANS)
+        raise ValueError(f"unknown rng_plan {rng_plan!r}; known plans: {known}")
+    return rng_plan
 
 
 class RandomSource:
@@ -143,6 +162,107 @@ class RandomSource:
 def spawn_sources(seed: int | None, count: int) -> list[RandomSource]:
     """Create ``count`` independent sources from one experiment seed."""
     return RandomSource(seed).spawn(count)
+
+
+def _philox_key(seed: int, path: tuple[int, ...]) -> np.ndarray:
+    """The 128-bit Philox key for one ``(seed, path)`` counter address.
+
+    A SHA-256 digest of the textual address, truncated to the two 64-bit
+    key words Philox consumes.  Distinct addresses get independent keys
+    (collisions are 2^-128 events); the derivation involves no Python
+    hash randomisation and no process state, so the same address yields
+    the same stream on every machine.
+    """
+    payload = "philox:" + repr(seed) + ":" + ":".join(str(p) for p in path)
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return np.frombuffer(digest[:16], dtype=np.uint64).copy()
+
+
+class PhiloxSource(RandomSource):
+    """A :class:`RandomSource` whose stream is a pure function of counters.
+
+    Where the spawn plan derives shard streams by *pre-spawning*
+    ``SeedSequence`` children (stateful, and the children must be built —
+    and shipped — up front), a Philox source is addressed directly by
+    ``(seed, path)``: the ``path`` is a tuple of counter indices (shard
+    index, batch index, per-trial index, ...), and the underlying
+    counter-based :class:`numpy.random.Philox` bit generator is keyed by
+    a digest of that address alone.  Consequences:
+
+    * any shard/batch stream is derivable *after the fact* from its
+      indices — nothing needs pre-spawning;
+    * pickling ships only ``(seed, path)`` (two small ints and a tuple),
+      never generator state — workers rebuild the stream locally;
+    * :meth:`child`/:meth:`spawn` extend the path with sequential
+      indices, so the ``i``-th child of the shard-``s`` source is exactly
+      ``PhiloxSource(seed, (s, i))`` — the engine's kernels compose
+      unchanged.
+
+    The draws of a Philox stream differ from the spawn plan's PCG64
+    streams bit-for-bit (same laws, different numbers), which is why the
+    engine keys checkpoints and caches by the plan (see
+    :func:`repro.stats.checkpoint.plan_key`).
+
+    Note the ship-fresh contract implied by :meth:`__reduce__`: a pickled
+    source reconstructs at its *initial* state (consumed draws and the
+    child counter are not carried).  The engine only ever ships untouched
+    shard sources, which is precisely what makes the no-state transport
+    sound.
+    """
+
+    def __init__(self, seed: int | np.random.SeedSequence | None = DEFAULT_SEED,
+                 path: tuple[int, ...] = ()):
+        if isinstance(seed, np.random.SeedSequence):
+            seed = seed.entropy
+        if seed is None:
+            seed = int(np.random.SeedSequence().entropy)
+        self._seed = int(seed)
+        self._path = tuple(int(index) for index in path)
+        self._children = 0
+        self._generator = np.random.Generator(
+            np.random.Philox(key=_philox_key(self._seed, self._path))
+        )
+
+    @property
+    def seed(self) -> int:
+        """The (always concrete) experiment seed of this stream's address."""
+        return self._seed
+
+    @property
+    def path(self) -> tuple[int, ...]:
+        """The counter address of this stream under its seed."""
+        return self._path
+
+    def spawn(self, count: int) -> list["PhiloxSource"]:
+        """Split off ``count`` children at the next ``count`` path indices."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        start = self._children
+        self._children += count
+        return [PhiloxSource(self._seed, self._path + (start + offset,))
+                for offset in range(count)]
+
+    def __reduce__(self):
+        return (PhiloxSource, (self._seed, self._path))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhiloxSource(seed={self._seed!r}, path={self._path!r})"
+
+
+def philox_stream(seed: int, shard: int, batch: int | None = None) -> PhiloxSource:
+    """The Philox-plan stream at a ``(seed, shard[, batch])`` counter address.
+
+    ``philox_stream(seed, s)`` is the shard-``s`` source the engine hands
+    a shard kernel under ``rng_plan="philox"``; ``philox_stream(seed, s,
+    b)`` is the stream its ``b``-th ``child()`` call yields (batch ``b``
+    of shard ``s``) — the direct derivation needs neither the plan
+    geometry nor any spawning history.
+    """
+    path = (shard,) if batch is None else (shard, batch)
+    return PhiloxSource(seed, path)
+
+
+__all__ += ["RNG_PLANS", "resolve_rng_plan", "PhiloxSource", "philox_stream"]
 
 
 def _check_beta(beta: float) -> None:

@@ -20,7 +20,6 @@ Three layers of contract:
 from __future__ import annotations
 
 import json
-import pickle
 
 import pytest
 from hypothesis import given, settings
@@ -36,6 +35,7 @@ from repro.cache import (
 from repro.stats import run_bernoulli_trials
 from repro.stats.checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from repro.stats.parallel import ShardPlan, run_sharded
+from repro.stats.rng import RNG_PLANS
 
 
 def _coin(source):
@@ -201,6 +201,32 @@ class TestKeyInjectivity:
             assert plan_key(*a) != plan_key(*b)
         else:
             assert plan_key(*a) == plan_key(*b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.tuples(st.integers(1, 10**7), st.integers(1, 512),
+                    st.integers(0, 2**32), _labels, _fingerprints,
+                    st.sampled_from(RNG_PLANS)),
+        b=st.tuples(st.integers(1, 10**7), st.integers(1, 512),
+                    st.integers(0, 2**32), _labels, _fingerprints,
+                    st.sampled_from(RNG_PLANS)),
+    )
+    def test_plan_key_separates_rng_plans_too(self, a, b):
+        # The rng_plan axis joins the identity: same (trials, shards,
+        # seed, label, fingerprint) under different plans must key apart,
+        # or philox shards could resume a spawn journal.
+        if a != b:
+            assert plan_key(*a) != plan_key(*b)
+        else:
+            assert plan_key(*a) == plan_key(*b)
+
+    def test_spawn_plan_keys_are_byte_compatible(self):
+        # "spawn" contributes nothing to the payload: keys minted before
+        # the rng_plan knob existed remain valid verbatim.
+        assert (plan_key(1000, 8, 0, "thm62", "abc123")
+                == plan_key(1000, 8, 0, "thm62", "abc123", "spawn"))
+        assert (plan_key(1000, 8, 0, "thm62", "abc123")
+                != plan_key(1000, 8, 0, "thm62", "abc123", "philox"))
 
     @settings(max_examples=200, deadline=None)
     @given(

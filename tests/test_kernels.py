@@ -35,6 +35,7 @@ from repro.kernels import (
     KERNEL_CATALOGUE,
     estimate_shift_disjointness,
     non_manifestation_batch,
+    non_manifestation_fused_batch,
     non_manifestation_scalar_batch,
     resolve_backend,
     sample_shifts_batch,
@@ -58,6 +59,17 @@ class TestBackendResolution:
     def test_unknown_backend_raises_with_choices(self):
         with pytest.raises(ValueError, match="scalar"):
             resolve_backend("gpu")
+
+    def test_allowed_subset_rejects_known_backends(self):
+        assert resolve_backend("scalar",
+                               allowed=("scalar", "vectorized")) == "scalar"
+        with pytest.raises(ValueError, match="not supported here"):
+            resolve_backend("fused", allowed=("scalar", "vectorized"))
+
+    def test_allowed_rejection_differs_from_unknown(self):
+        # A known-but-unsupported backend must not masquerade as a typo.
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu", allowed=("scalar",))
 
     def test_catalogue_names_are_exported(self):
         import repro.kernels as kernels
@@ -211,3 +223,89 @@ class TestJoinedKernel:
     def test_unknown_backend_raises(self):
         with pytest.raises(ValueError, match="backend"):
             estimate_non_manifestation(SC, 2, 1_000, backend="cuda")
+
+
+class TestFusedKernel:
+    """The single-pass fused chain: z-equivalent to the composed kernels.
+
+    The fused backend inverts its geometric draws from uniforms instead
+    of replaying the composed chain's generator calls, so it is pinned by
+    two-sample equivalence at 0.999 (same laws, different streams) — not
+    bit-identity — plus its own fixed-seed determinism.
+    """
+
+    OPTIONS = dict(store_probability=0.5, beta=DEFAULT_SHIFT_RATIO,
+                   body_length=DEFAULT_BODY_LENGTH,
+                   critical_section_length=2)
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_equivalent_to_composed_chain(self, name):
+        trials = 60_000
+        fused = non_manifestation_fused_batch(
+            RandomSource(71), trials, model=MODELS[name], n=2, **self.OPTIONS)
+        composed = non_manifestation_batch(
+            RandomSource(72), trials, model=MODELS[name], n=2, **self.OPTIONS)
+        assert_equivalent_proportions(
+            fused, trials, composed, trials,
+            confidence=0.999, context=f"fused vs composed {name} n=2",
+        )
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_equivalent_beyond_the_closed_form_pair(self, n):
+        trials = 60_000
+        fused = non_manifestation_fused_batch(
+            RandomSource(73), trials, model=TSO, n=n, **self.OPTIONS)
+        composed = non_manifestation_batch(
+            RandomSource(74), trials, model=TSO, n=n, **self.OPTIONS)
+        assert_equivalent_proportions(
+            fused, trials, composed, trials,
+            confidence=0.999, context=f"fused vs composed TSO n={n}",
+        )
+
+    def test_fixed_seed_is_deterministic(self):
+        draws = [non_manifestation_fused_batch(
+            RandomSource(75), 5_000, model=PSO, n=2, **self.OPTIONS)
+            for _ in range(2)]
+        assert draws[0] == draws[1]
+
+    def test_degenerate_parameters_match_composed_exactly(self):
+        # beta=0 shifts and p in {0, 1} stores draw no randomness, so the
+        # fused and composed counts coincide exactly, not just in law.
+        for p in (0.0, 1.0):
+            options = dict(store_probability=p, beta=0.0,
+                           body_length=4, critical_section_length=2)
+            fused = non_manifestation_fused_batch(
+                RandomSource(76), 500, model=TSO, n=2, **options)
+            composed = non_manifestation_batch(
+                RandomSource(76), 500, model=TSO, n=2, **options)
+            assert fused == composed
+
+    def test_validates_batch_and_n(self):
+        with pytest.raises(ValueError, match="positive"):
+            non_manifestation_fused_batch(
+                RandomSource(0), 0, model=SC, n=2, **self.OPTIONS)
+        with pytest.raises(ValueError, match="positive"):
+            non_manifestation_fused_batch(
+                RandomSource(0), 10, model=SC, n=0, **self.OPTIONS)
+
+    def test_estimator_backend_lands_on_the_exact_value(self):
+        result = estimate_non_manifestation(WO, 2, 60_000, seed=8,
+                                            confidence=0.999,
+                                            backend="fused")
+        assert result.agrees_with(non_manifestation_probability(WO, 2).value)
+
+    def test_estimator_backend_survives_sharding(self):
+        serial = estimate_non_manifestation(TSO, 2, 8_000, seed=9, shards=4,
+                                            backend="fused")
+        parallel = estimate_non_manifestation(TSO, 2, 8_000, seed=9, shards=4,
+                                              workers=2, backend="fused")
+        assert serial.successes == parallel.successes
+
+    def test_machine_paths_reject_fused(self):
+        from repro.sim import run_canonical_bug
+        from repro.sim.measurement import measure_critical_windows
+
+        with pytest.raises(ValueError, match="not supported here"):
+            run_canonical_bug("TSO", threads=2, trials=100, backend="fused")
+        with pytest.raises(ValueError, match="not supported here"):
+            measure_critical_windows("TSO", 2, 100, backend="fused")
