@@ -65,6 +65,7 @@ from .errors import (
     SimulationError,
     TruncationError,
 )
+from .runconfig import UNSET, RunConfig, resolve_run_config
 from .stats import RandomSource
 
 __version__ = "1.0.0"
@@ -84,6 +85,7 @@ __all__ = [
     "ProgramError",
     "RandomSource",
     "ReproError",
+    "RunConfig",
     "SC",
     "SettlingProcess",
     "SettlingResult",
@@ -91,6 +93,7 @@ __all__ = [
     "SimulationError",
     "TruncationError",
     "TSO",
+    "UNSET",
     "ValueWithError",
     "WO",
     "asymptotic_exponent",
@@ -103,6 +106,7 @@ __all__ = [
     "manifestation_probability",
     "non_manifestation_probability",
     "program_from_types",
+    "resolve_run_config",
     "sample_window_growth",
     "table1_rows",
     "theorem_62_reference",

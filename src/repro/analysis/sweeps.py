@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from functools import partial
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..core.manifestation import (
     estimate_non_manifestation,
@@ -26,16 +28,20 @@ from ..core.manifestation import (
 )
 from ..core.memory_models import PAPER_MODELS, MemoryModel
 from ..core.window_analytic import window_distribution
-from ..obs import RunObserver
+from ..runconfig import UNSET, RunConfig, resolve_run_config
 from ..stats.parallel import parallel_map
 
+if TYPE_CHECKING:
+    from ..cache.store import ShardStore
+    from ..stats.checkpoint import ShardCheckpoint
 
-def _observed_map(function, items, workers, retries, timeout, progress, label):
-    """Dispatch one sweep onto ``parallel_map``, optionally with progress."""
-    observer = RunObserver.from_options(progress=progress, label=label)
+
+def _observed_map(function, items, cfg, label):
+    """Dispatch one sweep onto ``parallel_map`` under a resolved config."""
+    observer = cfg.observer(label)
     try:
-        return parallel_map(function, items, workers=workers,
-                            retries=retries, timeout=timeout,
+        return parallel_map(function, items, workers=cfg.workers,
+                            retries=cfg.retries, timeout=cfg.timeout,
                             observer=observer)
     finally:
         if observer is not None:
@@ -63,10 +69,11 @@ def thread_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     store_probability: float = 0.5,
     beta: float = 0.5,
-    workers: int | None = 1,
-    retries: int = 0,
-    timeout: float | None = None,
-    progress: bool = False,
+    workers: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    progress: bool = UNSET,
+    config: RunConfig | None = None,
 ) -> list[dict[str, object]]:
     """``ln Pr[A]`` per model over thread counts (Theorem 6.3's curve).
 
@@ -76,8 +83,9 @@ def thread_sweep(
     """
     row = partial(_thread_sweep_row, models=list(models),
                   store_probability=store_probability, beta=beta)
-    return _observed_map(row, thread_counts, workers, retries, timeout,
-                         progress, "thread-sweep")
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout, progress=progress).resolve()
+    return _observed_map(row, thread_counts, cfg, "thread-sweep")
 
 
 def _settle_sweep_row(
@@ -103,10 +111,11 @@ def settle_sweep(
     n: int = 2,
     store_probability: float = 0.5,
     beta: float = 0.5,
-    workers: int | None = 1,
-    retries: int = 0,
-    timeout: float | None = None,
-    progress: bool = False,
+    workers: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    progress: bool = UNSET,
+    config: RunConfig | None = None,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the swap-success probability ``s`` varies.
 
@@ -115,8 +124,9 @@ def settle_sweep(
     """
     row = partial(_settle_sweep_row, models=list(models), n=n,
                   store_probability=store_probability, beta=beta)
-    return _observed_map(row, settle_probabilities, workers, retries, timeout,
-                         progress, "settle-sweep")
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout, progress=progress).resolve()
+    return _observed_map(row, settle_probabilities, cfg, "settle-sweep")
 
 
 def _store_probability_sweep_row(
@@ -139,10 +149,11 @@ def store_probability_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     n: int = 2,
     beta: float = 0.5,
-    workers: int | None = 1,
-    retries: int = 0,
-    timeout: float | None = None,
-    progress: bool = False,
+    workers: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    progress: bool = UNSET,
+    config: RunConfig | None = None,
 ) -> list[dict[str, object]]:
     """n-thread ``Pr[bug]`` as the program's store fraction ``p`` varies.
 
@@ -150,8 +161,10 @@ def store_probability_sweep(
     SC and WO columns are flat, which the sweep makes visible.
     """
     row = partial(_store_probability_sweep_row, models=list(models), n=n, beta=beta)
-    return _observed_map(row, store_probabilities, workers, retries, timeout,
-                         progress, "store-probability-sweep")
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout, progress=progress).resolve()
+    return _observed_map(row, store_probabilities, cfg,
+                         "store-probability-sweep")
 
 
 def window_pmf_table(
@@ -198,10 +211,11 @@ def critical_section_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     n: int = 2,
     beta: float = 0.5,
-    workers: int | None = 1,
-    retries: int = 0,
-    timeout: float | None = None,
-    progress: bool = False,
+    workers: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    progress: bool = UNSET,
+    config: RunConfig | None = None,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the base critical-section duration L grows.
 
@@ -213,8 +227,9 @@ def critical_section_sweep(
     both halves visible (each row carries the SC/WO ratio).
     """
     row = partial(_critical_section_sweep_row, models=list(models), n=n, beta=beta)
-    return _observed_map(row, lengths, workers, retries, timeout,
-                         progress, "critical-section-sweep")
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout, progress=progress).resolve()
+    return _observed_map(row, lengths, cfg, "critical-section-sweep")
 
 
 def _beta_sweep_row(
@@ -242,10 +257,11 @@ def beta_sweep(
     models: Iterable[MemoryModel] = PAPER_MODELS,
     n: int = 2,
     store_probability: float = 0.5,
-    workers: int | None = 1,
-    retries: int = 0,
-    timeout: float | None = None,
-    progress: bool = False,
+    workers: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    progress: bool = UNSET,
+    config: RunConfig | None = None,
 ) -> list[dict[str, object]]:
     """``Pr[A]`` as the shift-distribution ratio β varies (§7 robustness).
 
@@ -257,52 +273,60 @@ def beta_sweep(
     """
     row = partial(_beta_sweep_row, models=list(models), n=n,
                   store_probability=store_probability)
-    return _observed_map(row, betas, workers, retries, timeout,
-                         progress, "beta-sweep")
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout, progress=progress).resolve()
+    return _observed_map(row, betas, cfg, "beta-sweep")
 
 
 def monte_carlo_check(
     models: Iterable[MemoryModel],
     n: int,
     trials: int,
-    seed: int = 0,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: object | None = None,
-    cache: object | None = None,
-    manifest: object | None = None,
-    trace: object | None = None,
-    progress: bool = False,
-    backend: str = "vectorized",
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    seed: int | None = 0,
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
+    cache: str | Path | ShardStore | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    backend: str = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
 ) -> list[dict[str, object]]:
     """Analytic vs Monte-Carlo ``Pr[A]`` rows for the verification benches.
 
-    The Monte-Carlo leg forwards ``workers``/``shards``, the
+    The Monte-Carlo leg forwards one resolved
+    :class:`~repro.runconfig.RunConfig` — ``workers``/``shards``, the
     fault-tolerance options (``retries``/``timeout``/``checkpoint``), the
     result cache (``cache`` — overlapping sweep points and re-runs fetch
     completed shards instead of recomputing them, see ``docs/CACHING.md``),
-    the observability options (``manifest``/``trace``/``progress``), and
-    the kernel ``backend``, and the ``rng_plan``/``transport`` engine
-    knobs to
+    the observability options (``manifest``/``trace``/``progress``), the
+    kernel ``backend``, and the ``rng_plan``/``transport`` engine knobs,
+    with the per-knob keywords as deprecated aliases — to
     :func:`repro.core.manifestation.estimate_non_manifestation`; the
     per-model checkpoint keys keep one journal file safe across the whole
     model loop, and each model's run appends its own labelled record to
-    the shared manifest file.
+    the shared manifest file.  ``seed`` and the knob types follow the
+    estimators exactly (``seed=None`` draws fresh entropy).
     """
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, cache=cache,
+                             manifest=manifest, trace=trace,
+                             progress=progress, backend=backend,
+                             rng_plan=rng_plan, transport=transport,
+                             ).resolve(default_backend="vectorized")
     rows = []
     for model in models:
         analytic = non_manifestation_probability(
             model, n, allow_independent_approximation=True
         )
         empirical = estimate_non_manifestation(
-            model, n, trials, seed=seed, workers=workers, shards=shards,
-            retries=retries, timeout=timeout, checkpoint=checkpoint,
-            cache=cache, manifest=manifest, trace=trace, progress=progress,
-            backend=backend, rng_plan=rng_plan, transport=transport,
+            model, n, trials, seed=seed, config=cfg,
         )
         rows.append(
             {

@@ -47,9 +47,17 @@ command keeps its native default (``thm62``: vectorized, ``machine``:
 scalar).  ``--rng-plan {spawn,philox}`` selects the shard-stream
 derivation: ``spawn`` (default) reproduces every published number,
 ``philox`` is the counter-addressed fast path — the two draw different
-streams and are never silently mixed (``docs/API.md``).
-On the engine-aware subcommands (``thm62``, ``machine``, ``scaling``)
-every engine flag may be placed before or after the subcommand:
+streams and are never silently mixed (``docs/API.md``).  ``--transport
+{auto,pickle,shm}`` selects the shard result channel (shared-memory rows
+vs pickling; a scheduling concern — numbers are identical either way).
+
+Every global engine flag is parsed into **one**
+:class:`repro.runconfig.RunConfig` (see ``docs/API.md``, "RunConfig")
+built by :meth:`RunConfig.from_args` in :func:`main`; each subcommand
+handler forwards that single record, so no handler can silently drop a
+knob again.  On the engine-aware subcommands (``thm62``, ``machine``,
+``scaling``, ``critical-section``) every engine flag may be placed
+before or after the subcommand:
 
 .. code-block:: console
 
@@ -85,6 +93,7 @@ from .core import (
 )
 from .litmus import ALL_TESTS, check_all, check_test, get_test
 from .reporting import EXPERIMENTS, render_table
+from .runconfig import RunConfig
 from .sim import run_canonical_bug
 
 __all__ = ["main", "build_parser"]
@@ -121,13 +130,7 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
         if args.trials:
             empirical = estimate_non_manifestation(
                 model, 2, args.trials, seed=args.seed,
-                workers=args.workers, shards=args.shards,
-                retries=args.retries, timeout=args.shard_timeout,
-                checkpoint=args.checkpoint, cache=args.cache,
-                manifest=args.manifest,
-                trace=args.trace, progress=args.progress,
-                backend=args.backend or "vectorized",
-                rng_plan=args.rng_plan,
+                config=args.run_config,
             )
             row["monte carlo"] = empirical.estimate
             row["agrees"] = empirical.agrees_with(exact)
@@ -139,8 +142,8 @@ def _cmd_thm62(args: argparse.Namespace) -> None:
 def _cmd_scaling(args: argparse.Namespace) -> None:
     counts = [n for n in (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
               if n <= args.max_n]
-    print(render_table(thread_sweep(counts, workers=args.workers,
-                                    progress=args.progress), precision=3,
+    print(render_table(thread_sweep(counts, config=args.run_config),
+                       precision=3,
                        title="Theorem 6.3: ln Pr[A] per model"))
     print()
     print(render_table(exponent_gap_curve(counts, weak_model=WO), precision=4,
@@ -184,17 +187,7 @@ def _cmd_machine(args: argparse.Namespace) -> None:
         body_length=args.body_length,
         fenced=args.fenced,
         atomic=args.atomic,
-        workers=args.workers,
-        shards=args.shards,
-        retries=args.retries,
-        timeout=args.shard_timeout,
-        checkpoint=args.checkpoint,
-        cache=args.cache,
-        manifest=args.manifest,
-        trace=args.trace,
-        progress=args.progress,
-        backend=args.backend or "scalar",
-        rng_plan=args.rng_plan,
+        config=args.run_config,
     )
     print(result)
 
@@ -219,7 +212,9 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
 
 
 def _cmd_critical_section(args: argparse.Namespace) -> None:
-    print(render_table(critical_section_sweep(args.lengths), precision=6,
+    print(render_table(critical_section_sweep(args.lengths,
+                                              config=args.run_config),
+                       precision=6,
                        title="Pr[A] vs critical-section duration L"))
 
 
@@ -428,6 +423,15 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         "faster fan-out, different (never silently mixed) streams. See "
         "docs/API.md",
     )
+    parser.add_argument(
+        "--transport", choices=["auto", "pickle", "shm"],
+        default=default("auto"),
+        help="shard result channel: 'shm' writes packed results into a "
+        "shared-memory table (zero result pickling), 'pickle' forces the "
+        "historical channel, 'auto' (default) picks shm whenever a pool "
+        "carries results. A scheduling concern like --workers: merged "
+        "numbers are bit-identical across transports",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -497,7 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.set_defaults(run=_cmd_fleet)
 
     section = sub.add_parser("critical-section",
-                             help="Pr[A] vs critical-section duration")
+                             help="Pr[A] vs critical-section duration",
+                             parents=[engine])
     section.add_argument("--lengths", type=int, nargs="+", default=[2, 3, 4, 6, 8])
     section.set_defaults(run=_cmd_critical_section)
 
@@ -529,8 +534,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point for ``python -m repro`` and the ``repro`` script."""
+    """Entry point for ``python -m repro`` and the ``repro`` script.
+
+    The global engine flags are folded into one validated
+    :class:`~repro.runconfig.RunConfig` here — the single point where
+    CLI knobs become an execution context — so every subcommand handler
+    sees the same ``args.run_config`` and none can drop a flag.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.run_config = RunConfig.from_args(args)
     args.run(args)
     return 0

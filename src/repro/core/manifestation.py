@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ModelDefinitionError
+from ..runconfig import UNSET, RunConfig, resolve_run_config
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.montecarlo import BernoulliResult, run_event_trials
 from ..stats.rng import RandomSource
@@ -299,19 +300,20 @@ def estimate_non_manifestation(
     body_length: int = DEFAULT_BODY_LENGTH,
     confidence: float = 0.99,
     critical_section_length: int = WINDOW_LENGTH_OFFSET,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
-    fingerprint: str | None = None,
-    cache: object | None = None,
-    manifest: str | Path | None = None,
-    trace: str | Path | None = None,
-    progress: bool = False,
-    backend: str = "vectorized",
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
+    fingerprint: str | None = UNSET,
+    cache: object | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    backend: str = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
 ) -> BernoulliResult:
     """Simulate the full §6 pipeline and estimate ``Pr[A]``.
 
@@ -351,16 +353,28 @@ def estimate_non_manifestation(
     published-numbers default; ``"philox"`` the counter-addressed fast
     path) and ``transport`` the shard result channel — both forwarded to
     :func:`repro.stats.montecarlo.run_event_trials`.
-    """
-    from ..kernels import resolve_backend
 
+    ``config`` (a :class:`repro.runconfig.RunConfig`) supplies every
+    execution knob above in one validated record; the per-knob keywords
+    are deprecated aliases that override the matching config field when
+    passed explicitly.  This estimator is the joined-model driver, so the
+    config resolves with every backend allowed and ``"vectorized"`` as
+    the default.
+    """
     if n < 2:
         raise ValueError(f"need n >= 2 threads, got {n}")
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, fingerprint=fingerprint,
+                             cache=cache, manifest=manifest, trace=trace,
+                             progress=progress, backend=backend,
+                             rng_plan=rng_plan, transport=transport,
+                             ).resolve(default_backend="vectorized")
     kernel = {
         "vectorized": _disjointness_batch_trial,
         "scalar": _disjointness_scalar_trial,
         "fused": _disjointness_fused_trial,
-    }[resolve_backend(backend)]
+    }[cfg.backend]
     batch_trial = partial(
         kernel,
         model=model,
@@ -374,12 +388,7 @@ def estimate_non_manifestation(
              f":beta={beta}:body={body_length}:L={critical_section_length}")
     return run_event_trials(batch_trial, trials, seed=seed,
                             confidence=confidence,
-                            workers=workers, shards=shards, retries=retries,
-                            timeout=timeout, checkpoint=checkpoint,
-                            checkpoint_label=label, fingerprint=fingerprint,
-                            cache=cache, manifest=manifest,
-                            trace=trace, progress=progress,
-                            rng_plan=rng_plan, transport=transport)
+                            checkpoint_label=label, config=cfg)
 
 
 # ----------------------------------------------------------------------

@@ -34,9 +34,16 @@ the estimators' ``manifest=`` / ``trace=`` / ``progress=`` knobs — to
 collect per-shard wall times, the retry/timeout ledger, a span trace,
 and a validated run manifest, without touching any number
 (``docs/OBSERVABILITY.md``).
+
+All of the execution knobs above travel together as one validated
+:class:`repro.runconfig.RunConfig` (re-exported here): build it once,
+pass ``config=`` to any estimator or to :func:`run_sharded` /
+:func:`parallel_map`, and the per-knob keywords become deprecated
+aliases (see ``docs/API.md``, "RunConfig").
 """
 
 from .obs import RunObserver
+from .runconfig import UNSET, RunConfig, resolve_run_config
 from .stats.checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from .stats.faults import (
     InjectedFault,
@@ -76,6 +83,7 @@ __all__ = [
     "PhiloxSource",
     "RNG_PLANS",
     "RetryPolicy",
+    "RunConfig",
     "RunObserver",
     "ScriptedFaults",
     "ShardCheckpoint",
@@ -84,6 +92,7 @@ __all__ = [
     "ShardTable",
     "TRANSPORTS",
     "TaskTelemetry",
+    "UNSET",
     "WindowLayout",
     "execute_tasks",
     "is_picklable",
@@ -96,6 +105,7 @@ __all__ = [
     "plan_key",
     "plan_shards",
     "resolve_rng_plan",
+    "resolve_run_config",
     "resolve_shards",
     "resolve_transport",
     "resolve_workers",

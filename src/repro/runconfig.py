@@ -1,0 +1,309 @@
+"""``repro.runconfig`` — the unified execution context for the engine.
+
+Every trial-based estimator in the library runs on the same sharded
+Monte-Carlo engine, and the engine has grown ~13 execution knobs:
+parallelism (``workers``/``shards``), fault tolerance
+(``retries``/``timeout``/``checkpoint``), keying and caching
+(``fingerprint``/``cache``), observability
+(``manifest``/``trace``/``progress``), and the kernel/stream/transport
+selections (``backend``/``rng_plan``/``transport``).  Hand-threading
+those through every estimator, sweep, and CLI path produced real bugs —
+flags parsed but silently dropped on some paths — so :class:`RunConfig`
+collapses them into one frozen, validated record with a **single
+resolution point** (:meth:`RunConfig.resolve`):
+
+>>> from repro.runconfig import RunConfig
+>>> config = RunConfig(workers=4, retries=2, rng_plan="philox")
+>>> # estimate_non_manifestation(TSO, 2, 100_000, config=config)
+
+Design rules:
+
+* **One record, one resolve.**  ``resolve()`` validates every knob
+  (unknown ``rng_plan``/``transport``/``backend`` names raise), applies
+  the calling driver's native backend default, and rejects backends the
+  driver does not implement (``backend="fused"`` exists only on the
+  joined-model paths) — so an invalid combination fails loudly at the
+  call site instead of being silently ignored downstream.
+* **Experiment identity stays out.**  ``trials``/``seed``/model
+  parameters are *what* is estimated; ``RunConfig`` is *how* the
+  estimation executes.  Of its fields, only ``shards``, ``rng_plan``,
+  and ``fingerprint`` enter the statistical/computational identity (the
+  v2 ``plan_key``; see :meth:`plan_key_inputs`) — everything else is a
+  scheduling or observability concern that can never change a merged
+  number.
+* **Keyword aliases keep working.**  Every estimator still accepts the
+  historical per-knob keywords; they are deprecated aliases that fold
+  into the config via :func:`resolve_run_config` (an explicit keyword
+  overrides the same field of a passed ``config``).  Defaults are
+  identical, so fixed-seed outputs and v2 plan keys are byte-for-byte
+  unchanged.  See ``docs/API.md`` ("RunConfig") for the knob table and
+  the deprecation policy.
+* **The CLI builds exactly one.**  :meth:`RunConfig.from_args` maps the
+  global engine flags onto the config in one place; every subcommand
+  handler forwards ``args.run_config`` instead of hand-picking keywords,
+  so a new knob is a one-line addition (field + flag), not a repo-wide
+  sweep.
+
+This module imports nothing from the rest of the package at module
+level (validators and the observer are imported lazily inside methods),
+so any layer — stats engine, estimators, CLI, a future service front
+end — can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # real types without runtime import cycles
+    from repro.cache.store import ShardStore
+    from repro.obs import RunObserver
+    from repro.stats.checkpoint import ShardCheckpoint
+
+__all__ = ["UNSET", "RunConfig", "resolve_run_config"]
+
+
+class _Unset:
+    """Sentinel type for "keyword alias not passed" (singleton ``UNSET``)."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default for the estimators' deprecated per-knob keyword aliases:
+#: distinguishes "caller said nothing" (the ``config``/default value
+#: applies) from an explicit override, including explicit ``None``.
+UNSET: Any = _Unset()
+
+
+def _knob(default: Any, cli: str | None, args: str | None = None,
+          **extra: Any) -> Any:
+    """A ``RunConfig`` field with its CLI binding in the metadata.
+
+    ``cli`` is the command-line flag serving the knob (``None`` for the
+    API-only knobs); ``args`` the ``argparse`` attribute it parses into
+    when it differs from the field name.  The docs-consistency suite
+    walks this metadata to keep the config, the CLI, and ``docs/API.md``
+    from drifting apart.
+    """
+    metadata = {"cli": cli, "args": args or (cli.lstrip("-").replace("-", "_")
+                                             if cli else None)}
+    metadata.update(extra)
+    return field(default=default, metadata=metadata)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Every execution knob of the sharded engine, in one validated record.
+
+    Fields (all optional — the default config is the historical serial
+    behaviour of every estimator):
+
+    ``workers``
+        Worker processes (``None`` = one per CPU; ``1`` = serial).
+    ``shards``
+        Seed-disciplined shard count — part of a run's statistical
+        identity.  ``None`` defaults to the fixed
+        :data:`~repro.stats.parallel.DEFAULT_SHARDS` whenever
+        parallelism is requested, never the worker count.
+    ``retries`` / ``timeout``
+        Fault tolerance: extra attempts per failed shard, and the
+        per-shard pooled timeout in seconds.
+    ``checkpoint``
+        Resumable shard journal (path or pre-keyed
+        :class:`~repro.stats.checkpoint.ShardCheckpoint`).
+    ``fingerprint``
+        Explicit kernel fingerprint for the v2 plan key (API-only;
+        derived automatically when unset).
+    ``cache``
+        Content-addressed shard result cache (``"auto"``, a directory,
+        or a :class:`~repro.cache.ShardStore`).
+    ``manifest`` / ``trace`` / ``progress``
+        The observability knobs; :meth:`observer` derives the
+        :class:`~repro.obs.RunObserver` they imply.
+    ``backend``
+        Simulation kernel (``"scalar"``/``"vectorized"``/``"fused"``);
+        ``None`` keeps each driver's native default, and drivers
+        without a fused kernel reject ``"fused"`` at :meth:`resolve`.
+    ``rng_plan``
+        Shard-stream derivation (``"spawn"`` reproduces every published
+        number; ``"philox"`` is the counter-addressed fast path).  Part
+        of the plan key — spawn and philox runs are never silently
+        mixed.
+    ``transport``
+        Shard result channel (``"auto"``/``"pickle"``/``"shm"``); a
+        scheduling concern, absent from every key.
+    """
+
+    workers: int | None = _knob(1, "--workers")
+    shards: int | None = _knob(None, "--shards")
+    retries: int = _knob(0, "--retries")
+    timeout: float | None = _knob(None, "--shard-timeout")
+    checkpoint: "str | Path | ShardCheckpoint | None" = _knob(None, "--checkpoint")
+    fingerprint: str | None = _knob(None, None)
+    cache: "str | Path | ShardStore | None" = _knob(None, "--cache")
+    manifest: str | Path | None = _knob(None, "--manifest")
+    trace: str | Path | None = _knob(None, "--trace")
+    progress: bool | Callable[..., None] = _knob(False, "--progress")
+    backend: str | None = _knob(None, "--backend")
+    rng_plan: str = _knob("spawn", "--rng-plan")
+    transport: str = _knob("auto", "--transport")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args: Any) -> "RunConfig":
+        """The config implied by parsed CLI ``args`` — the one builder.
+
+        Reads each knob's ``argparse`` attribute (from the field
+        metadata; missing attributes keep the field default, so the
+        builder works for every subcommand regardless of which flags its
+        parser declares) and validates the result.  Replaces the
+        per-subcommand keyword lists that historically dropped flags.
+        """
+        values = {
+            spec.name: getattr(args, spec.metadata["args"])
+            for spec in fields(cls)
+            if spec.metadata.get("args") and hasattr(args, spec.metadata["args"])
+        }
+        return cls(**values).resolve()
+
+    @classmethod
+    def cli_bindings(cls) -> dict[str, str | None]:
+        """Field name -> CLI flag (``None`` for API-only knobs)."""
+        return {spec.name: spec.metadata.get("cli") for spec in fields(cls)}
+
+    # ------------------------------------------------------------------
+    # The single resolution point
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        *,
+        default_backend: str | None = None,
+        allowed_backends: tuple[str, ...] | None = None,
+    ) -> "RunConfig":
+        """Validate every knob and apply the driver's backend default.
+
+        This is the engine's **single resolution point**: each driver
+        calls it once, naming its native ``default_backend`` and — when
+        it does not implement every kernel — the ``allowed_backends``
+        subset (so e.g. ``backend="fused"`` raises on the machine paths
+        instead of being silently substituted).  Unknown
+        ``rng_plan``/``transport``/``backend`` names, non-positive
+        ``workers``/``shards``/``timeout``, and negative ``retries``
+        raise ``ValueError``.  Returns a config whose ``backend`` is
+        concrete whenever the driver supplied a default.
+        """
+        from .stats.rng import resolve_rng_plan
+        from .stats.transport import resolve_transport
+
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        resolve_rng_plan(self.rng_plan)
+        resolve_transport(self.transport)
+        backend = self.backend if self.backend is not None else default_backend
+        if backend is not None:
+            from .kernels import resolve_backend
+
+            backend = resolve_backend(backend, allowed=allowed_backends)
+        if backend == self.backend:
+            return self
+        return replace(self, backend=backend)
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+
+    def updated(self, **overrides: Any) -> "RunConfig":
+        """A copy with every non-``UNSET`` override applied.
+
+        The folding primitive behind the deprecated keyword aliases: an
+        estimator collects its per-knob keywords (defaulted to
+        :data:`UNSET`) and folds the explicitly-passed ones over the
+        ``config`` — so a keyword always wins over the same field of a
+        passed config, and an untouched keyword never masks it.
+        """
+        updates = {name: value for name, value in overrides.items()
+                   if value is not UNSET}
+        return replace(self, **updates) if updates else self
+
+    def observer(self, label: str = "") -> "RunObserver | None":
+        """The :class:`~repro.obs.RunObserver` the observability knobs imply.
+
+        ``None`` when ``manifest``/``trace``/``progress`` are all off —
+        the engine's zero-overhead fast path.
+        """
+        from .obs import RunObserver
+
+        return RunObserver.from_options(manifest=self.manifest,
+                                        trace=self.trace,
+                                        progress=self.progress, label=label)
+
+    def resolved_shards(self) -> int:
+        """The concrete shard count (``shards`` defaulted machine-independently)."""
+        from .stats.parallel import resolve_shards
+
+        return resolve_shards(self.workers, self.shards)
+
+    def plan_key_inputs(self) -> dict[str, Any]:
+        """This config's contributions to the v2 ``plan_key``.
+
+        Exactly three knobs enter a run's statistical/computational
+        identity: the resolved ``shards``, the ``rng_plan``, and the
+        kernel ``fingerprint`` (``None`` = derived from the kernel by
+        the engine).  Everything else — workers, retries, timeouts,
+        cache, observability, transport — is scheduling and can never
+        change a merged number.
+        """
+        return {
+            "shards": self.resolved_shards(),
+            "rng_plan": self.rng_plan,
+            "fingerprint": self.fingerprint,
+        }
+
+    def engine_options(self) -> dict[str, Any]:
+        """The knobs :func:`~repro.stats.parallel.run_sharded` consumes
+        directly, ready to splat (``workers`` and the observer travel
+        separately; ``backend`` is resolved before the kernel is built)."""
+        return {
+            "retries": self.retries,
+            "timeout": self.timeout,
+            "checkpoint": self.checkpoint,
+            "fingerprint": self.fingerprint,
+            "cache": self.cache,
+            "transport": self.transport,
+        }
+
+
+def resolve_run_config(config: RunConfig | None = None,
+                       **overrides: Any) -> RunConfig:
+    """Fold deprecated per-knob keyword aliases into one ``RunConfig``.
+
+    ``config=None`` starts from the all-defaults config (the historical
+    serial behaviour); ``overrides`` are the estimator's keyword aliases,
+    ignored when :data:`UNSET`.  The caller still runs
+    :meth:`RunConfig.resolve` to validate and apply its backend policy.
+    """
+    base = config if config is not None else RunConfig()
+    return base.updated(**overrides)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 
-from ..obs import RunObserver
+from ..runconfig import UNSET, RunConfig, resolve_run_config
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.intervals import Proportion, wilson_interval
 from ..stats.montecarlo import CategoricalResult, merge_categorical
@@ -198,19 +198,20 @@ def run_canonical_bug(
     fenced: bool = False,
     atomic: bool = False,
     confidence: float = 0.99,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
-    fingerprint: str | None = None,
-    cache: object | None = None,
-    manifest: str | Path | None = None,
-    trace: str | Path | None = None,
-    progress: bool = False,
-    backend: str = "scalar",
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
+    fingerprint: str | None = UNSET,
+    cache: object | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    backend: str = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
     **core_options,
 ) -> CanonicalBugResult:
     """Run the canonical increment race ``trials`` times on the machine.
@@ -271,11 +272,16 @@ def run_canonical_bug(
         counter-addressed fast path) and the shard result channel; see
         :class:`repro.stats.parallel.ShardPlan` and
         :mod:`repro.stats.transport`.
+    config:
+        A :class:`repro.runconfig.RunConfig` supplying every execution
+        knob above in one validated record; the per-knob keywords are
+        deprecated aliases that override the matching config field when
+        passed explicitly.  The machine is a scalar-default driver
+        without a fused kernel, so the config resolves with
+        ``allowed_backends=("scalar", "vectorized")``.
     core_options:
         Forwarded to the core constructor (e.g. ``drain_probability``).
     """
-    from ..kernels import resolve_backend
-
     if threads < 2:
         raise ValueError(f"the race needs at least 2 threads, got {threads}")
     if trials < 1:
@@ -288,7 +294,15 @@ def run_canonical_bug(
         builder = canonical_increment_fenced
     else:
         builder = canonical_increment
-    if resolve_backend(backend, allowed=("scalar", "vectorized")) == "vectorized":
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, fingerprint=fingerprint,
+                             cache=cache, manifest=manifest, trace=trace,
+                             progress=progress, backend=backend,
+                             rng_plan=rng_plan, transport=transport,
+                             ).resolve(default_backend="scalar",
+                                       allowed_backends=("scalar", "vectorized"))
+    if cfg.backend == "vectorized":
         beta = _machine_backend_beta(model_name, scheduler, fenced, atomic,
                                      core_options)
         kernel = partial(
@@ -311,12 +325,12 @@ def run_canonical_bug(
             confidence=confidence,
             core_options=core_options,
         )
-    plan = ShardPlan(trials, resolve_shards(workers, shards), seed, rng_plan)
+    plan = ShardPlan(trials, resolve_shards(cfg.workers, cfg.shards), seed,
+                     cfg.rng_plan)
     variant = "atomic" if atomic else ("fenced" if fenced else "racy")
     label = (f"canonical:{model_name}:n={threads}:body={body_length}"
              f":variant={variant}")
-    observer = RunObserver.from_options(manifest=manifest, trace=trace,
-                                        progress=progress, label=label)
+    observer = cfg.observer(label)
 
     def build(parts: list[CategoricalResult]) -> CanonicalBugResult:
         merged = merge_categorical(parts)
@@ -331,19 +345,14 @@ def run_canonical_bug(
     layout = CategoricalLayout(confidence)
     if observer is None:
         return build(run_sharded(
-            kernel, plan, workers, retries=retries, timeout=timeout,
-            checkpoint=checkpoint, checkpoint_label=label,
-            fingerprint=fingerprint, cache=cache,
-            transport=transport, layout=layout,
+            kernel, plan, cfg.workers, checkpoint_label=label,
+            layout=layout, **cfg.engine_options(),
         ))
     with observer.span("run"):
         with observer.span("shards"):
             parts = run_sharded(
-                kernel, plan, workers, retries=retries, timeout=timeout,
-                checkpoint=checkpoint, checkpoint_label=label,
-                fingerprint=fingerprint, cache=cache,
-                observer=observer,
-                transport=transport, layout=layout,
+                kernel, plan, cfg.workers, checkpoint_label=label,
+                observer=observer, layout=layout, **cfg.engine_options(),
             )
         with observer.span("merge"):
             result = build(parts)

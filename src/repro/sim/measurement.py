@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import SimulationError
-from ..obs import RunObserver
+from ..runconfig import UNSET, RunConfig, resolve_run_config
 from ..stats.bootstrap import BootstrapInterval, bootstrap_mean_interval
 from ..stats.checkpoint import ShardCheckpoint
 from ..stats.parallel import ShardPlan, resolve_shards, run_sharded
@@ -216,19 +216,20 @@ def measure_critical_windows(
     seed: int | None = 0,
     body_length: int = 8,
     scheduler: Scheduler | None = None,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
-    fingerprint: str | None = None,
-    cache: object | None = None,
-    manifest: str | Path | None = None,
-    trace: str | Path | None = None,
-    progress: bool = False,
-    backend: str = "scalar",
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
+    fingerprint: str | None = UNSET,
+    cache: object | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    backend: str = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
     **core_options,
 ) -> WindowMeasurement:
     """Run the canonical race and measure every thread's critical window.
@@ -255,15 +256,27 @@ def measure_critical_windows(
     explicitly.  ``rng_plan``/``transport`` select the shard-stream
     derivation and the shard result channel (see
     :class:`repro.stats.parallel.ShardPlan` and
-    :mod:`repro.stats.transport`).
+    :mod:`repro.stats.transport`).  ``config`` (a
+    :class:`repro.runconfig.RunConfig`) supplies every execution knob in
+    one validated record, the per-knob keywords acting as deprecated
+    aliases that override the matching config field when passed
+    explicitly; like :func:`~repro.sim.executor.run_canonical_bug` this
+    is a scalar-default machine driver, so the config resolves with
+    ``allowed_backends=("scalar", "vectorized")``.
     """
-    from ..kernels import resolve_backend
-
     if threads < 2:
         raise ValueError(f"need at least 2 threads, got {threads}")
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    if resolve_backend(backend, allowed=("scalar", "vectorized")) == "vectorized":
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, fingerprint=fingerprint,
+                             cache=cache, manifest=manifest, trace=trace,
+                             progress=progress, backend=backend,
+                             rng_plan=rng_plan, transport=transport,
+                             ).resolve(default_backend="scalar",
+                                       allowed_backends=("scalar", "vectorized"))
+    if cfg.backend == "vectorized":
         beta = _machine_backend_beta(model_name, scheduler, False, False,
                                      core_options)
         kernel = partial(
@@ -283,10 +296,10 @@ def measure_critical_windows(
             scheduler=scheduler,
             core_options=core_options,
         )
-    plan = ShardPlan(trials, resolve_shards(workers, shards), seed, rng_plan)
+    plan = ShardPlan(trials, resolve_shards(cfg.workers, cfg.shards), seed,
+                     cfg.rng_plan)
     label = f"windows:{model_name}:n={threads}:body={body_length}"
-    observer = RunObserver.from_options(manifest=manifest, trace=trace,
-                                        progress=progress, label=label)
+    observer = cfg.observer(label)
 
     def build(parts: list[_WindowShard]) -> WindowMeasurement:
         return WindowMeasurement(
@@ -302,19 +315,14 @@ def measure_critical_windows(
 
     layout = WindowLayout(threads)
     if observer is None:
-        return build(run_sharded(kernel, plan, workers, retries=retries,
-                                 timeout=timeout, checkpoint=checkpoint,
-                                 checkpoint_label=label,
-                                 fingerprint=fingerprint, cache=cache,
-                                 transport=transport, layout=layout))
+        return build(run_sharded(kernel, plan, cfg.workers,
+                                 checkpoint_label=label, layout=layout,
+                                 **cfg.engine_options()))
     with observer.span("run"):
         with observer.span("shards"):
-            parts = run_sharded(kernel, plan, workers, retries=retries,
-                                timeout=timeout, checkpoint=checkpoint,
-                                checkpoint_label=label,
-                                fingerprint=fingerprint, cache=cache,
-                                observer=observer,
-                                transport=transport, layout=layout)
+            parts = run_sharded(kernel, plan, cfg.workers,
+                                checkpoint_label=label, observer=observer,
+                                layout=layout, **cfg.engine_options())
         with observer.span("merge"):
             result = build(parts)
     observer.finish(result)

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from repro.obs import RunObserver, ShardEvent
 
+from ..runconfig import UNSET, RunConfig, resolve_run_config
 from .checkpoint import ShardCheckpoint
 from .intervals import Proportion, wilson_interval
 from .parallel import ShardPlan, resolve_shards, run_sharded
@@ -241,18 +242,19 @@ def run_bernoulli_trials(
     trials: int,
     seed: int | None = 0,
     confidence: float = 0.99,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
-    fingerprint: str | None = None,
-    cache: object | None = None,
-    manifest: str | Path | None = None,
-    trace: str | Path | None = None,
-    progress: bool = False,
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
+    fingerprint: str | None = UNSET,
+    cache: object | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
 ) -> BernoulliResult:
     """Run ``trials`` independent Bernoulli trials of ``trial``.
 
@@ -281,11 +283,22 @@ def run_bernoulli_trials(
     the shard result channel (see :mod:`repro.stats.transport`); neither
     affects which estimate a fixed plan computes, and plan-dependent
     streams are never silently mixed.
+
+    ``config`` (a :class:`repro.runconfig.RunConfig`) supplies every
+    execution knob above in one validated record.  The per-knob keywords
+    are deprecated aliases: each one, when passed explicitly, overrides
+    the matching config field — defaults are identical either way, so
+    existing calls keep their exact fixed-seed results.
     """
     _check_trials(trials)
-    plan = _resolve_plan(trials, seed, workers, shards, rng_plan)
-    observer = RunObserver.from_options(manifest=manifest, trace=trace,
-                                        progress=progress, label="bernoulli")
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, fingerprint=fingerprint,
+                             cache=cache, manifest=manifest, trace=trace,
+                             progress=progress, rng_plan=rng_plan,
+                             transport=transport).resolve()
+    plan = _resolve_plan(trials, seed, cfg.workers, cfg.shards, cfg.rng_plan)
+    observer = cfg.observer("bernoulli")
     if plan is None:
         def compute() -> BernoulliResult:
             root = RandomSource(seed)
@@ -300,10 +313,9 @@ def run_bernoulli_trials(
 
     def execute(obs: RunObserver | None) -> list[BernoulliResult]:
         return run_sharded(
-            kernel, plan, workers, retries=retries, timeout=timeout,
-            checkpoint=checkpoint, checkpoint_label="bernoulli",
-            fingerprint=fingerprint, cache=cache, observer=obs,
-            transport=transport, layout=BernoulliLayout(confidence),
+            kernel, plan, cfg.workers, checkpoint_label="bernoulli",
+            observer=obs, layout=BernoulliLayout(confidence),
+            **cfg.engine_options(),
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)
@@ -314,18 +326,19 @@ def run_categorical_trials(
     trials: int,
     seed: int | None = 0,
     confidence: float = 0.99,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
-    fingerprint: str | None = None,
-    cache: object | None = None,
-    manifest: str | Path | None = None,
-    trace: str | Path | None = None,
-    progress: bool = False,
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
+    fingerprint: str | None = UNSET,
+    cache: object | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
 ) -> CategoricalResult:
     """Run ``trials`` independent categorical trials of ``trial``.
 
@@ -333,14 +346,20 @@ def run_categorical_trials(
     growth γ); the result aggregates the counts into an empirical PMF.
     Sharding/parallelism/fault tolerance, the ``fingerprint``/``cache``
     keying and caching channel, the
-    ``manifest``/``trace``/``progress`` observability knobs, and the
-    ``rng_plan``/``transport`` engine knobs follow
+    ``manifest``/``trace``/``progress`` observability knobs, the
+    ``rng_plan``/``transport`` engine knobs, and the ``config`` record
+    (with its deprecated keyword aliases) follow
     :func:`run_bernoulli_trials`.
     """
     _check_trials(trials)
-    plan = _resolve_plan(trials, seed, workers, shards, rng_plan)
-    observer = RunObserver.from_options(manifest=manifest, trace=trace,
-                                        progress=progress, label="categorical")
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, fingerprint=fingerprint,
+                             cache=cache, manifest=manifest, trace=trace,
+                             progress=progress, rng_plan=rng_plan,
+                             transport=transport).resolve()
+    plan = _resolve_plan(trials, seed, cfg.workers, cfg.shards, cfg.rng_plan)
+    observer = cfg.observer("categorical")
     if plan is None:
         def compute() -> CategoricalResult:
             root = RandomSource(seed)
@@ -355,10 +374,9 @@ def run_categorical_trials(
 
     def execute(obs: RunObserver | None) -> list[CategoricalResult]:
         return run_sharded(
-            kernel, plan, workers, retries=retries, timeout=timeout,
-            checkpoint=checkpoint, checkpoint_label="categorical",
-            fingerprint=fingerprint, cache=cache, observer=obs,
-            transport=transport, layout=CategoricalLayout(confidence),
+            kernel, plan, cfg.workers, checkpoint_label="categorical",
+            observer=obs, layout=CategoricalLayout(confidence),
+            **cfg.engine_options(),
         )
 
     return _run_observed(observer, execute, merge_categorical, seed)
@@ -370,19 +388,20 @@ def run_event_trials(
     seed: int | None = 0,
     confidence: float = 0.99,
     batch_size: int = DEFAULT_BATCH_SIZE,
-    workers: int | None = 1,
-    shards: int | None = None,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
     checkpoint_label: str = "event",
-    fingerprint: str | None = None,
-    cache: object | None = None,
-    manifest: str | Path | None = None,
-    trace: str | Path | None = None,
-    progress: bool = False,
-    rng_plan: str = "spawn",
-    transport: str = "auto",
+    fingerprint: str | None = UNSET,
+    cache: object | None = UNSET,
+    manifest: str | Path | None = UNSET,
+    trace: str | Path | None = UNSET,
+    progress: bool = UNSET,
+    rng_plan: str = UNSET,
+    transport: str = UNSET,
+    config: RunConfig | None = None,
 ) -> BernoulliResult:
     """Vectorised Bernoulli estimation.
 
@@ -409,15 +428,21 @@ def run_event_trials(
     ``source.child()`` yields is the counter address ``(seed, shard,
     batch_index)`` — derivable after the fact without replaying the run.
 
-    ``estimate_event`` is the historical name for this function and
-    remains available as an alias.
+    ``config`` (with its deprecated per-knob keyword aliases) follows
+    :func:`run_bernoulli_trials`.  ``estimate_event`` is the historical
+    name for this function and remains available as an alias.
     """
     _check_trials(trials)
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    plan = _resolve_plan(trials, seed, workers, shards, rng_plan)
-    observer = RunObserver.from_options(manifest=manifest, trace=trace,
-                                        progress=progress, label=checkpoint_label)
+    cfg = resolve_run_config(config, workers=workers, shards=shards,
+                             retries=retries, timeout=timeout,
+                             checkpoint=checkpoint, fingerprint=fingerprint,
+                             cache=cache, manifest=manifest, trace=trace,
+                             progress=progress, rng_plan=rng_plan,
+                             transport=transport).resolve()
+    plan = _resolve_plan(trials, seed, cfg.workers, cfg.shards, cfg.rng_plan)
+    observer = cfg.observer(checkpoint_label)
     if plan is None:
         def compute() -> BernoulliResult:
             root = RandomSource(seed)
@@ -432,10 +457,9 @@ def run_event_trials(
 
     def execute(obs: RunObserver | None) -> list[BernoulliResult]:
         return run_sharded(
-            kernel, plan, workers, retries=retries, timeout=timeout,
-            checkpoint=checkpoint, checkpoint_label=checkpoint_label,
-            fingerprint=fingerprint, cache=cache, observer=obs,
-            transport=transport, layout=BernoulliLayout(confidence),
+            kernel, plan, cfg.workers, checkpoint_label=checkpoint_label,
+            observer=obs, layout=BernoulliLayout(confidence),
+            **cfg.engine_options(),
         )
 
     return _run_observed(observer, execute, merge_bernoulli, seed)

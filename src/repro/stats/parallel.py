@@ -55,10 +55,11 @@ import numpy as np
 
 from repro.obs import RunObserver, ShardEvent
 
+from ..runconfig import UNSET, RunConfig, resolve_run_config
 from .checkpoint import ShardCheckpoint, kernel_fingerprint, plan_key
 from .faults import RetryPolicy, execute_tasks
 from .rng import PhiloxSource, RandomSource, resolve_rng_plan
-from .transport import Packed, ShardTable, ShardWriter, resolve_transport
+from .transport import Packed, ShardTable, ShardWriter
 
 __all__ = [
     "DEFAULT_SHARDS",
@@ -214,18 +215,19 @@ def _kernel_picklable(kernel: Any, fingerprint: str | None) -> bool:
 def run_sharded(
     kernel: Callable[[RandomSource, int], T],
     plan: ShardPlan,
-    workers: int | None = 1,
+    workers: int | None = UNSET,
     *,
-    retries: int = 0,
-    timeout: float | None = None,
-    checkpoint: str | Path | ShardCheckpoint | None = None,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
+    checkpoint: str | Path | ShardCheckpoint | None = UNSET,
     checkpoint_label: str = "",
-    fingerprint: str | None = None,
-    cache: Any = None,
+    fingerprint: str | None = UNSET,
+    cache: Any = UNSET,
     fault_injector: Callable[[int, int], None] | None = None,
     observer: RunObserver | None = None,
-    transport: str = "auto",
+    transport: str = UNSET,
     layout: Any = None,
+    config: RunConfig | None = None,
 ) -> list[T]:
     """Run ``kernel(shard_source, shard_trials)`` once per non-empty shard.
 
@@ -283,9 +285,32 @@ def run_sharded(
     historical channel.  The transport is a scheduling concern like
     ``workers``: it is absent from every checkpoint/cache key and the
     merged numbers are bit-identical across transports.
+
+    ``config`` (a :class:`repro.runconfig.RunConfig`) supplies every one
+    of the knobs above in a single validated record; the per-knob
+    keywords are deprecated aliases that override the matching config
+    field when passed explicitly.  The plan — not the config — is the
+    run's statistical identity, so ``config.shards``/``config.rng_plan``
+    are ignored here (they matter to the callers that *build* the plan).
+    When the config carries observability knobs and no ``observer`` was
+    passed, the implied observer is created — and finished — in-house.
     """
-    workers = resolve_workers(workers)
-    resolve_transport(transport)
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout, checkpoint=checkpoint,
+                             fingerprint=fingerprint, cache=cache,
+                             transport=transport).resolve()
+    owned_observer = False
+    if observer is None and config is not None:
+        observer = cfg.observer(checkpoint_label)
+        owned_observer = observer is not None
+    if owned_observer and observer.tracer is not None:
+        # Estimators open the run/shards spans themselves; a bare
+        # run_sharded(config=...) call owns its observer, so the whole
+        # call is the "run" span (closed by finish() below).
+        observer.tracer.start_span("run")
+    retries, timeout, transport = cfg.retries, cfg.timeout, cfg.transport
+    checkpoint, fingerprint, cache = cfg.checkpoint, cfg.fingerprint, cfg.cache
+    workers = resolve_workers(cfg.workers)
     if transport == "shm" and layout is None:
         raise ValueError("transport='shm' requires a result layout")
     counts = plan.shard_trials()
@@ -464,17 +489,20 @@ def run_sharded(
                                misses=len(cache_misses),
                                stored=cache_stored,
                                evictions=cache_evicted)
+    if owned_observer:
+        observer.finish()
     return results
 
 
 def parallel_map(
     function: Callable[[U], T],
     items: Iterable[U] | Sequence[U],
-    workers: int | None = 1,
+    workers: int | None = UNSET,
     *,
-    retries: int = 0,
-    timeout: float | None = None,
+    retries: int = UNSET,
+    timeout: float | None = UNSET,
     observer: RunObserver | None = None,
+    config: RunConfig | None = None,
 ) -> list[T]:
     """Map ``function`` over ``items``, preserving input order.
 
@@ -486,10 +514,26 @@ def parallel_map(
     ``run_sharded`` — one worker, one item, or an unpicklable
     function/item runs inline.  ``observer`` receives per-item telemetry
     exactly as :func:`run_sharded` does per shard (each item counts as
-    one "trial" of the observed run).
+    one "trial" of the observed run).  ``config`` follows
+    :func:`run_sharded`: one validated record for
+    ``workers``/``retries``/``timeout``, with the per-knob keywords as
+    deprecated aliases that win when passed explicitly, and an implied
+    observer created (and finished) in-house when the config carries
+    observability knobs and none was passed.
     """
+    cfg = resolve_run_config(config, workers=workers, retries=retries,
+                             timeout=timeout).resolve()
+    owned_observer = False
+    if observer is None and config is not None:
+        observer = cfg.observer()
+        owned_observer = observer is not None
+    if owned_observer and observer.tracer is not None:
+        # As in run_sharded: the whole owned call is the "run" span,
+        # closed by finish() in the finally below.
+        observer.tracer.start_span("run")
+    retries, timeout = cfg.retries, cfg.timeout
     items = list(items)
-    workers = resolve_workers(workers)
+    workers = resolve_workers(cfg.workers)
     serial = (
         workers == 1
         or len(items) <= 1
@@ -518,11 +562,15 @@ def parallel_map(
             elif name == "pool_recycled":
                 _observer.pool_recycled()
 
-    return execute_tasks(
-        function,
-        [(item,) for item in items],
-        workers=workers,
-        policy=RetryPolicy(retries=retries, timeout=timeout),
-        serial=serial,
-        on_event=on_event,
-    )
+    try:
+        return execute_tasks(
+            function,
+            [(item,) for item in items],
+            workers=workers,
+            policy=RetryPolicy(retries=retries, timeout=timeout),
+            serial=serial,
+            on_event=on_event,
+        )
+    finally:
+        if owned_observer:
+            observer.finish()

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import argparse
+
 import pytest
 
+import repro.cli as cli_module
 from repro.cli import build_parser, main
+from repro.runconfig import RunConfig
 
 
 def run_cli(capsys, *argv: str) -> str:
@@ -166,3 +170,134 @@ class TestObservabilityFlags:
     def test_scaling_accepts_progress(self, capsys):
         out = run_cli(capsys, "scaling", "--max-n", "4", "--progress")
         assert "ln Pr[A] SC" in out
+
+
+#: Minimal valid argv per subcommand — one entry for every subcommand the
+#: CLI exposes, so the RunConfig regression below cannot silently skip one.
+SUBCOMMAND_ARGV = {
+    "table1": ["table1"],
+    "window": ["window", "--max-gamma", "2"],
+    "thm62": ["thm62"],
+    "scaling": ["scaling", "--max-n", "4"],
+    "litmus": ["litmus"],
+    "machine": ["machine", "--model", "SC", "--trials", "50",
+                "--body-length", "2"],
+    "fences": ["fences", "--distances", "0", "4"],
+    "fleet": ["fleet", "SC", "WO"],
+    "critical-section": ["critical-section", "--lengths", "2", "4"],
+    "multibug": ["multibug", "--bugs", "1", "8"],
+    "cache": ["cache", "stats"],
+    "experiments": ["experiments"],
+    "verify": ["verify"],
+}
+
+#: Global engine flags with distinctive values, given *before* the
+#: subcommand (the root parser serves every subcommand).
+ENGINE_FLAGS = ["--workers", "2", "--shards", "3", "--retries", "1",
+                "--shard-timeout", "30", "--rng-plan", "philox",
+                "--transport", "shm"]
+
+
+def _assert_probe_config(config: RunConfig) -> None:
+    assert config.workers == 2
+    assert config.shards == 3
+    assert config.retries == 1
+    assert config.timeout == 30.0
+    assert config.rng_plan == "philox"
+    assert config.transport == "shm"
+
+
+class TestRunConfigFromArgs:
+    """Every subcommand must carry the global engine flags into one
+    RunConfig — the regression net for the historical dropped-flag bugs
+    (e.g. ``scaling`` parsing ``--rng-plan`` but never forwarding it)."""
+
+    def test_every_subcommand_is_covered(self):
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        assert set(subparsers.choices) == set(SUBCOMMAND_ARGV)
+
+    @pytest.mark.parametrize("command", sorted(SUBCOMMAND_ARGV))
+    def test_global_flags_reach_run_config(self, command):
+        args = build_parser().parse_args(ENGINE_FLAGS + SUBCOMMAND_ARGV[command])
+        _assert_probe_config(RunConfig.from_args(args))
+
+    @pytest.mark.parametrize("command",
+                             ["thm62", "scaling", "machine", "critical-section"])
+    def test_engine_subcommands_accept_flags_after_subcommand(self, command):
+        argv = SUBCOMMAND_ARGV[command] + ENGINE_FLAGS
+        _assert_probe_config(RunConfig.from_args(build_parser().parse_args(argv)))
+
+    def test_flag_after_subcommand_wins_over_root(self):
+        args = build_parser().parse_args(
+            ["--rng-plan", "spawn", "thm62", "--rng-plan", "philox"])
+        assert RunConfig.from_args(args).rng_plan == "philox"
+
+    def test_invalid_workers_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workers", "0", "thm62"])
+
+    def test_from_args_validates_the_built_config(self):
+        args = build_parser().parse_args(["thm62"])
+        args.workers = 0  # as if a flag validator were missing
+        with pytest.raises(ValueError):
+            RunConfig.from_args(args)
+
+
+class _Recording:
+    """Delegating wrapper that records the ``config=`` each call received."""
+
+    def __init__(self, real):
+        self.real = real
+        self.configs = []
+
+    def __call__(self, *args, **kwargs):
+        self.configs.append(kwargs.get("config"))
+        return self.real(*args, **kwargs)
+
+
+class TestHandlersForwardRunConfig:
+    """Through the real ``main()``: the engine entry point each handler
+    calls must receive the parsed flags via ``args.run_config``."""
+
+    ENGINE_CALLS = [
+        pytest.param("estimate_non_manifestation",
+                     ["thm62", "--trials", "2000"], id="thm62"),
+        pytest.param("thread_sweep", ["scaling", "--max-n", "4"], id="scaling"),
+        pytest.param("run_canonical_bug",
+                     ["machine", "--model", "SC", "--trials", "50",
+                      "--body-length", "2"], id="machine"),
+        pytest.param("critical_section_sweep",
+                     ["critical-section", "--lengths", "2", "4"],
+                     id="critical-section"),
+    ]
+
+    @pytest.mark.parametrize("entry_point, argv", ENGINE_CALLS)
+    def test_handler_forwards_flags(self, capsys, monkeypatch, entry_point,
+                                    argv):
+        recorder = _Recording(getattr(cli_module, entry_point))
+        monkeypatch.setattr(cli_module, entry_point, recorder)
+        run_cli(capsys, "--retries", "1", "--rng-plan", "philox",
+                "--transport", "pickle", *argv)
+        assert recorder.configs  # the handler did call the engine
+        for config in recorder.configs:
+            assert config is not None
+            assert config.retries == 1
+            assert config.rng_plan == "philox"
+            assert config.transport == "pickle"
+
+
+class TestTransportFlag:
+    def test_shm_transport_output_matches_pickle(self, capsys):
+        base = ["--workers", "2", "--shards", "4", "machine", "--model", "SC",
+                "--trials", "50", "--seed", "5", "--body-length", "2"]
+        via_pickle = run_cli(capsys, "--transport", "pickle", *base)
+        via_shm = run_cli(capsys, "--transport", "shm", *base)
+        assert via_shm == via_pickle
+
+    def test_shm_transport_thm62(self, capsys):
+        base = ["thm62", "--trials", "4000", "--seed", "3", "--shards", "4"]
+        clean = run_cli(capsys, *base)
+        via_shm = run_cli(capsys, "--transport", "shm", *base)
+        assert via_shm == clean

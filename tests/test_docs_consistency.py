@@ -184,6 +184,54 @@ def test_caching_doc_is_cross_linked(api_text, obs_text, kernels_text,
     assert "--cache" in readme, "README lacks a --cache example"
 
 
+def test_runconfig_fields_in_api_table_and_cli(api_text):
+    """Every RunConfig knob must appear in the docs/API.md "RunConfig"
+    table and (unless API-only) carry a live CLI flag.
+
+    ``RunConfig.cli_bindings()`` is the source of truth: adding a field
+    without documenting it, or binding it to a flag the parser does not
+    actually declare, fails here.
+    """
+    from repro.runconfig import RunConfig
+
+    assert "## RunConfig" in api_text, "docs/API.md lacks a RunConfig section"
+    table = api_text[api_text.index("## RunConfig"):]
+    parser_flags = {option
+                    for action in build_parser()._actions
+                    for option in action.option_strings
+                    if option.startswith("--")}
+    problems = []
+    for name, flag in RunConfig.cli_bindings().items():
+        if f"`{name}`" not in table:
+            problems.append(f"field {name!r} missing from the RunConfig table")
+        if flag is None:
+            # API-only knobs must say so instead of having a flag.
+            if "API-only" not in table:
+                problems.append(f"API-only field {name!r} not labelled as such")
+        else:
+            if flag not in parser_flags:
+                problems.append(f"field {name!r} bound to {flag} but the CLI "
+                                "parser does not declare that flag")
+            if flag not in table:
+                problems.append(f"flag {flag} ({name!r}) missing from the "
+                                "RunConfig table")
+    assert not problems, "; ".join(problems)
+
+
+def test_runconfig_examples_migrated(api_text, obs_text, caching_text):
+    """The canonical docs teach the config style, not just the aliases."""
+    readme = README.read_text(encoding="utf-8")
+    for text, where in ((readme, "README.md"),
+                        (api_text, "docs/API.md"),
+                        (obs_text, "docs/OBSERVABILITY.md"),
+                        (caching_text, "docs/CACHING.md")):
+        assert "RunConfig" in text, f"{where} never mentions RunConfig"
+    assert "deprecated alias" in api_text, (
+        "docs/API.md must state the keyword-alias deprecation policy"
+    )
+    assert "config=" in readme, "README lacks a config= example"
+
+
 def test_cache_flag_and_e21_documented(api_text):
     from repro.reporting import get_experiment
 

@@ -1,0 +1,445 @@
+"""The unified RunConfig execution context (``repro.runconfig``).
+
+Three layers of coverage:
+
+1. The record itself — validation at the single ``resolve()`` point,
+   keyword-alias folding (``UNSET`` semantics), CLI binding metadata.
+2. Knob propagation — a ``RunConfig`` with a distinctive value in every
+   field, driven through each public estimator with ``run_sharded`` /
+   ``parallel_map`` monkeypatched to record what actually arrives at the
+   engine.  This is the test that would have caught the historical
+   "flag parsed but silently dropped" CLI bugs.
+3. Golden byte-identity — fixed-seed merged numbers and v2 plan keys
+   over the full spawn/philox × pickle/shm × scalar/vectorized/fused
+   matrix, pinned to the values the pre-RunConfig code produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.analysis.sweeps as sweeps_module
+import repro.sim.executor as executor_module
+import repro.sim.measurement as measurement_module
+import repro.stats.montecarlo as montecarlo_module
+from repro import RunConfig, UNSET, resolve_run_config
+from repro.analysis import (
+    beta_sweep,
+    critical_section_sweep,
+    monte_carlo_check,
+    settle_sweep,
+    store_probability_sweep,
+    thread_sweep,
+)
+from repro.core.manifestation import (
+    _disjointness_batch_trial,
+    _disjointness_fused_trial,
+    _disjointness_scalar_trial,
+    estimate_non_manifestation,
+)
+from repro.core.memory_models import SC, TSO
+from repro.obs import load_manifest
+from repro.sim.executor import run_canonical_bug
+from repro.sim.measurement import _WindowShard, measure_critical_windows
+from repro.stats.montecarlo import (
+    BernoulliResult,
+    CategoricalResult,
+    run_bernoulli_trials,
+    run_categorical_trials,
+    run_event_trials,
+)
+
+
+# ----------------------------------------------------------------------
+# The record: validation, folding, metadata
+# ----------------------------------------------------------------------
+
+
+class TestResolve:
+    def test_default_config_resolves_to_itself(self):
+        config = RunConfig()
+        assert config.resolve() == config
+
+    def test_driver_default_backend_is_applied(self):
+        resolved = RunConfig().resolve(default_backend="vectorized")
+        assert resolved.backend == "vectorized"
+
+    def test_explicit_backend_wins_over_driver_default(self):
+        resolved = RunConfig(backend="scalar").resolve(default_backend="vectorized")
+        assert resolved.backend == "scalar"
+
+    @pytest.mark.parametrize("field, value", [
+        ("workers", 0), ("workers", -2), ("shards", 0), ("retries", -1),
+        ("timeout", 0.0), ("timeout", -1.0), ("rng_plan", "mersenne"),
+        ("transport", "carrier-pigeon"), ("backend", "quantum"),
+    ])
+    def test_bad_knobs_raise(self, field, value):
+        with pytest.raises(ValueError):
+            RunConfig(**{field: value}).resolve()
+
+    def test_fused_rejected_where_not_allowed(self):
+        with pytest.raises(ValueError, match="fused"):
+            RunConfig(backend="fused").resolve(
+                allowed_backends=("scalar", "vectorized"))
+
+    def test_fused_allowed_on_unrestricted_drivers(self):
+        assert RunConfig(backend="fused").resolve().backend == "fused"
+
+
+class TestFolding:
+    def test_unset_alias_does_not_mask_config(self):
+        config = RunConfig(workers=4, rng_plan="philox")
+        folded = resolve_run_config(config, workers=UNSET, rng_plan=UNSET)
+        assert folded == config
+
+    def test_explicit_alias_overrides_config(self):
+        config = RunConfig(workers=4, retries=3)
+        folded = resolve_run_config(config, workers=2, retries=UNSET)
+        assert folded.workers == 2
+        assert folded.retries == 3
+
+    def test_explicit_none_is_an_override_not_unset(self):
+        config = RunConfig(timeout=30.0, shards=8)
+        folded = resolve_run_config(config, timeout=None, shards=UNSET)
+        assert folded.timeout is None
+        assert folded.shards == 8
+
+    def test_no_config_starts_from_defaults(self):
+        assert resolve_run_config(None) == RunConfig()
+        assert resolve_run_config(None, workers=2).workers == 2
+
+    def test_unset_is_falsy_singleton(self):
+        assert not UNSET
+        assert repr(UNSET) == "UNSET"
+        assert type(UNSET)() is UNSET
+
+
+class TestMetadata:
+    def test_every_field_has_a_cli_binding_or_is_api_only(self):
+        bindings = RunConfig.cli_bindings()
+        assert set(bindings) == {
+            "workers", "shards", "retries", "timeout", "checkpoint",
+            "fingerprint", "cache", "manifest", "trace", "progress",
+            "backend", "rng_plan", "transport",
+        }
+        assert bindings["fingerprint"] is None  # API-only, by design
+        assert bindings["timeout"] == "--shard-timeout"
+        assert all(flag.startswith("--") for name, flag in bindings.items()
+                   if flag is not None)
+
+    def test_plan_key_inputs_expose_exactly_the_identity_knobs(self):
+        config = RunConfig(workers=4, shards=8, rng_plan="philox",
+                           fingerprint="abc", retries=5, transport="shm")
+        assert config.plan_key_inputs() == {
+            "shards": 8, "rng_plan": "philox", "fingerprint": "abc"}
+
+    def test_resolved_shards_uses_the_fixed_default_under_parallelism(self):
+        from repro.stats.parallel import DEFAULT_SHARDS
+        assert RunConfig().resolved_shards() == 1
+        assert RunConfig(workers=4).resolved_shards() == DEFAULT_SHARDS
+        assert RunConfig(workers=None).resolved_shards() == DEFAULT_SHARDS
+        assert RunConfig(workers=4, shards=5).resolved_shards() == 5
+
+    def test_observer_derivation(self, tmp_path):
+        assert RunConfig().observer() is None
+        observer = RunConfig(trace=tmp_path / "t.jsonl").observer("lbl")
+        assert observer is not None
+        observer.finish()
+
+    def test_from_args_reads_cli_attribute_names(self):
+        class Args:
+            workers = 3
+            shard_timeout = 12.5
+            rng_plan = "philox"
+            transport = "shm"
+        config = RunConfig.from_args(Args())
+        assert config.workers == 3
+        assert config.timeout == 12.5
+        assert config.rng_plan == "philox"
+        assert config.transport == "shm"
+        assert config.shards is None  # missing attrs keep field defaults
+
+
+# ----------------------------------------------------------------------
+# Knob propagation: every field must reach the engine
+# ----------------------------------------------------------------------
+
+#: One distinctive value per knob.  trace (rather than manifest/progress)
+#: carries the observability leg so the assertion is a non-None observer
+#: without stderr noise; backend is exercised separately per driver.
+def _probe_config(tmp_path, **overrides):
+    base = dict(
+        workers=2, shards=3, retries=1, timeout=30.0,
+        checkpoint=str(tmp_path / "probe.ckpt"), fingerprint="deadbeef",
+        cache=str(tmp_path / "cache"), trace=str(tmp_path / "trace.jsonl"),
+        rng_plan="philox", transport="pickle",
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+class _EngineRecorder:
+    """Stands in for ``run_sharded``; records the call, returns shards."""
+
+    def __init__(self, make_result):
+        self.make_result = make_result
+        self.calls = []
+
+    def __call__(self, kernel, plan, workers=1, **kwargs):
+        self.calls.append({"kernel": kernel, "plan": plan,
+                           "workers": workers, **kwargs})
+        return [self.make_result(plan.trials)]
+
+    @property
+    def only_call(self):
+        assert len(self.calls) == 1
+        return self.calls[0]
+
+
+def _assert_engine_saw_probe(call, config):
+    plan = call["plan"]
+    assert plan.shards == config.shards
+    assert plan.rng_plan == config.rng_plan
+    assert call["workers"] == config.workers
+    assert call["retries"] == config.retries
+    assert call["timeout"] == config.timeout
+    assert call["checkpoint"] == config.checkpoint
+    assert call["fingerprint"] == config.fingerprint
+    assert call["cache"] == config.cache
+    assert call["transport"] == config.transport
+    assert call["observer"] is not None  # the trace knob, derived
+
+
+def _bernoulli(trials):
+    return BernoulliResult(1, trials, 0.99, None)
+
+
+def _categorical(trials):
+    return CategoricalResult({2: trials}, trials, 0.99, None)
+
+
+def _window(trials):
+    return _WindowShard(np.array([1, 2], dtype=np.int64), 0, 0, 0)
+
+
+ESTIMATORS = [
+    pytest.param(montecarlo_module, _bernoulli,
+                 lambda cfg: run_bernoulli_trials(lambda s: True, 100,
+                                                  config=cfg),
+                 id="run_bernoulli_trials"),
+    pytest.param(montecarlo_module, _categorical,
+                 lambda cfg: run_categorical_trials(lambda s: 2, 100,
+                                                    config=cfg),
+                 id="run_categorical_trials"),
+    pytest.param(montecarlo_module, _bernoulli,
+                 lambda cfg: run_event_trials(lambda s, b: b, 100,
+                                              config=cfg),
+                 id="run_event_trials"),
+    pytest.param(montecarlo_module, _bernoulli,
+                 lambda cfg: estimate_non_manifestation(TSO, 2, 100,
+                                                        config=cfg),
+                 id="estimate_non_manifestation"),
+    pytest.param(executor_module, _categorical,
+                 lambda cfg: run_canonical_bug("TSO", 2, 100, config=cfg),
+                 id="run_canonical_bug"),
+    pytest.param(measurement_module, _window,
+                 lambda cfg: measure_critical_windows("TSO", 2, 100,
+                                                      config=cfg),
+                 id="measure_critical_windows"),
+    pytest.param(montecarlo_module, _bernoulli,
+                 lambda cfg: monte_carlo_check([TSO], 2, 100, config=cfg),
+                 id="monte_carlo_check"),
+]
+
+
+class TestKnobPropagation:
+    @pytest.mark.parametrize("module, make_result, drive", ESTIMATORS)
+    def test_every_knob_reaches_run_sharded(self, tmp_path, monkeypatch,
+                                            module, make_result, drive):
+        recorder = _EngineRecorder(make_result)
+        monkeypatch.setattr(module, "run_sharded", recorder)
+        config = _probe_config(tmp_path)
+        drive(config)
+        _assert_engine_saw_probe(recorder.only_call, config)
+
+    def test_backend_selects_the_joined_kernel(self, tmp_path, monkeypatch):
+        expected = {"scalar": _disjointness_scalar_trial,
+                    "vectorized": _disjointness_batch_trial,
+                    "fused": _disjointness_fused_trial}
+        for backend, func in expected.items():
+            recorder = _EngineRecorder(_bernoulli)
+            monkeypatch.setattr(montecarlo_module, "run_sharded", recorder)
+            estimate_non_manifestation(
+                TSO, 2, 100, config=_probe_config(tmp_path, backend=backend))
+            batch_trial = recorder.only_call["kernel"].keywords["batch_trial"]
+            assert batch_trial.func is func
+
+    def test_backend_selects_the_machine_kernel(self, tmp_path, monkeypatch):
+        for backend, func in [
+            ("scalar", executor_module._canonical_bug_shard),
+            ("vectorized", executor_module._canonical_bug_vectorized_shard),
+        ]:
+            recorder = _EngineRecorder(_categorical)
+            monkeypatch.setattr(executor_module, "run_sharded", recorder)
+            run_canonical_bug("TSO", 2, 100,
+                              config=_probe_config(tmp_path, backend=backend))
+            assert recorder.only_call["kernel"].func is func
+
+    def test_machine_drivers_reject_fused(self, tmp_path):
+        config = _probe_config(tmp_path, backend="fused")
+        with pytest.raises(ValueError, match="fused"):
+            run_canonical_bug("TSO", 2, 100, config=config)
+        with pytest.raises(ValueError, match="fused"):
+            measure_critical_windows("TSO", 2, 100, config=config)
+
+    def test_keyword_alias_overrides_config_in_estimator(self, tmp_path,
+                                                         monkeypatch):
+        recorder = _EngineRecorder(_bernoulli)
+        monkeypatch.setattr(montecarlo_module, "run_sharded", recorder)
+        config = _probe_config(tmp_path)
+        run_event_trials(lambda s, b: b, 100, config=config, retries=7,
+                         transport="shm")
+        call = recorder.only_call
+        assert call["retries"] == 7
+        assert call["transport"] == "shm"
+        assert call["timeout"] == config.timeout  # untouched knobs survive
+
+    SWEEPS = [
+        pytest.param(lambda cfg: thread_sweep([2, 3], config=cfg),
+                     id="thread_sweep"),
+        pytest.param(lambda cfg: settle_sweep([0.25, 0.5], config=cfg),
+                     id="settle_sweep"),
+        pytest.param(lambda cfg: store_probability_sweep([0.25, 0.5],
+                                                         config=cfg),
+                     id="store_probability_sweep"),
+        pytest.param(lambda cfg: critical_section_sweep([2, 3], config=cfg),
+                     id="critical_section_sweep"),
+        pytest.param(lambda cfg: beta_sweep([0.25, 0.5], config=cfg),
+                     id="beta_sweep"),
+    ]
+
+    @pytest.mark.parametrize("drive", SWEEPS)
+    def test_sweep_knobs_reach_parallel_map(self, tmp_path, monkeypatch,
+                                            drive):
+        calls = []
+
+        def fake_map(function, items, workers=1, *, retries=0, timeout=None,
+                     observer=None, config=None):
+            calls.append({"workers": workers, "retries": retries,
+                          "timeout": timeout, "observer": observer})
+            return [function(item) for item in items]
+
+        monkeypatch.setattr(sweeps_module, "parallel_map", fake_map)
+        config = _probe_config(tmp_path)
+        rows = drive(config)
+        assert len(rows) == 2
+        assert calls == [{"workers": 2, "retries": 1, "timeout": 30.0,
+                          "observer": calls[0]["observer"]}]
+        assert calls[0]["observer"] is not None
+
+
+class TestRunShardedConfig:
+    """``run_sharded``/``parallel_map`` accept the config directly."""
+
+    def test_run_sharded_honours_config(self, tmp_path):
+        from repro.stats.parallel import ShardPlan, run_sharded
+
+        plan = ShardPlan(40, 4, seed=11)
+        direct = run_sharded(_shard_sum, plan)
+        via_config = run_sharded(
+            _shard_sum, plan,
+            config=RunConfig(retries=1, transport="pickle",
+                             trace=tmp_path / "rs.jsonl"))
+        assert via_config == direct
+        assert (tmp_path / "rs.jsonl").exists()  # config-derived observer
+
+    def test_run_sharded_config_validation_applies(self):
+        from repro.stats.parallel import ShardPlan, run_sharded
+
+        with pytest.raises(ValueError):
+            run_sharded(_shard_sum, ShardPlan(10, 2, seed=0),
+                        config=RunConfig(transport="bogus"))
+
+    def test_parallel_map_honours_config(self, tmp_path):
+        from repro.stats.parallel import parallel_map
+
+        result = parallel_map(
+            _double, [1, 2, 3],
+            config=RunConfig(retries=1, trace=tmp_path / "pm.jsonl"))
+        assert result == [2, 4, 6]
+        assert (tmp_path / "pm.jsonl").exists()
+
+
+def _shard_sum(source, shard_trials):
+    return shard_trials
+
+
+def _double(value):
+    return 2 * value
+
+
+# ----------------------------------------------------------------------
+# Golden byte-identity across the full engine matrix
+# ----------------------------------------------------------------------
+
+#: Fixed-seed merged numbers and v2 plan keys produced by the
+#: pre-RunConfig code (estimate_non_manifestation(TSO, 2, 4000, seed=7,
+#: shards=4) / run_canonical_bug("TSO", 2, 400, seed=7, shards=4)).
+#: The refactor must keep every one byte-identical.
+JOINED_GOLDEN = {
+    ("scalar", "spawn", "pickle"): (521, "f8af8f7c11a170e3"),
+    ("vectorized", "spawn", "pickle"): (541, "ced60950df46032b"),
+    ("fused", "spawn", "pickle"): (541, "29bb05b241367824"),
+    ("scalar", "spawn", "shm"): (521, "f8af8f7c11a170e3"),
+    ("vectorized", "spawn", "shm"): (541, "ced60950df46032b"),
+    ("fused", "spawn", "shm"): (541, "29bb05b241367824"),
+    ("scalar", "philox", "pickle"): (495, "86fae0431d414848"),
+    ("vectorized", "philox", "pickle"): (554, "92de2eea886fc987"),
+    ("fused", "philox", "pickle"): (554, "68f4bf6e53bb762f"),
+    ("scalar", "philox", "shm"): (495, "86fae0431d414848"),
+    ("vectorized", "philox", "shm"): (554, "92de2eea886fc987"),
+    ("fused", "philox", "shm"): (554, "68f4bf6e53bb762f"),
+}
+
+MACHINE_GOLDEN = {
+    ("scalar", "spawn"): (358, "1dcbef340ac3c146"),
+    ("vectorized", "spawn"): (352, "590646dfb9daa17c"),
+    ("scalar", "philox"): (354, "bdcd567da5ca59e0"),
+    ("vectorized", "philox"): (347, "2b6a693db3c76aa1"),
+}
+
+
+class TestGoldenByteIdentity:
+    @pytest.mark.parametrize("backend, rng_plan, transport",
+                             sorted(JOINED_GOLDEN))
+    def test_joined_matrix(self, tmp_path, backend, rng_plan, transport):
+        successes, key = JOINED_GOLDEN[(backend, rng_plan, transport)]
+        manifest = tmp_path / "run.json"
+        config = RunConfig(shards=4, backend=backend, rng_plan=rng_plan,
+                           transport=transport, manifest=manifest)
+        result = estimate_non_manifestation(TSO, 2, 4000, seed=7,
+                                            config=config)
+        assert result.successes == successes
+        assert result.trials == 4000
+        assert load_manifest(manifest)["runs"][0]["plan"]["key"] == key
+
+    @pytest.mark.parametrize("backend, rng_plan", sorted(MACHINE_GOLDEN))
+    def test_machine_matrix(self, tmp_path, backend, rng_plan):
+        manifestations, key = MACHINE_GOLDEN[(backend, rng_plan)]
+        manifest = tmp_path / "run.json"
+        config = RunConfig(shards=4, backend=backend, rng_plan=rng_plan,
+                           manifest=manifest)
+        result = run_canonical_bug("TSO", threads=2, trials=400, seed=7,
+                                   config=config)
+        assert result.manifestations == manifestations
+        assert result.trials == 400
+        assert load_manifest(manifest)["runs"][0]["plan"]["key"] == key
+
+    def test_config_and_alias_calls_are_identical(self):
+        via_alias = estimate_non_manifestation(SC, 2, 2000, seed=3, shards=4,
+                                               rng_plan="philox")
+        via_config = estimate_non_manifestation(
+            SC, 2, 2000, seed=3,
+            config=RunConfig(shards=4, rng_plan="philox"))
+        assert via_alias.successes == via_config.successes
