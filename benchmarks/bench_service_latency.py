@@ -1,0 +1,178 @@
+"""E22 — the estimation service: cold vs warm submit-to-result latency.
+
+``repro serve`` (:mod:`repro.service`, docs/SERVICE.md) fronts the
+sharded engine with an HTTP job API whose whole pitch is that repeated
+questions are cheap: identical concurrent submissions collapse to one
+job (request dedup on the v2 identity), and even a dedup-opt-out
+resubmission executes zero shards because its shards land on the shared
+content-addressed store.  This bench measures that end to end — through
+real HTTP, the job queue, polling, and manifest validation, not a
+hand-picked fast path.
+
+Three phases against one in-process server on an ephemeral port:
+
+* **cold** — N distinct jobs (distinct seeds), submitted serially;
+  each latency is submit → ``wait`` → validated result.
+* **warm** — the same N jobs resubmitted with ``dedup: false``: fresh
+  job ids, zero shards executed (asserted via the manifest's
+  ``run.cache_hits`` / ``executed_shards``), identical numbers.
+* **mixed throughput** — 2N concurrent resubmissions from a small
+  thread pool, half dedup absorbs and half warm fresh jobs.
+
+The tracked regression metric is ``warm_p50_speedup`` capped at ``8x``
+(like BENCH_cache_reuse's): raw cold/warm gaps are host-noisy, the gate
+should pin "warm answers stay an order of magnitude cheaper", not a
+200x-vs-400x coin flip.  Latency percentiles and throughput are
+recorded for the curious but untracked (absolute ms are pure host
+facts).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import results_path, scaled, show, smoke_mode
+
+from repro.reporting import render_table
+from repro.reporting.io import write_rows
+from repro.runconfig import RunConfig
+from repro.service import ServiceClient, serve
+
+SEED0 = 22_011
+SHARDS = 4
+
+#: Tracked-metric cap — keeps the committed baseline host-independent.
+SPEEDUP_CAP = 8.0
+
+#: Full-mode floor: a warm resubmission must beat its cold twin by this.
+SPEEDUP_FLOOR = 3.0
+
+#: Poll fast enough that waiting, not polling, dominates warm latency.
+POLL_SECONDS = 0.002
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def _submit_and_wait(client: ServiceClient, params: dict, *,
+                     dedup: bool) -> tuple[float, dict]:
+    start = time.perf_counter()
+    submitted = client.submit("non_manifestation", params,
+                              config={"shards": SHARDS}, dedup=dedup)
+    job_id = submitted["job"]["id"]
+    record = client.wait(job_id, timeout=300.0, poll_seconds=POLL_SECONDS)
+    assert record["state"] == "done", record.get("error")
+    result = client.result(job_id)
+    return time.perf_counter() - start, result
+
+
+def test_service_latency(run_once):
+    trials = scaled(400_000, 160_000)
+    jobs = scaled(12, 8)
+    param_sets = [{"model": "TSO", "trials": trials, "seed": SEED0 + i}
+                  for i in range(jobs)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as state:
+        server = serve("127.0.0.1", 0, state,
+                       default_config=RunConfig(), job_workers=1)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(server.url)
+        try:
+            def run_phases():
+                cold = [_submit_and_wait(client, params, dedup=True)
+                        for params in param_sets]
+                warm = [_submit_and_wait(client, params, dedup=False)
+                        for params in param_sets]
+                mixed_start = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    futures = [pool.submit(_submit_and_wait, client, params,
+                                           dedup=dedup)
+                               for dedup in (True, False)
+                               for params in param_sets]
+                    mixed = [future.result() for future in futures]
+                mixed_seconds = time.perf_counter() - mixed_start
+                return cold, warm, mixed, mixed_seconds
+
+            cold, warm, mixed, mixed_seconds = run_once(run_phases)
+            metrics = client.metrics()
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.shutdown(drain_seconds=1.0)
+
+    # Warm jobs must have computed nothing — every shard a cache hit —
+    # and returned the same numbers as their cold twins.
+    for (_, cold_result), (_, warm_result) in zip(cold, warm):
+        warm_run = warm_result["manifest"]["runs"][0]
+        assert warm_run["metrics"]["run.cache_hits"]["value"] == SHARDS
+        assert warm_run["execution"]["executed_shards"] == 0
+        assert warm_result["result"] == cold_result["result"], (
+            "warm resubmission diverged from its cold twin"
+        )
+    # The dedup half of the mixed phase collapsed onto finished jobs.
+    deduped = metrics["service.jobs_deduped"]["value"]
+    assert deduped >= jobs, metrics
+
+    cold_s = [seconds for seconds, _ in cold]
+    warm_s = [seconds for seconds, _ in warm]
+    mixed_s = [seconds for seconds, _ in mixed]
+    speedup = _percentile(cold_s, 0.5) / max(_percentile(warm_s, 0.5), 1e-9)
+    throughput = len(mixed) / max(mixed_seconds, 1e-9)
+
+    rows = [
+        {"phase": "cold (distinct jobs)", "jobs": len(cold_s),
+         "p50_ms": round(_percentile(cold_s, 0.5) * 1e3, 2),
+         "p99_ms": round(_percentile(cold_s, 0.99) * 1e3, 2),
+         "total_s": round(sum(cold_s), 3)},
+        {"phase": "warm (dedup off, cached shards)", "jobs": len(warm_s),
+         "p50_ms": round(_percentile(warm_s, 0.5) * 1e3, 2),
+         "p99_ms": round(_percentile(warm_s, 0.99) * 1e3, 2),
+         "total_s": round(sum(warm_s), 3)},
+        {"phase": "mixed concurrent (dedup + warm)", "jobs": len(mixed_s),
+         "p50_ms": round(_percentile(mixed_s, 0.5) * 1e3, 2),
+         "p99_ms": round(_percentile(mixed_s, 0.99) * 1e3, 2),
+         "total_s": round(mixed_seconds, 3)},
+    ]
+    show(render_table(rows, precision=3,
+                      title="E22: service submit-to-result latency"))
+    show(f"[service] warm p50 speedup {speedup:.1f}x "
+         f"(floor {SPEEDUP_FLOOR}x full mode, tracked capped at "
+         f"{SPEEDUP_CAP}x) · mixed throughput {throughput:.1f} jobs/s · "
+         f"deduped {deduped}")
+
+    write_rows(
+        results_path("service_latency"),
+        rows,
+        metadata={
+            "experiment": "service_latency",
+            "seed": SEED0,
+            "shards": SHARDS,
+            "trials": trials,
+            "smoke": smoke_mode(),
+            "cpu_count": os.cpu_count(),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "warm_p50_speedup_raw": round(speedup, 2),
+            "mixed_throughput_jobs_per_s": round(throughput, 1),
+            "tracked": {
+                "warm_p50_speedup": {
+                    "value": round(min(speedup, SPEEDUP_CAP), 2),
+                    "higher_is_better": True,
+                },
+            },
+        },
+    )
+
+    assert speedup > 1.0, (
+        f"warm service jobs are slower than cold ({speedup:.2f}x)"
+    )
+    if not smoke_mode():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"warm p50 speedup {speedup:.1f}x below the committed "
+            f"{SPEEDUP_FLOOR}x floor"
+        )

@@ -13,6 +13,7 @@ Usage (``python -m repro <command>`` or the installed ``repro`` script):
    $ python -m repro fences --model TSO     # the §7 fence sweep
    $ python -m repro fleet SC WO TSO        # heterogeneous fleets
    $ python -m repro experiments            # the paper-artifact registry
+   $ python -m repro serve --port 8642      # the estimation job server
 
 Every command prints plain-text tables from :mod:`repro.reporting`.
 
@@ -322,6 +323,37 @@ def _cmd_cache(args: argparse.Namespace) -> None:
             raise SystemExit(1)
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Run the HTTP estimation service (docs/SERVICE.md)."""
+    import os
+    from pathlib import Path
+
+    from .service import serve
+    from .service.schemas import MANAGED_KNOBS
+
+    config = args.run_config
+    managed = [RunConfig.cli_bindings()[knob] for knob in MANAGED_KNOBS
+               if getattr(config, knob) not in (None, False)]
+    if managed:
+        raise SystemExit(
+            f"repro serve: {', '.join(managed)} are managed by the service "
+            "per job (journals, manifests, and the shard cache live under "
+            "--state-dir) and cannot be set server-wide")
+    state_dir = args.state_dir or os.environ.get(
+        "REPRO_SERVICE_DIR", str(Path.home() / ".cache" / "repro" / "service"))
+    server = serve(args.host, args.port, Path(state_dir).expanduser(),
+                   default_config=config, job_workers=args.job_workers,
+                   max_queued=args.max_queued,
+                   drain_seconds=args.drain_seconds)
+    print(f"repro serve: listening on {server.url} (state: {state_dir})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: draining and checkpointing...", flush=True)
+        server.service.shutdown(args.drain_seconds)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> None:
     rows = [
         {
@@ -434,11 +466,34 @@ def _add_engine_options(parser: argparse.ArgumentParser,
     )
 
 
+def _engine_flags_epilog() -> str:
+    """The ``--help`` epilog, generated from the ``RunConfig`` metadata.
+
+    Generated, not hand-written, for the same reason the README flag
+    table is (:meth:`RunConfig.flag_table_markdown`): a new knob lands
+    in the epilog by construction, so the help text can never lag the
+    flag set again.
+    """
+    from dataclasses import fields as dataclass_fields
+
+    lines = ["engine flags (each folds into the one RunConfig record; "
+             "see docs/API.md):"]
+    for spec in dataclass_fields(RunConfig):
+        flag = spec.metadata.get("cli")
+        if not flag:
+            continue
+        doc = spec.metadata.get("doc", "").replace("`", "")
+        lines.append(f"  {flag:<16} {doc}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'The Impact of Memory Models on Software "
         "Reliability in Multiprocessors' (PODC 2011).",
+        epilog=_engine_flags_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     _add_engine_options(parser)
     # Engine-aware subcommands accept the same flags *after* the
@@ -522,6 +577,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR or "
                        "~/.cache/repro/shards)")
     cache.set_defaults(run=_cmd_cache)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the HTTP estimation job server (docs/SERVICE.md)",
+        parents=[engine])
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8642,
+                           help="bind port; 0 picks an ephemeral port and "
+                           "prints it (default: 8642)")
+    serve_cmd.add_argument("--state-dir", default=None, metavar="DIR",
+                           help="service state: job registry, per-job shard "
+                           "journals and manifests, shared shard cache "
+                           "(default: $REPRO_SERVICE_DIR or "
+                           "~/.cache/repro/service)")
+    serve_cmd.add_argument("--job-workers", type=_positive_int, default=1,
+                           metavar="N",
+                           help="concurrent jobs; each job still fans its "
+                           "shards over the engine --workers (default: 1)")
+    serve_cmd.add_argument("--max-queued", type=_positive_int, default=64,
+                           metavar="N",
+                           help="queued-job cap; extra submissions get 429 "
+                           "(default: 64)")
+    serve_cmd.add_argument("--drain-seconds", type=float, default=30.0,
+                           metavar="SEC",
+                           help="graceful-shutdown window for running jobs "
+                           "(default: 30)")
+    serve_cmd.set_defaults(run=_cmd_serve)
 
     sub.add_parser("experiments", help="list the paper-artifact registry").set_defaults(
         run=_cmd_experiments

@@ -47,9 +47,11 @@ __all__ = [
 ]
 
 
-#: Canonical run-level metric names -> (kind, unit, description).  The
-#: engine emits exactly these; docs/OBSERVABILITY.md is the narrative
-#: catalogue and the docs-consistency check keeps the two in sync.
+#: Canonical metric names -> (kind, unit, description).  The ``run.*``
+#: names are emitted by the sharded engine, the ``service.*`` names by
+#: the job server (:mod:`repro.service`); docs/OBSERVABILITY.md is the
+#: narrative catalogue and the docs-consistency check keeps the two in
+#: sync.
 METRICS_CATALOGUE: dict[str, tuple[str, str, str]] = {
     "run.trials_total": ("gauge", "trials", "trial budget of the run (merged total)"),
     "run.shards_total": ("gauge", "shards", "non-empty shards in the plan"),
@@ -66,6 +68,13 @@ METRICS_CATALOGUE: dict[str, tuple[str, str, str]] = {
     "run.cache_stored": ("counter", "shards", "executed shards written to the result cache"),
     "run.cache_evictions": ("counter", "entries", "cache entries evicted by this run's writes"),
     "run.journal_skipped": ("counter", "lines", "torn/undecodable checkpoint journal lines skipped on load"),
+    "service.jobs_submitted": ("counter", "jobs", "jobs accepted and enqueued by the job server"),
+    "service.jobs_deduped": ("counter", "jobs", "submissions collapsed onto an existing identical job"),
+    "service.jobs_completed": ("counter", "jobs", "jobs that finished with a result"),
+    "service.jobs_failed": ("counter", "jobs", "jobs that raised instead of finishing"),
+    "service.jobs_resumed": ("counter", "jobs", "unfinished jobs re-enqueued after a server restart"),
+    "service.jobs_rejected": ("counter", "jobs", "submissions refused by the max-queued-jobs rate control"),
+    "service.queue_depth": ("gauge", "jobs", "jobs queued and not yet running (current)"),
 }
 
 

@@ -196,13 +196,26 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.cache", "repro.stats.checkpoint"),
         bench="benchmarks/bench_cache_reuse.py",
     ),
+    Experiment(
+        id="E22",
+        paper_artifact="infrastructure: estimation-as-a-service",
+        summary="repro serve fronts the engine with a stdlib HTTP/JSON "
+        "job API (submit / poll progress / fetch validated manifests): "
+        "concurrent identical submissions dedup onto one job via the v2 "
+        "identity, a priority queue with a max-queued cap rate-limits, "
+        "and graceful shutdown demotes in-flight jobs for journal-backed "
+        "resume on restart — warm submit-to-result latency tracked in "
+        "BENCH_service_latency.json.",
+        modules=("repro.service",),
+        bench="benchmarks/bench_service_latency.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}
 
 
 def get_experiment(experiment_id: str) -> Experiment:
-    """Look up an experiment by id (``"E1"`` … ``"E21"``)."""
+    """Look up an experiment by id (``"E1"`` … ``"E22"``)."""
     try:
         return _REGISTRY[experiment_id.upper()]
     except KeyError:

@@ -55,7 +55,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, ClassVar
 
 if TYPE_CHECKING:  # real types without runtime import cycles
     from repro.cache.store import ShardStore
@@ -89,17 +89,19 @@ UNSET: Any = _Unset()
 
 
 def _knob(default: Any, cli: str | None, args: str | None = None,
-          **extra: Any) -> Any:
+          doc: str = "", **extra: Any) -> Any:
     """A ``RunConfig`` field with its CLI binding in the metadata.
 
     ``cli`` is the command-line flag serving the knob (``None`` for the
     API-only knobs); ``args`` the ``argparse`` attribute it parses into
-    when it differs from the field name.  The docs-consistency suite
+    when it differs from the field name; ``doc`` a one-line summary used
+    to *generate* the README flag table and the ``--help`` epilog (see
+    :meth:`RunConfig.flag_table_markdown`).  The docs-consistency suite
     walks this metadata to keep the config, the CLI, and ``docs/API.md``
     from drifting apart.
     """
     metadata = {"cli": cli, "args": args or (cli.lstrip("-").replace("-", "_")
-                                             if cli else None)}
+                                             if cli else None), "doc": doc}
     metadata.update(extra)
     return field(default=default, metadata=metadata)
 
@@ -147,19 +149,52 @@ class RunConfig:
         scheduling concern, absent from every key.
     """
 
-    workers: int | None = _knob(1, "--workers")
-    shards: int | None = _knob(None, "--shards")
-    retries: int = _knob(0, "--retries")
-    timeout: float | None = _knob(None, "--shard-timeout")
-    checkpoint: "str | Path | ShardCheckpoint | None" = _knob(None, "--checkpoint")
-    fingerprint: str | None = _knob(None, None)
-    cache: "str | Path | ShardStore | None" = _knob(None, "--cache")
-    manifest: str | Path | None = _knob(None, "--manifest")
-    trace: str | Path | None = _knob(None, "--trace")
-    progress: bool | Callable[..., None] = _knob(False, "--progress")
-    backend: str | None = _knob(None, "--backend")
-    rng_plan: str = _knob("spawn", "--rng-plan")
-    transport: str = _knob("auto", "--transport")
+    workers: int | None = _knob(
+        1, "--workers",
+        doc="worker processes (`1` = serial; `None` = one per CPU)")
+    shards: int | None = _knob(
+        None, "--shards",
+        doc="seed-disciplined shard count — part of the run's statistical "
+            "identity (unset: 16 fixed shards whenever parallelism is on)")
+    retries: int = _knob(
+        0, "--retries",
+        doc="extra attempts per failed shard, with exponential backoff")
+    timeout: float | None = _knob(
+        None, "--shard-timeout",
+        doc="per-shard timeout in seconds for pooled execution")
+    checkpoint: "str | Path | ShardCheckpoint | None" = _knob(
+        None, "--checkpoint",
+        doc="append-only JSONL journal of completed shards; re-runs resume "
+            "the missing shards only")
+    fingerprint: str | None = _knob(
+        None, None,
+        doc="explicit kernel fingerprint for the v2 plan key (derived from "
+            "the kernel when unset)")
+    cache: "str | Path | ShardStore | None" = _knob(
+        None, "--cache",
+        doc="content-addressed shard result cache (`\"auto\"` or a directory)")
+    manifest: str | Path | None = _knob(
+        None, "--manifest",
+        doc="append a validated run manifest (JSON) to this file")
+    trace: str | Path | None = _knob(
+        None, "--trace",
+        doc="write a JSONL span trace of the run to this file")
+    progress: bool | Callable[..., None] = _knob(
+        False, "--progress",
+        doc="live stderr progress line (shards done, trials/s, ETA), or a "
+            "snapshot callback")
+    backend: str | None = _knob(
+        None, "--backend",
+        doc="simulation kernel: `scalar`, `vectorized`, or `fused` (unset: "
+            "each driver's native default)")
+    rng_plan: str = _knob(
+        "spawn", "--rng-plan",
+        doc="shard-stream derivation: `spawn` (published numbers) or "
+            "`philox` (counter-addressed fast path)")
+    transport: str = _knob(
+        "auto", "--transport",
+        doc="shard result channel: `auto`, `pickle`, or `shm` (scheduling "
+            "only — never changes a number)")
 
     # ------------------------------------------------------------------
     # Construction
@@ -186,6 +221,122 @@ class RunConfig:
     def cli_bindings(cls) -> dict[str, str | None]:
         """Field name -> CLI flag (``None`` for API-only knobs)."""
         return {spec.name: spec.metadata.get("cli") for spec in fields(cls)}
+
+    @classmethod
+    def flag_table_markdown(cls) -> str:
+        """The canonical engine-knob table, generated from the fields.
+
+        One markdown row per knob — field name, CLI flag (or *API-only*),
+        default, and the one-line ``doc`` from the field metadata.  The
+        README embeds this table verbatim between ``engine-flags`` marker
+        comments and the docs-consistency suite regenerates and compares
+        it, so the flag table can never again lag a newly added knob
+        (``--transport`` shipped with no README mention once).
+        """
+        lines = ["| knob | CLI flag | default | what it does |",
+                 "|---|---|---|---|"]
+        for spec in fields(cls):
+            flag = spec.metadata.get("cli")
+            flag_cell = f"`{flag}`" if flag else "*(API-only)*"
+            default = spec.default
+            default_cell = f"`{default!r}`" if default is not None else "`None`"
+            lines.append(f"| `{spec.name}` | {flag_cell} | {default_cell} "
+                         f"| {spec.metadata.get('doc', '')} |")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Wire format (the service API serialises configs as JSON)
+    # ------------------------------------------------------------------
+
+    #: Field name -> JSON types accepted on the wire.  ``bool`` must be
+    #: listed before the ``int`` check bites (it subclasses ``int``), so
+    #: fields that do not list it reject booleans explicitly.
+    _WIRE_TYPES: ClassVar[dict[str, tuple[type, ...]]] = {
+        "workers": (int, type(None)),
+        "shards": (int, type(None)),
+        "retries": (int,),
+        "timeout": (int, float, type(None)),
+        "checkpoint": (str, type(None)),
+        "fingerprint": (str, type(None)),
+        "cache": (str, type(None)),
+        "manifest": (str, type(None)),
+        "trace": (str, type(None)),
+        "progress": (bool,),
+        "backend": (str, type(None)),
+        "rng_plan": (str,),
+        "transport": (str,),
+    }
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """This config as a JSON-ready wire dict (every field, plain types).
+
+        The wire format carries exactly the thirteen knob fields with
+        JSON-native values: paths become strings, and fields holding
+        live objects (a pre-keyed ``ShardCheckpoint``, a ``ShardStore``,
+        a progress callback) raise ``TypeError`` — the wire is for
+        configs a *client* can express, and live objects are
+        process-local by nature.  :data:`UNSET` can never leak: it is
+        not a valid field value (only the deprecated keyword aliases use
+        it) and is rejected here as a safety net.  The round-trip
+        ``from_json_dict(json.loads(json.dumps(to_json_dict())))`` is
+        byte-identical (tested field by field).
+        """
+        wire: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value is UNSET:
+                raise ValueError(
+                    f"RunConfig.{spec.name} holds UNSET; the sentinel must "
+                    "never reach a constructed config, let alone the wire")
+            if isinstance(value, Path):
+                value = str(value)
+            allowed = self._WIRE_TYPES[spec.name]
+            if bool not in allowed and isinstance(value, bool):
+                raise TypeError(
+                    f"RunConfig.{spec.name}={value!r} is not wire-representable")
+            if not isinstance(value, allowed):
+                raise TypeError(
+                    f"RunConfig.{spec.name}={value!r} is not "
+                    "wire-representable; serialise paths as strings and "
+                    "keep live objects (stores, checkpoints, callbacks) "
+                    "out of wire configs")
+            wire[spec.name] = value
+        return wire
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any],
+                       base: "RunConfig | None" = None) -> "RunConfig":
+        """Build (and validate) a config from a wire dict.
+
+        ``payload`` may name any subset of the knob fields; unknown keys
+        raise ``ValueError`` (a client typo must fail loudly, not
+        silently drop a knob — the exact bug class ``RunConfig`` was
+        built to kill) and wrongly-typed values raise ``TypeError``.
+        Keys the payload *omits* keep the value from ``base`` (default:
+        the all-defaults config) — this is how the service folds a
+        request's config over the server's, without an ``UNSET`` ever
+        appearing on the wire.  The result is validated via
+        :meth:`resolve` before it is returned.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError(f"wire config must be an object, got "
+                            f"{type(payload).__name__}")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown RunConfig field(s) on the wire: "
+                             f"{unknown}; known fields: {sorted(known)}")
+        for name, value in payload.items():
+            allowed = cls._WIRE_TYPES[name]
+            if ((bool not in allowed and isinstance(value, bool))
+                    or not isinstance(value, allowed)):
+                names = "/".join(t.__name__ for t in allowed)
+                raise TypeError(f"RunConfig.{name} must be {names} on the "
+                                f"wire, got {value!r}")
+        start = base if base is not None else cls()
+        merged = replace(start, **payload) if payload else start
+        merged.resolve()  # validate knob values; backend stays un-defaulted
+        return merged
 
     # ------------------------------------------------------------------
     # The single resolution point

@@ -1,0 +1,104 @@
+"""A tiny stdlib client for the estimation service.
+
+:class:`ServiceClient` wraps ``urllib.request`` — one method per route,
+JSON in/out, and server-side refusals re-raised as the same
+:class:`~repro.service.schemas.ServiceError` the server threw (status
+and machine code preserved), so client code branches on ``error.code``
+exactly as documented in ``docs/SERVICE.md``.  Used by the CI serve
+smoke, the latency benchmark, and scripts; it is intentionally not a
+generic HTTP toolkit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from .schemas import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read()).get("error", {})
+            except (json.JSONDecodeError, ValueError):
+                detail = {}
+            raise ServiceError(
+                error.code, detail.get("code", "http-error"),
+                detail.get("message", str(error))) from error
+
+    # -- one method per route ------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def estimators(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/estimators")["estimators"]
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/metrics")["metrics"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def submit(self, estimator: str, params: dict[str, Any], *,
+               config: dict[str, Any] | None = None, priority: int = 0,
+               dedup: bool = True) -> dict[str, Any]:
+        """``POST /v1/jobs``; returns ``{"job": ..., "deduped": bool}``."""
+        return self._request("POST", "/v1/jobs", {
+            "estimator": estimator,
+            "params": params,
+            "config": config or {},
+            "priority": priority,
+            "dedup": dedup,
+        })
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._request("POST", "/v1/shutdown", {})
+
+    # -- convenience ---------------------------------------------------
+
+    def wait(self, job_id: str, *, timeout: float = 60.0,
+             poll_seconds: float = 0.05) -> dict[str, Any]:
+        """Poll ``GET /v1/jobs/{id}`` until the job finishes.
+
+        Returns the finished job record (``done`` **or** ``failed`` —
+        callers branch on ``job["state"]``); raises ``TimeoutError``
+        if it is still running when ``timeout`` expires.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s")
+            time.sleep(poll_seconds)

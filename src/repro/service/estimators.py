@@ -1,0 +1,246 @@
+"""The served estimator catalogue and the request-dedup identity.
+
+The service exposes a *closed* catalogue of estimators — each an entry
+in :data:`ESTIMATORS` pairing a name with a typed parameter schema and a
+runner.  Params are validated with the same strictness as the config
+wire format: unknown names, wrong types (including ``bool`` where an
+``int`` is expected), and missing required params all raise
+:class:`~repro.service.schemas.ServiceError` before a job is created.
+
+:func:`job_key` is the cross-request dedup identity.  It hashes exactly
+what determines the *numbers* a job produces: the estimator name, the
+fully-defaulted params (so an omitted default and an explicitly-passed
+default collide, as they must), and the config knobs that enter the v2
+``plan_key`` — resolved shard count, ``rng_plan``, ``fingerprint`` —
+plus the ``backend`` selection.  Scheduling knobs (workers, retries,
+timeout, transport, observability) are deliberately absent: they can
+never change a merged number, so they must never split a dedup class.
+See ``docs/CACHING.md`` ("Cross-request dedup") for the contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..runconfig import RunConfig
+from .schemas import ServiceError
+
+__all__ = ["ParamSpec", "EstimatorSpec", "ESTIMATORS", "validate_params",
+           "job_key", "run_estimator"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One estimator parameter: name, accepted JSON types, default, doc.
+
+    ``required=True`` params have no default; for the rest ``default``
+    is folded into the validated param dict, so every job record carries
+    the *full* parameter set (dedup and reproducibility both need the
+    defaulted form, not the sparse client payload).
+    """
+
+    name: str
+    types: tuple[type, ...]
+    doc: str
+    required: bool = False
+    default: Any = None
+
+    def check(self, value: Any) -> Any:
+        # bool subclasses int: accept it only where explicitly listed.
+        if ((bool not in self.types and isinstance(value, bool))
+                or not isinstance(value, self.types)):
+            names = "/".join(t.__name__ for t in self.types)
+            raise ServiceError(
+                400, "bad-param",
+                f"param {self.name!r} must be {names}, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """A served estimator: wire name, summary, param schema, runner.
+
+    ``runner`` takes the fully-defaulted param dict and the job's
+    resolved :class:`RunConfig` and returns the library result object
+    (summarised onto the wire via :func:`repro.obs.summarise_result`).
+    """
+
+    name: str
+    summary: str
+    params: tuple[ParamSpec, ...]
+    runner: Callable[[dict[str, Any], RunConfig], Any]
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready schema for ``GET /v1/estimators``."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "params": [
+                {
+                    "name": spec.name,
+                    "types": [t.__name__ for t in spec.types],
+                    "required": spec.required,
+                    "default": None if spec.required else spec.default,
+                    "doc": spec.doc,
+                }
+                for spec in self.params
+            ],
+        }
+
+
+def _run_non_manifestation(params: dict[str, Any], config: RunConfig) -> Any:
+    from ..core.manifestation import estimate_non_manifestation
+    from ..core.memory_models import get_model
+
+    return estimate_non_manifestation(
+        get_model(params["model"]),
+        params["n"],
+        params["trials"],
+        seed=params["seed"],
+        store_probability=params["store_probability"],
+        body_length=params["body_length"],
+        confidence=params["confidence"],
+        config=config,
+    )
+
+
+def _run_canonical_bug(params: dict[str, Any], config: RunConfig) -> Any:
+    from ..sim.executor import run_canonical_bug
+
+    return run_canonical_bug(
+        params["model"],
+        params["threads"],
+        params["trials"],
+        seed=params["seed"],
+        body_length=params["body_length"],
+        fenced=params["fenced"],
+        atomic=params["atomic"],
+        confidence=params["confidence"],
+        config=config,
+    )
+
+
+_MODEL = ParamSpec("model", (str,), "memory model name (`SC`/`TSO`/`PSO`/`WO`)",
+                   required=True)
+_TRIALS = ParamSpec("trials", (int,), "Monte-Carlo trial budget",
+                    required=True)
+_SEED = ParamSpec("seed", (int,), "root seed of the deterministic run",
+                  default=0)
+_BODY = ParamSpec("body_length", (int,),
+                  "instructions per thread body (the paper's k)", default=8)
+_CONFIDENCE = ParamSpec("confidence", (float, int),
+                        "Wilson interval confidence level", default=0.99)
+
+#: Wire name -> served estimator.  A closed catalogue: the service never
+#: imports estimators by client-supplied dotted path.
+ESTIMATORS: dict[str, EstimatorSpec] = {
+    "non_manifestation": EstimatorSpec(
+        name="non_manifestation",
+        summary="Pr[A] that a canonical data race does NOT manifest under "
+                "the model's reordering semantics (the paper's §6 pipeline)",
+        params=(
+            _MODEL,
+            _TRIALS,
+            ParamSpec("n", (int,), "thread count", default=2),
+            _SEED,
+            ParamSpec("store_probability", (float, int),
+                      "per-slot probability that an instruction is a store",
+                      default=0.5),
+            _BODY,
+            _CONFIDENCE,
+        ),
+        runner=_run_non_manifestation,
+    ),
+    "canonical_bug": EstimatorSpec(
+        name="canonical_bug",
+        summary="manifestation statistics of the canonical increment race "
+                "executed on the operational machine model",
+        params=(
+            _MODEL,
+            _TRIALS,
+            ParamSpec("threads", (int,), "racing thread count", default=2),
+            _SEED,
+            _BODY,
+            ParamSpec("fenced", (bool,),
+                      "insert fences around the critical section",
+                      default=False),
+            ParamSpec("atomic", (bool,),
+                      "make the increment atomic (race eliminated)",
+                      default=False),
+            _CONFIDENCE,
+        ),
+        runner=_run_canonical_bug,
+    ),
+}
+
+
+def validate_params(estimator: str, params: dict[str, Any]) -> dict[str, Any]:
+    """Validate and *fully default* an estimator's params.
+
+    Raises :class:`ServiceError` for an unknown estimator, unknown or
+    wrongly-typed params, or a missing required param.  Returns the
+    complete param dict (every schema entry present) — the canonical
+    form both :func:`job_key` and the job record store, so dedup never
+    depends on which defaults a client spelled out.
+    """
+    spec = ESTIMATORS.get(estimator)
+    if spec is None:
+        raise ServiceError(
+            404, "unknown-estimator",
+            f"unknown estimator {estimator!r}; "
+            f"served: {sorted(ESTIMATORS)}")
+    known = {p.name for p in spec.params}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ServiceError(
+            400, "unknown-param",
+            f"unknown param(s) for {estimator!r}: {unknown}; "
+            f"known: {sorted(known)}")
+    full: dict[str, Any] = {}
+    for param in spec.params:
+        if param.name in params:
+            full[param.name] = param.check(params[param.name])
+        elif param.required:
+            raise ServiceError(
+                400, "missing-param",
+                f"estimator {estimator!r} requires param {param.name!r}")
+        else:
+            full[param.name] = param.default
+    return full
+
+
+def job_key(estimator: str, params: dict[str, Any], config: RunConfig) -> str:
+    """The dedup identity of a submission (sha256[:16], like ``plan_key``).
+
+    Hashes the estimator name, the fully-defaulted params, and the
+    config's :meth:`~repro.runconfig.RunConfig.plan_key_inputs`
+    (resolved shards / rng_plan / fingerprint) plus the ``backend``
+    selection.  ``backend=None`` ("the driver's native default") is
+    conservatively distinct from naming the default explicitly — a
+    false split costs one redundant computation whose shards still hit
+    the content-addressed cache; a false merge could serve a number
+    computed by a different kernel.  Scheduling knobs never enter.
+    """
+    identity = {
+        "estimator": estimator,
+        "params": params,
+        "backend": config.backend,
+        **config.plan_key_inputs(),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def run_estimator(estimator: str, params: dict[str, Any],
+                  config: RunConfig) -> Any:
+    """Execute a validated job: look up the runner and run it.
+
+    ``params`` must already be the fully-defaulted dict from
+    :func:`validate_params`; ``config`` the job's resolved config (the
+    service has already folded in its managed checkpoint/cache/manifest
+    paths).  Returns the library result object.
+    """
+    return ESTIMATORS[estimator].runner(params, config)

@@ -1,0 +1,218 @@
+"""Job records and the persistent registry behind the estimation service.
+
+A :class:`Job` is everything the service knows about one submission:
+the dedup identity (:func:`~repro.service.estimators.job_key`), the
+fully-defaulted params, the merged config in wire form, lifecycle state,
+live progress, and — once finished — the result summary or error.  The
+:class:`JobRegistry` owns every job, hands out sequential ids, and
+persists itself as one JSON snapshot (written atomically: tmp file +
+``os.replace``) so a restarted server can re-enqueue whatever had not
+finished.
+
+Lifecycle is deliberately small::
+
+    queued -> running -> done
+                      -> failed
+
+There is no separate "interrupted" state: graceful shutdown demotes
+``running``/``queued`` jobs back to ``queued`` before persisting, and
+the shard journal each job runs with means a resumed job re-executes
+only the shards its previous life never finished.
+
+The registry itself does no locking — the owning
+:class:`~repro.service.server.EstimationService` serialises all
+mutations under one lock (job execution happens *outside* that lock;
+only state transitions take it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JOB_STATES", "Job", "JobRegistry"]
+
+#: The complete lifecycle vocabulary, in transition order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+_SNAPSHOT_KIND = "repro/service-jobs"
+_SNAPSHOT_FORMAT = 1
+
+
+@dataclass
+class Job:
+    """One submission's full record (mutable; wire form via ``to_wire``).
+
+    ``key`` is the dedup identity — several submissions may share it
+    (``dedup_hits`` counts the collapsed ones); ``id`` is unique per
+    job.  ``config_wire`` stores the *merged client-visible* config
+    (request overrides folded over the server default) — the managed
+    checkpoint/cache/manifest paths are derived from the state directory
+    at execution time, so a snapshot moved to a new state directory
+    still resumes correctly.
+    """
+
+    id: str
+    key: str
+    estimator: str
+    params: dict[str, Any]
+    config_wire: dict[str, Any]
+    priority: int = 0
+    state: str = "queued"
+    dedup_hits: int = 0
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    progress: dict[str, Any] | None = None
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        """The job as a JSON-ready dict (also the persistence format)."""
+        wire = asdict(self)
+        wire["params"] = dict(self.params)
+        wire["config_wire"] = dict(self.config_wire)
+        if self.progress is not None:
+            wire["progress"] = dict(self.progress)
+        return wire
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any]) -> "Job":
+        known = {spec for spec in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown job field(s) in snapshot: {unknown}")
+        job = cls(**payload)
+        if job.state not in JOB_STATES:
+            raise ValueError(f"unknown job state {job.state!r} in snapshot; "
+                             f"known: {JOB_STATES}")
+        return job
+
+    def mark_running(self) -> None:
+        self.state = "running"
+        self.started_at = time.time()
+
+    def mark_done(self, result: dict[str, Any]) -> None:
+        self.state = "done"
+        self.result = result
+        self.error = None
+        self.finished_at = time.time()
+
+    def mark_failed(self, error: str) -> None:
+        self.state = "failed"
+        self.error = error
+        self.finished_at = time.time()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+
+class JobRegistry:
+    """Every job the service has accepted, persisted as one JSON snapshot.
+
+    ``path=None`` keeps the registry purely in memory (unit tests).
+    ``load`` + ``unfinished`` + the service's re-enqueue implement the
+    resume-on-restart contract documented in ``docs/SERVICE.md``.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        self._seq = 0
+
+    # -- lookup --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job, oldest first (ids are sequential)."""
+        return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def find_dedup_target(self, key: str) -> Job | None:
+        """The live job an identical submission should collapse onto.
+
+        The newest job with this ``key`` that did not fail — a failed
+        job must not absorb new submissions (the retry would never
+        happen), so after a failure the next identical submission starts
+        fresh (and still finds the dead job's shards in cache/journal).
+        """
+        job_id = self._by_key.get(key)
+        if job_id is None:
+            return None
+        job = self._jobs[job_id]
+        return None if job.state == "failed" else job
+
+    def unfinished(self) -> list[Job]:
+        """Jobs a restarted server must re-enqueue (oldest first)."""
+        return [job for job in self.jobs() if not job.finished]
+
+    # -- mutation ------------------------------------------------------
+
+    def create(self, *, key: str, estimator: str, params: dict[str, Any],
+               config_wire: dict[str, Any], priority: int = 0) -> Job:
+        """Mint a new ``queued`` job with the next sequential id."""
+        self._seq += 1
+        job = Job(id=f"job-{self._seq:05d}", key=key, estimator=estimator,
+                  params=dict(params), config_wire=dict(config_wire),
+                  priority=priority)
+        self._jobs[job.id] = job
+        self._by_key[key] = job.id
+        return job
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically snapshot every job to ``path`` (no-op when in-memory)."""
+        if self.path is None:
+            return
+        snapshot = {
+            "kind": _SNAPSHOT_KIND,
+            "format": _SNAPSHOT_FORMAT,
+            "seq": self._seq,
+            "jobs": [job.to_wire() for job in self.jobs()],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(snapshot, sort_keys=True, indent=1),
+                       encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JobRegistry":
+        """Rebuild a registry from a snapshot (fresh registry if absent).
+
+        A malformed snapshot raises rather than silently starting empty:
+        losing the job history would also orphan every journal and
+        manifest under the state directory.
+        """
+        registry = cls(path)
+        snapshot_path = Path(path)
+        if not snapshot_path.exists():
+            return registry
+        snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+        if snapshot.get("kind") != _SNAPSHOT_KIND:
+            raise ValueError(f"{snapshot_path} is not a {_SNAPSHOT_KIND} "
+                             f"snapshot (kind={snapshot.get('kind')!r})")
+        if snapshot.get("format") != _SNAPSHOT_FORMAT:
+            raise ValueError(f"unsupported jobs snapshot format "
+                             f"{snapshot.get('format')!r}")
+        registry._seq = int(snapshot.get("seq", 0))
+        for payload in snapshot.get("jobs", []):
+            job = Job.from_wire(payload)
+            registry._jobs[job.id] = job
+            # Later jobs win the key slot, matching create() order.
+            registry._by_key[job.key] = job.id
+        return registry

@@ -189,6 +189,7 @@ SUBCOMMAND_ARGV = {
     "cache": ["cache", "stats"],
     "experiments": ["experiments"],
     "verify": ["verify"],
+    "serve": ["serve", "--port", "0"],
 }
 
 #: Global engine flags with distinctive values, given *before* the

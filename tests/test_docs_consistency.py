@@ -241,3 +241,160 @@ def test_cache_flag_and_e21_documented(api_text):
     assert "## E21" in experiments, "EXPERIMENTS.md lacks the E21 section"
     assert e21.bench in experiments
     assert "--cache" in api_text, "docs/API.md lacks the --cache flag"
+
+
+# ---------------------------------------------------------------------------
+# The estimation service (docs/SERVICE.md) and the generated flag surfaces.
+
+
+@pytest.fixture(scope="module")
+def service_text() -> str:
+    return (DOCS / "SERVICE.md").read_text(encoding="utf-8")
+
+
+def test_service_routes_match_docs_both_ways(service_text):
+    """docs/SERVICE.md's route table IS the live route table.
+
+    Every route the server dispatches must appear in SERVICE.md as
+    `` `METHOD /v1/path` ``, and every such route string in SERVICE.md
+    must exist in ``repro.service.server.ROUTES`` — documenting a
+    phantom endpoint fails just like shipping an undocumented one.
+    """
+    import re
+
+    from repro.service.server import ROUTES
+
+    live = {f"{method} {path}" for method, path, _purpose in ROUTES}
+    documented = set(re.findall(r"`((?:GET|POST|PUT|DELETE|PATCH) /v1/[^`]*)`",
+                                service_text))
+    undocumented = live - documented
+    phantom = documented - live
+    assert not undocumented, (
+        f"routes served but missing from docs/SERVICE.md: {sorted(undocumented)}"
+    )
+    assert not phantom, (
+        f"routes documented in docs/SERVICE.md but not served: {sorted(phantom)}"
+    )
+
+
+def test_every_service_export_is_documented(api_text, service_text):
+    import repro.service as service
+
+    documented = api_text + service_text
+    missing = [name for name in service.__all__ if name not in documented]
+    assert not missing, (
+        f"public repro.service exports missing from docs/API.md and "
+        f"docs/SERVICE.md: {missing}"
+    )
+
+
+def test_service_metrics_and_states_documented(service_text, obs_text):
+    from repro.service import JOB_STATES
+
+    service_metrics = [name for name in METRICS_CATALOGUE
+                       if name.startswith("service.")]
+    assert service_metrics, "the service.* metrics left the catalogue"
+    for name in service_metrics:
+        assert name in service_text, f"docs/SERVICE.md lacks metric {name}"
+        assert name in obs_text, f"docs/OBSERVABILITY.md lacks metric {name}"
+    for state in JOB_STATES:
+        assert state in service_text, f"docs/SERVICE.md lacks job state {state!r}"
+
+
+def test_serve_cli_flags_documented(service_text):
+    """Every serve-specific flag appears in docs/SERVICE.md.
+
+    The ``serve`` subparser also inherits the shared engine flags
+    (``--workers``, ``--cache``, ...); those are documented centrally
+    (README table, docs/API.md) and excluded here.
+    """
+    import argparse
+
+    from repro.runconfig import RunConfig
+
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    serve = subparsers.choices["serve"]
+    engine_flags = {flag for flag in RunConfig.cli_bindings().values() if flag}
+    flags = [option
+             for action in serve._actions
+             for option in action.option_strings
+             if option.startswith("--") and option != "--help"
+             and option not in engine_flags]
+    assert "--state-dir" in flags, "serve lost its --state-dir flag"
+    missing = [flag for flag in flags if flag not in service_text]
+    assert not missing, f"serve flags missing from docs/SERVICE.md: {missing}"
+
+
+def test_service_doc_is_cross_linked(api_text, obs_text, caching_text,
+                                     service_text):
+    for text, where in ((api_text, "docs/API.md"),
+                        (obs_text, "docs/OBSERVABILITY.md"),
+                        (caching_text, "docs/CACHING.md")):
+        assert "SERVICE.md" in text, f"{where} does not link docs/SERVICE.md"
+    for target in ("API.md", "CACHING.md", "OBSERVABILITY.md"):
+        assert target in service_text
+    readme = README.read_text(encoding="utf-8")
+    assert "docs/SERVICE.md" in readme
+    assert "repro serve" in readme, "README lacks a repro serve example"
+
+
+def test_caching_doc_covers_cross_request_dedup(caching_text):
+    assert "## Cross-request dedup" in caching_text, (
+        "docs/CACHING.md lost the cross-request dedup section"
+    )
+    section = caching_text[caching_text.index("## Cross-request dedup"):]
+    for needle in ("job_key", "plan_key_inputs", "rng_plan", "backend",
+                   "fingerprint", "false merge", "dedup"):
+        assert needle in section, (
+            f"the CACHING.md dedup section lacks {needle!r}"
+        )
+
+
+def test_readme_flag_table_is_generated(service_text):
+    """The README engine-flag table is the exact output of
+    ``RunConfig.flag_table_markdown()`` — regenerating is the only way
+    to edit it, so it cannot lag the code."""
+    from repro.runconfig import RunConfig
+
+    readme = README.read_text(encoding="utf-8")
+    begin = "<!-- engine-flags:begin"
+    end = "<!-- engine-flags:end -->"
+    assert begin in readme and end in readme, (
+        "README lost its engine-flags markers"
+    )
+    start = readme.index(begin)
+    start = readme.index("\n", start) + 1
+    block = readme[start:readme.index(end)].strip()
+    assert block == RunConfig.flag_table_markdown().strip(), (
+        "README engine-flag table drifted from "
+        "RunConfig.flag_table_markdown() — regenerate the block"
+    )
+
+
+def test_help_epilog_is_generated_from_cli_bindings():
+    """``repro --help`` ends with every bound engine flag and its doc
+    line, straight from the RunConfig field metadata."""
+    from repro.runconfig import RunConfig
+
+    epilog = build_parser().epilog
+    assert epilog, "the root parser lost its engine-flags epilog"
+    for name, flag in RunConfig.cli_bindings().items():
+        if flag is None:
+            continue
+        assert flag in epilog, (
+            f"--help epilog lacks {flag} (RunConfig field {name!r})"
+        )
+
+
+def test_readme_documentation_map_links_every_doc():
+    readme = README.read_text(encoding="utf-8")
+    assert "## Documentation map" in readme, (
+        "README lacks the Documentation map section"
+    )
+    section = readme[readme.index("## Documentation map"):]
+    for doc in sorted(path.name for path in DOCS.glob("*.md")):
+        assert f"docs/{doc}" in section, (
+            f"README Documentation map does not link docs/{doc}"
+        )

@@ -1,0 +1,444 @@
+"""The estimation service (``repro.service``): queue, dedup, HTTP, resume.
+
+The acceptance property of the whole subsystem is exercised end to end:
+two *concurrent identical* submissions produce exactly one shard
+computation (asserted through ``service.jobs_deduped`` and the
+``run.cache_*`` metrics in the manifest) and hand both clients the same
+job — hence byte-identical manifests.  Around that sit unit tests for
+the strict wire schemas, the estimator catalogue, the dedup identity
+(scheduling knobs must never split it; statistical knobs must), the
+priority queue with its rate control, registry persistence, and the
+graceful-shutdown → restart → resume contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import RunConfig
+from repro.service import (
+    ESTIMATORS,
+    EstimationService,
+    Job,
+    JobQueue,
+    JobRegistry,
+    QueueFull,
+    ServiceClient,
+    ServiceError,
+    job_key,
+    parse_submit,
+    serve,
+    validate_params,
+)
+from repro.service.server import ROUTES
+
+SMALL = {"estimator": "non_manifestation",
+         "params": {"model": "TSO", "trials": 800},
+         "config": {"shards": 2}}
+
+
+# ----------------------------------------------------------------------
+# Wire schemas
+# ----------------------------------------------------------------------
+
+class TestParseSubmit:
+    def test_minimal_submission(self):
+        request = parse_submit({"estimator": "non_manifestation"})
+        assert request.estimator == "non_manifestation"
+        assert request.params == {}
+        assert request.priority == 0
+        assert request.dedup is True
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_submit({"estimator": "x", "paramz": {}})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-field"
+
+    @pytest.mark.parametrize("knob", ["checkpoint", "cache", "manifest",
+                                      "trace", "progress"])
+    def test_managed_knobs_rejected(self, knob):
+        value = True if knob == "progress" else "/tmp/evil"
+        with pytest.raises(ServiceError) as excinfo:
+            parse_submit({"estimator": "x", "config": {knob: value}})
+        assert excinfo.value.code == "managed-knob"
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_submit({"estimator": "x", "config": {"workerz": 2}})
+        assert excinfo.value.code == "bad-config"
+
+    def test_priority_must_be_bounded_int(self):
+        with pytest.raises(ServiceError):
+            parse_submit({"estimator": "x", "priority": "high"})
+        with pytest.raises(ServiceError):
+            parse_submit({"estimator": "x", "priority": True})
+        with pytest.raises(ServiceError):
+            parse_submit({"estimator": "x", "priority": 1000})
+
+    def test_dedup_must_be_bool(self):
+        with pytest.raises(ServiceError):
+            parse_submit({"estimator": "x", "dedup": 1})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_submit(["not", "an", "object"])
+        assert excinfo.value.code == "bad-body"
+
+
+# ----------------------------------------------------------------------
+# Estimator catalogue + dedup identity
+# ----------------------------------------------------------------------
+
+class TestEstimatorCatalogue:
+    def test_params_fully_defaulted(self):
+        params = validate_params("non_manifestation",
+                                 {"model": "TSO", "trials": 100})
+        assert params["n"] == 2
+        assert params["seed"] == 0
+        assert params["confidence"] == 0.99
+
+    def test_unknown_estimator_is_404(self):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_params("frobnicate", {})
+        assert excinfo.value.status == 404
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_params("non_manifestation",
+                            {"model": "TSO", "trials": 1, "sharts": 2})
+        assert excinfo.value.code == "unknown-param"
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_params("non_manifestation", {"model": "TSO"})
+        assert excinfo.value.code == "missing-param"
+
+    def test_bool_is_not_an_int_param(self):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_params("non_manifestation",
+                            {"model": "TSO", "trials": True})
+        assert excinfo.value.code == "bad-param"
+
+    def test_every_estimator_describes_itself(self):
+        for spec in ESTIMATORS.values():
+            description = spec.describe()
+            assert description["name"] == spec.name
+            json.dumps(description)
+
+
+class TestJobKey:
+    PARAMS = {"model": "TSO", "trials": 1000}
+
+    def key(self, config=RunConfig(), params=None):
+        full = validate_params("non_manifestation", params or self.PARAMS)
+        return job_key("non_manifestation", full, config)
+
+    def test_scheduling_knobs_never_split_the_key(self):
+        base = self.key(RunConfig(shards=4))
+        same = self.key(RunConfig(shards=4, workers=2, retries=3,
+                                  timeout=60.0, transport="pickle"))
+        assert base == same
+
+    def test_statistical_knobs_split_the_key(self):
+        base = self.key(RunConfig(shards=4))
+        assert base != self.key(RunConfig(shards=8))
+        assert base != self.key(RunConfig(shards=4, rng_plan="philox"))
+        assert base != self.key(RunConfig(shards=4, fingerprint="aa"))
+        assert base != self.key(RunConfig(shards=4, backend="scalar"))
+
+    def test_omitted_default_equals_explicit_default(self):
+        sparse = self.key(params={"model": "TSO", "trials": 1000})
+        explicit = self.key(params={"model": "TSO", "trials": 1000,
+                                    "n": 2, "seed": 0})
+        assert sparse == explicit
+
+    def test_params_split_the_key(self):
+        assert (self.key(params={"model": "TSO", "trials": 1000})
+                != self.key(params={"model": "WO", "trials": 1000}))
+
+
+# ----------------------------------------------------------------------
+# Queue + registry
+# ----------------------------------------------------------------------
+
+class TestJobQueue:
+    def test_priority_order_fifo_within_priority(self):
+        executed: list[str] = []
+        done = threading.Event()
+
+        def execute(job_id: str) -> None:
+            executed.append(job_id)
+            if len(executed) == 4:
+                done.set()
+
+        queue = JobQueue(execute, workers=1, max_queued=16)
+        queue.submit("low-1", priority=-1)
+        queue.submit("high", priority=5)
+        queue.submit("mid-a", priority=0)
+        queue.submit("mid-b", priority=0)
+        queue.start()
+        assert done.wait(timeout=10)
+        assert executed == ["high", "mid-a", "mid-b", "low-1"]
+
+    def test_queue_full(self):
+        queue = JobQueue(lambda job_id: None, workers=1, max_queued=2)
+        queue.submit("a")
+        queue.submit("b")
+        with pytest.raises(QueueFull):
+            queue.submit("c")
+        queue.submit("forced", force=True)  # resume path bypasses the cap
+        assert queue.depth() == 3
+
+    def test_shutdown_returns_leftovers(self):
+        queue = JobQueue(lambda job_id: None, workers=1, max_queued=8)
+        queue.submit("a", priority=1)
+        queue.submit("b", priority=0)
+        leftovers = queue.shutdown(drain_seconds=0.1)
+        assert leftovers == ["a", "b"]
+        with pytest.raises(RuntimeError):
+            queue.submit("c")
+
+
+class TestJobRegistry:
+    def test_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        registry = JobRegistry(path)
+        job = registry.create(key="k1", estimator="non_manifestation",
+                              params={"model": "TSO"}, config_wire={},
+                              priority=2)
+        job.mark_running()
+        job.mark_done({"estimate": 0.5})
+        registry.save()
+        reloaded = JobRegistry.load(path)
+        twin = reloaded.get(job.id)
+        assert twin.to_wire() == job.to_wire()
+        assert reloaded.unfinished() == []
+
+    def test_failed_jobs_do_not_absorb_dedup(self, tmp_path):
+        registry = JobRegistry()
+        job = registry.create(key="k1", estimator="e", params={},
+                              config_wire={})
+        assert registry.find_dedup_target("k1") is job
+        job.mark_failed("boom")
+        assert registry.find_dedup_target("k1") is None
+
+    def test_malformed_snapshot_raises(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="snapshot"):
+            JobRegistry.load(path)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="state"):
+            Job.from_wire({"id": "j", "key": "k", "estimator": "e",
+                           "params": {}, "config_wire": {},
+                           "state": "paused"})
+
+
+# ----------------------------------------------------------------------
+# The service core (in-process, no HTTP)
+# ----------------------------------------------------------------------
+
+def wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition not reached")
+        time.sleep(0.01)
+
+
+class TestEstimationService:
+    def test_concurrent_identical_submissions_one_computation(self, tmp_path):
+        service = EstimationService(tmp_path, job_workers=2)
+        responses: list[tuple[dict, int]] = [None, None]
+
+        def submit(index: int) -> None:
+            responses[index] = service.submit(dict(SMALL))
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        ids = {response[0]["job"]["id"] for response in responses}
+        assert len(ids) == 1, "identical submissions must collapse"
+        assert sorted(r[0]["deduped"] for r in responses) == [False, True]
+        assert sorted(r[1] for r in responses) == [200, 201]
+        job_id = ids.pop()
+        wait_for(lambda: service.registry.get(job_id).finished)
+        result = service.result(job_id)
+
+        metrics = service.metrics.snapshot()
+        assert metrics["service.jobs_submitted"]["value"] == 1
+        assert metrics["service.jobs_deduped"]["value"] == 1
+        assert metrics["service.jobs_completed"]["value"] == 1
+        run = result["manifest"]["runs"][0]
+        # One computation: every shard executed exactly once, none cached.
+        assert run["metrics"]["run.cache_hits"]["value"] == 0
+        assert run["execution"]["executed_shards"] == 2
+        service.shutdown(drain_seconds=1.0)
+
+    def test_warm_resubmission_hits_the_shard_cache(self, tmp_path):
+        service = EstimationService(tmp_path, job_workers=1)
+        cold, _ = service.submit(dict(SMALL))
+        cold_id = cold["job"]["id"]
+        wait_for(lambda: service.registry.get(cold_id).finished)
+
+        warm_payload = dict(SMALL, dedup=False)
+        warm, status = service.submit(warm_payload)
+        assert status == 201 and warm["deduped"] is False
+        warm_id = warm["job"]["id"]
+        assert warm_id != cold_id
+        wait_for(lambda: service.registry.get(warm_id).finished)
+
+        cold_result = service.result(cold_id)
+        warm_result = service.result(warm_id)
+        warm_run = warm_result["manifest"]["runs"][0]
+        assert warm_run["metrics"]["run.cache_hits"]["value"] == 2
+        assert warm_run["execution"]["executed_shards"] == 0
+        assert warm_result["result"] == cold_result["result"]
+        service.shutdown(drain_seconds=1.0)
+
+    def test_failed_job_reports_and_counts(self, tmp_path):
+        service = EstimationService(tmp_path, job_workers=1)
+        response, _ = service.submit({
+            "estimator": "non_manifestation",
+            "params": {"model": "NOSUCH", "trials": 10},
+        })
+        job_id = response["job"]["id"]
+        wait_for(lambda: service.registry.get(job_id).finished)
+        assert service.registry.get(job_id).state == "failed"
+        assert service.metrics.snapshot()["service.jobs_failed"]["value"] == 1
+        with pytest.raises(ServiceError) as excinfo:
+            service.result(job_id)
+        assert excinfo.value.code == "job-failed"
+        service.shutdown(drain_seconds=1.0)
+
+    def test_result_before_finish_is_conflict(self, tmp_path):
+        service = EstimationService(tmp_path, start=False)
+        response, _ = service.submit(dict(SMALL))
+        with pytest.raises(ServiceError) as excinfo:
+            service.result(response["job"]["id"])
+        assert excinfo.value.code == "not-finished"
+        service.shutdown(drain_seconds=0.1)
+
+    def test_rate_control_rejects_with_429(self, tmp_path):
+        service = EstimationService(tmp_path, start=False, max_queued=1)
+        service.submit(dict(SMALL))
+        overflow = {"estimator": "non_manifestation",
+                    "params": {"model": "WO", "trials": 50}}
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit(overflow)
+        assert excinfo.value.status == 429
+        metrics = service.metrics.snapshot()
+        assert metrics["service.jobs_rejected"]["value"] == 1
+        service.shutdown(drain_seconds=0.1)
+
+    def test_server_default_config_must_not_carry_managed_knobs(self, tmp_path):
+        with pytest.raises(ValueError, match="must not set"):
+            EstimationService(tmp_path, start=False,
+                              default_config=RunConfig(cache="auto"))
+
+    def test_shutdown_then_restart_resumes_and_completes(self, tmp_path):
+        # Accept a job but never start the worker pool: the shutdown
+        # must persist it as queued, and a fresh service on the same
+        # state directory must re-enqueue and finish it.
+        first = EstimationService(tmp_path, start=False)
+        response, _ = first.submit(dict(SMALL))
+        job_id = response["job"]["id"]
+        first.shutdown(drain_seconds=0.1)
+        snapshot = json.loads((tmp_path / "jobs.json").read_text())
+        assert [(j["id"], j["state"]) for j in snapshot["jobs"]] == [
+            (job_id, "queued")]
+
+        second = EstimationService(tmp_path, job_workers=1)
+        metrics = second.metrics.snapshot()
+        assert metrics["service.jobs_resumed"]["value"] == 1
+        wait_for(lambda: second.registry.get(job_id).finished)
+        assert second.registry.get(job_id).state == "done"
+        result = second.result(job_id)
+        assert result["result"]["trials"] == SMALL["params"]["trials"]
+        second.shutdown(drain_seconds=1.0)
+
+    def test_submissions_refused_while_shutting_down(self, tmp_path):
+        service = EstimationService(tmp_path, start=False)
+        service.shutdown(drain_seconds=0.1)
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit(dict(SMALL))
+        assert excinfo.value.status == 503
+
+
+# ----------------------------------------------------------------------
+# The HTTP front end
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def http_service(tmp_path):
+    server = serve("127.0.0.1", 0, tmp_path, job_workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServiceClient(server.url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.shutdown(drain_seconds=1.0)
+
+
+class TestHTTP:
+    def test_health_and_estimators(self, http_service):
+        health = http_service.health()
+        assert health["status"] == "ok"
+        assert health["schema_version"] == 1
+        names = [spec["name"] for spec in http_service.estimators()]
+        assert names == sorted(ESTIMATORS)
+
+    def test_submit_poll_result_lifecycle(self, http_service):
+        submitted = http_service.submit(
+            "non_manifestation", {"model": "TSO", "trials": 800},
+            config={"shards": 2})
+        job_id = submitted["job"]["id"]
+        final = http_service.wait(job_id)
+        assert final["state"] == "done"
+        result = http_service.result(job_id)
+        assert result["result"]["type"] == "BernoulliResult"
+        assert result["manifest"]["kind"] == "repro/run-manifest"
+        jobs = http_service.jobs()
+        assert [job["id"] for job in jobs] == [job_id]
+
+    def test_error_statuses(self, http_service):
+        with pytest.raises(ServiceError) as excinfo:
+            http_service.job("job-99999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            http_service._request("GET", "/v1/nope")
+        assert excinfo.value.code == "unknown-route"
+        with pytest.raises(ServiceError) as excinfo:
+            http_service._request("POST", "/v1/health", {})
+        assert excinfo.value.status == 405
+        with pytest.raises(ServiceError) as excinfo:
+            http_service.submit("nope", {})
+        assert excinfo.value.status == 404
+
+    def test_metrics_route_exposes_catalogue_names(self, http_service):
+        http_service.submit("non_manifestation",
+                            {"model": "TSO", "trials": 800},
+                            config={"shards": 2})
+        metrics = http_service.metrics()
+        assert metrics["service.jobs_submitted"]["value"] == 1
+        assert "service.queue_depth" in metrics
+
+
+def test_route_table_shape():
+    assert len(ROUTES) == len({(m, p) for m, p, _ in ROUTES})
+    for method, path, summary in ROUTES:
+        assert method in ("GET", "POST")
+        assert path.startswith("/v1/")
+        assert summary
