@@ -1,0 +1,147 @@
+"""E23 — the litmus exploration engine: cold vs warm cached exploration.
+
+The exploration engine (:mod:`repro.litmus.explore`, docs/LITMUS.md)
+content-addresses both of its modes in the shard result cache: the
+exhaustive mode keys each enumerated outcome set by program digest,
+model, and enumerator fingerprint; the pseudorandom mode rides
+``run_sharded``'s v2 shard keys.  An identical re-exploration therefore
+fetches everything — outcome sets and frequency shards alike — with
+**bit-identical** results.
+
+The bench runs the combined workload three ways into a scratch store:
+the full exhaustive battery grid (12 tests x 4 models) plus a deep
+pseudorandom sweep of the four classics under TSO, **uncached**
+(reference), **cold** (empty store: compute + write-through), and
+**warm** (identical re-run: every entry fetched).
+
+Committed floor: the warm exploration is at least ``3x`` faster than
+the cold one in full mode — and the three result sets must be *equal*,
+not statistically close.  The tracked regression metric is the speedup
+capped at ``8.0`` (the same host-independence argument as
+``bench_cache_reuse``: raw warm speedups are huge and noisy, the gate
+pins "still comfortably above the floor").  Smoke mode shrinks the
+trial budget and skips the absolute floor but still requires the warm
+leg to win and the results to be identical.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import results_path, scaled, show, smoke_mode
+
+from repro.cache import ShardStore
+from repro.litmus import explore_exhaustive, explore_random
+from repro.reporting import render_table
+from repro.reporting.io import write_rows
+from repro.runconfig import RunConfig
+
+SEED = 23_011
+SHARDS = 16
+WARM_REPEATS = 3
+
+#: The deep pseudorandom sweep: the four classic tests under TSO.
+CLASSICS = ("SB", "MP", "LB", "IRIW")
+
+#: Full-mode floor: a warm exploration must beat the cold one by this.
+SPEEDUP_FLOOR = 3.0
+
+#: Tracked-metric cap — keeps the committed baseline host-independent.
+SPEEDUP_CAP = 8.0
+
+
+def _explore(trials: int, cache: ShardStore | None):
+    config = RunConfig(shards=SHARDS, cache=cache)
+    exhaustive = explore_exhaustive(config=config)
+    tables = tuple(explore_random(name, "TSO", trials, seed=SEED,
+                                  config=config)
+                   for name in CLASSICS)
+    return exhaustive.to_json_dict(), tables
+
+
+def _timed(runner):
+    start = time.perf_counter()
+    result = runner()
+    return result, time.perf_counter() - start
+
+
+def test_litmus_explore_cache_speedup(run_once):
+    trials = scaled(300_000, 15_000)
+    scratch = tempfile.mkdtemp(prefix="repro-bench-litmus-")
+    try:
+        store = ShardStore(scratch)
+
+        def compute():
+            uncached, uncached_s = _timed(lambda: _explore(trials, None))
+            cold, cold_s = _timed(lambda: _explore(trials, store))
+            # Warm legs are pure fetches; best-of-N is the noise-robust
+            # estimate (the cold leg cannot repeat without going warm).
+            warm_legs = [_timed(lambda: _explore(trials, store))
+                         for _ in range(WARM_REPEATS)]
+            warm = warm_legs[0][0]
+            warm_s = min(seconds for _, seconds in warm_legs)
+            return uncached, uncached_s, cold, cold_s, warm, warm_s
+
+        uncached, uncached_s, cold, cold_s, warm, warm_s = run_once(compute)
+        stats = store.stats()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    grid_points = len(uncached[0]["tests"]) * 4
+    speedup = cold_s / max(warm_s, 1e-9)
+    rows = [
+        {"leg": "uncached", "trials": trials * len(CLASSICS),
+         "seconds": round(uncached_s, 4)},
+        {"leg": "cold (compute + store)", "trials": trials * len(CLASSICS),
+         "seconds": round(cold_s, 4)},
+        {"leg": "warm (everything fetched)", "trials": 0,
+         "seconds": round(warm_s, 4)},
+    ]
+    show(render_table(rows, precision=4,
+                      title="E23: litmus exploration, cold vs warm cache"))
+    show(f"[litmus-explore] warm speedup {speedup:.1f}x "
+         f"(floor {SPEEDUP_FLOOR}x full mode, tracked capped at "
+         f"{SPEEDUP_CAP}x) · grid {grid_points} points + "
+         f"{len(CLASSICS)} random sweeps · store: {stats.entries} entries, "
+         f"{stats.hits} hits, {stats.stored} stored")
+
+    write_rows(
+        results_path("litmus_explore"),
+        rows,
+        metadata={
+            "experiment": "litmus_explore",
+            "seed": SEED,
+            "shards": SHARDS,
+            "smoke": smoke_mode(),
+            "cpu_count": os.cpu_count(),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "warm_speedup_raw": round(speedup, 2),
+            "tracked": {
+                "warm_speedup_capped": {
+                    "value": round(min(speedup, SPEEDUP_CAP), 2),
+                    "higher_is_better": True,
+                },
+            },
+        },
+    )
+
+    # The engine's whole claim: fetches are the exploration, bit for bit.
+    assert cold == uncached, "cold cached exploration diverged from uncached"
+    assert warm == uncached, "warm cached exploration diverged from uncached"
+    # Cold writes one entry per grid point + one per random-sweep shard;
+    # every warm repeat fetches each of them back.
+    expected = grid_points + len(CLASSICS) * SHARDS
+    assert stats.stored == expected, (expected, stats)
+    assert stats.hits >= expected * WARM_REPEATS, (expected, stats)
+
+    assert speedup > 1.0, (
+        f"warm exploration is slower than cold ({speedup:.2f}x)"
+    )
+    if not smoke_mode():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"warm speedup {speedup:.1f}x below the committed "
+            f"{SPEEDUP_FLOOR}x floor"
+        )

@@ -27,6 +27,16 @@ The full bracket set runs once per RNG plan (``spawn``, then
 the same seed, so the closed forms are the only cross-plan referee — a
 plan whose deep CIs drift off the paper's brackets is a sampling bug no
 fixed-seed regression test can see.  ``--rng-plans`` restricts the list.
+
+It finishes with the litmus convergence sweep: the pseudorandom
+exploration engine (:mod:`repro.litmus.explore`) samples each classic
+test (SB/MP/LB/IRIW) under all four models at depth
+(``--litmus-trials``, default 10^5) per RNG plan, and every frequency
+table must be **contained** in the exhaustively enumerated outcome set
+with **full support** (every allowed outcome observed).  When both
+plans run, each (test, model) pair's spawn and philox tables are also
+z-tested for equivalence outcome by outcome — the two plans sample the
+same law from different streams, so a divergence is a sampler bug.
 """
 
 from __future__ import annotations
@@ -52,6 +62,14 @@ from repro.stats.intervals import wilson_interval
 #: a false alarm every ~1000 nights per check is acceptable noise.
 CONFIDENCE = 0.999
 
+#: The litmus sweep's cross-plan z-tests run per outcome (~100 z-tests
+#: a night), so their per-test confidence is tighter to keep the whole
+#: sweep's false-alarm rate around one per thousand nights.
+LITMUS_CONFIDENCE = 0.99999
+
+#: The litmus convergence sweep's program battery: the four classics.
+LITMUS_CLASSICS = ("SB", "MP", "LB", "IRIW")
+
 
 def check(name: str, ok: bool, detail: str, failures: list[str]) -> None:
     verdict = "OK  " if ok else "FAIL"
@@ -71,6 +89,9 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["spawn", "philox"],
                         help="RNG plans to run the full bracket set under "
                              "(default: both)")
+    parser.add_argument("--litmus-trials", type=int, default=100_000,
+                        help="samples per (test, model, plan) in the litmus "
+                             "convergence sweep (default 10^5; 0 skips it)")
     options = parser.parse_args(argv)
 
     failures: list[str] = []
@@ -123,13 +144,56 @@ def main(argv: list[str] | None = None) -> int:
               f"vs Bonferroni [{bound_low:.5f}, {bound_high:.5f}]",
               failures)
 
+    def run_litmus_sweep() -> None:
+        from repro.core.memory_models import PAPER_MODELS
+        from repro.litmus import (
+            assert_frequencies_equivalent,
+            check_convergence,
+            explore_random,
+        )
+        from repro.runconfig import RunConfig
+
+        for test in LITMUS_CLASSICS:
+            for model in PAPER_MODELS:
+                tables = {}
+                for rng_plan in options.rng_plans:
+                    config = RunConfig(workers=options.workers,
+                                       rng_plan=rng_plan)
+                    table = explore_random(test, model, options.litmus_trials,
+                                           seed=options.seed, config=config)
+                    report = check_convergence(table)
+                    check(f"litmus-{rng_plan}/{test}-{model.name}",
+                          report.converged,
+                          f"{len(report.sampled)}/{len(report.enumerated)} "
+                          f"enumerated outcomes sampled, "
+                          f"{len(report.escaped)} escaped, "
+                          f"coverage {report.coverage:.3f}",
+                          failures)
+                    tables[rng_plan] = table
+                if len(tables) == 2:
+                    try:
+                        assert_frequencies_equivalent(
+                            tables["spawn"], tables["philox"],
+                            confidence=LITMUS_CONFIDENCE)
+                    except AssertionError as error:
+                        detail = str(error).splitlines()[0]
+                        check(f"litmus-xplan/{test}-{model.name}", False,
+                              detail, failures)
+                    else:
+                        check(f"litmus-xplan/{test}-{model.name}", True,
+                              "spawn and philox tables z-equivalent "
+                              f"@ {LITMUS_CONFIDENCE}", failures)
+
     for rng_plan in options.rng_plans:
         run_brackets(rng_plan)
+    if options.litmus_trials > 0:
+        run_litmus_sweep()
 
     elapsed = time.perf_counter() - start
     print(f"[nightly] {options.trials} trials/check, seed {options.seed}, "
           f"{options.workers} worker(s), "
-          f"plans {'+'.join(options.rng_plans)}, {elapsed:.1f}s total")
+          f"plans {'+'.join(options.rng_plans)}, "
+          f"litmus depth {options.litmus_trials}, {elapsed:.1f}s total")
     if failures:
         print(f"[nightly] {len(failures)} deep check(s) failed:",
               file=sys.stderr)

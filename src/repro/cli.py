@@ -179,6 +179,100 @@ def _cmd_litmus(args: argparse.Namespace) -> None:
     print(render_table(rows, title="Litmus verdicts (relaxed outcome per model)"))
 
 
+def _cmd_litmus_explore(args: argparse.Namespace) -> None:
+    """Sharded, cached litmus exploration (docs/LITMUS.md).
+
+    Exhaustive mode enumerates exact outcome sets over the test×model
+    grid (content-addressed in the shard cache); random mode estimates
+    outcome frequencies with seed-disciplined sampling and cross-checks
+    them against the enumerated sets.  Cache tallies go to stderr so
+    cold and warm runs print byte-identical stdout/--json output.
+    """
+    import json
+    import sys
+
+    from .litmus import (
+        check_convergence,
+        explore_exhaustive,
+        explore_random,
+        robustness_report,
+    )
+
+    tests = ([get_test(name) for name in args.tests]
+             if args.tests else list(ALL_TESTS))
+    models = ([get_model(name) for name in args.models]
+              if args.models else list(PAPER_MODELS))
+    config = args.run_config
+    payload: dict[str, object] = {}
+
+    exploration = None
+    if args.mode in ("exhaustive", "both"):
+        exploration = explore_exhaustive(tests, models, config=config)
+        rows = []
+        for test in tests:
+            row: dict[str, object] = {"test": test.name}
+            for model in models:
+                row[model.name] = len(
+                    exploration.outcome_set(test.name, model.name))
+            rows.append(row)
+        print(render_table(
+            rows, title="Exhaustive exploration (reachable outcomes per model)"))
+        if exploration.cache_hits or exploration.cache_stored:
+            print(f"cache: {exploration.cache_hits} hits, "
+                  f"{exploration.cache_misses} misses, "
+                  f"{exploration.cache_stored} stored", file=sys.stderr)
+        payload.update(exploration.to_json_dict())
+
+    if args.mode in ("random", "both"):
+        rows = []
+        random_payload: dict[str, dict[str, object]] = {}
+        for test in tests:
+            for model in models:
+                table = explore_random(test, model, args.trials,
+                                       seed=args.seed, config=config)
+                enumerated = (exploration.outcome_set(test.name, model.name)
+                              if exploration is not None else None)
+                report = check_convergence(table, enumerated)
+                rows.append({
+                    "test": test.name,
+                    "model": model.name,
+                    "sampled outcomes": len(table.support),
+                    "enumerated": len(report.enumerated),
+                    "coverage": report.coverage,
+                    "contained": report.contained,
+                })
+                entry = table.to_json_dict()
+                entry["coverage"] = report.coverage
+                entry["contained"] = report.contained
+                random_payload.setdefault(test.name, {})[model.name] = entry
+        print(render_table(
+            rows, precision=3,
+            title=f"Pseudorandom exploration ({args.trials} trials, "
+                  f"seed {args.seed})"))
+        payload["random"] = random_payload
+
+    if args.robustness:
+        robustness = robustness_report(
+            tests, [model for model in models if model.name != "SC"],
+            exploration=(exploration
+                         if exploration is not None
+                         and any(model.name == "SC" for model in models)
+                         else None),
+            config=config)
+        print(render_table(robustness.rows(),
+                           title="Robustness against weak models "
+                                 "(outcome-set diff vs SC)"))
+        payload["robustness"] = robustness.to_json_dict()
+
+    if args.json_path:
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+
+
 def _cmd_machine(args: argparse.Namespace) -> None:
     result = run_canonical_bug(
         args.model,
@@ -527,9 +621,43 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--max-n", type=int, default=64)
     scaling.set_defaults(run=_cmd_scaling)
 
-    litmus = sub.add_parser("litmus", help="litmus-test verdicts per model")
+    litmus = sub.add_parser("litmus",
+                            help="litmus-test verdicts and exploration")
     litmus.add_argument("--test", help="one test (SB, MP, LB, CoRR, 2+2W, IRIW, ...)")
     litmus.set_defaults(run=_cmd_litmus)
+    litmus_sub = litmus.add_subparsers(dest="litmus_command", required=False)
+    explore = litmus_sub.add_parser(
+        "explore", parents=[engine],
+        help="sharded, cached litmus exploration: exhaustive outcome "
+             "enumeration, pseudorandom frequency estimation, and the "
+             "robustness classifier (docs/LITMUS.md)")
+    explore.add_argument("--tests", nargs="+", metavar="TEST", default=None,
+                         help="litmus tests to explore (default: the full "
+                         "battery)")
+    explore.add_argument("--models", nargs="+", metavar="MODEL", default=None,
+                         help="memory models to explore under (default: all "
+                         "four paper models)")
+    explore.add_argument("--mode", choices=["exhaustive", "random", "both"],
+                         default="exhaustive",
+                         help="exhaustive: exact outcome sets (cached); "
+                         "random: seed-disciplined frequency estimation with "
+                         "a convergence cross-check; both: exhaustive first, "
+                         "then random checked against it (default: "
+                         "exhaustive)")
+    explore.add_argument("--trials", type=int, default=100_000,
+                         help="random-mode trial budget per grid point "
+                         "(default: 100000)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="random-mode root seed (default: 0)")
+    explore.add_argument("--robustness", action="store_true",
+                         help="also classify each test as robust vs "
+                         "non-robust per weak model (outcome-set diff "
+                         "against SC)")
+    explore.add_argument("--json", dest="json_path", metavar="FILE",
+                         default=None,
+                         help="also write the full deterministic report as "
+                         "JSON to FILE ('-' for stdout)")
+    explore.set_defaults(run=_cmd_litmus_explore)
 
     machine = sub.add_parser("machine", help="run the canonical bug on the simulator",
                              parents=[engine])

@@ -8,6 +8,26 @@ reproduces the architecture literature's allowed/forbidden outcomes
 from .atomicity import enumerate_outcomes_non_atomic
 from .checker import LitmusVerdict, check_all, check_test, outcome_to_string
 from .enumerator import Outcome, enumerate_outcomes, legal_reorderings
+from .explore import (
+    ConvergenceReport,
+    ExhaustiveOutcomes,
+    ExplorationReport,
+    OutcomeFrequencies,
+    assert_convergence,
+    assert_frequencies_equivalent,
+    check_convergence,
+    enumerator_fingerprint,
+    explore_entry_key,
+    explore_exhaustive,
+    explore_random,
+    program_digest,
+)
+from .robustness import (
+    RobustnessReport,
+    RobustnessVerdict,
+    classify_robustness,
+    robustness_report,
+)
 from .tests import (
     ALL_TESTS,
     COHERENCE_RR,
@@ -29,6 +49,9 @@ from .tests import (
 __all__ = [
     "ALL_TESTS",
     "COHERENCE_RR",
+    "ConvergenceReport",
+    "ExhaustiveOutcomes",
+    "ExplorationReport",
     "IRIW",
     "LOAD_BUFFERING",
     "LitmusTest",
@@ -36,18 +59,31 @@ __all__ = [
     "MESSAGE_PASSING",
     "MESSAGE_PASSING_FENCED",
     "Outcome",
+    "OutcomeFrequencies",
     "R_SHAPE",
+    "RobustnessReport",
+    "RobustnessVerdict",
     "S_SHAPE",
     "STORE_BUFFERING",
     "STORE_BUFFERING_FENCED",
     "STORE_BUFFERING_HALF_FENCED",
     "TWO_PLUS_TWO_W",
     "WRC",
+    "assert_convergence",
+    "assert_frequencies_equivalent",
     "check_all",
+    "check_convergence",
     "check_test",
+    "classify_robustness",
     "enumerate_outcomes",
     "enumerate_outcomes_non_atomic",
+    "enumerator_fingerprint",
+    "explore_entry_key",
+    "explore_exhaustive",
+    "explore_random",
     "get_test",
     "legal_reorderings",
     "outcome_to_string",
+    "program_digest",
+    "robustness_report",
 ]

@@ -1,0 +1,624 @@
+"""Sharded, cached litmus exploration — exhaustive and pseudorandom.
+
+The enumerator (:mod:`repro.litmus.enumerator`) computes the *exact*
+reachable-outcome set of a litmus test under one memory model.  This
+module turns that primitive into an engine-grade workload:
+
+**Exhaustive mode** (:func:`explore_exhaustive`) fans the full
+``tests × models`` grid over :func:`~repro.stats.parallel.parallel_map`
+and content-addresses each grid point's outcome set in the shard cache
+(:mod:`repro.cache`).  The entry key (:func:`explore_entry_key`) folds
+the *program digest* (thread names, operations, initial memory, observed
+locations), the model name, and the *enumerator fingerprint* (the
+compiled code of the enumeration pipeline, v2-style) — so a cached set
+can never be served for a different program, model, or enumerator
+version, and a warm re-run executes **zero** grid points.
+
+**Pseudorandom mode** (:func:`explore_random`) estimates outcome
+frequencies for programs too large to enumerate: each trial draws one
+model-legal reordering per thread and one uniformly random interleaving
+from the shard's seed-disciplined stream, executes it on atomic shared
+memory, and tallies the final state.  The run rides
+:func:`~repro.stats.parallel.run_sharded` unchanged, so frequency tables
+are **bit-identical for fixed** ``(seed, shards)`` at any worker count,
+under either RNG plan (``spawn``/``philox`` draw different streams, each
+reproducible), and shards checkpoint/cache like any estimation.
+
+A trial picks the next thread with probability proportional to its
+remaining operation count, which makes every distinct interleaving of
+the chosen per-thread orders exactly equally likely (the product of the
+step probabilities telescopes to ``∏ nₖ! / N!`` for every path).
+
+**Convergence cross-check** (:func:`check_convergence`,
+:func:`assert_convergence`, :func:`assert_frequencies_equivalent`)
+relates the two modes: every sampled outcome must lie inside the
+enumerated set (escape == a semantics bug, asserted hard), coverage of
+the enumerated set is reported and optionally required, and two
+frequency tables can be compared outcome-by-outcome with the two-sample
+z-harness of :mod:`repro.kernels.validation`.
+
+See ``docs/LITMUS.md`` for the workload tour and the cache-key contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from functools import partial
+
+from ..core.memory_models import PAPER_MODELS, MemoryModel, get_model
+from ..errors import LitmusError
+from ..runconfig import RunConfig, resolve_run_config
+from ..sim.isa import Load, Store
+from ..stats.checkpoint import kernel_fingerprint
+from ..stats.parallel import (
+    ShardPlan,
+    parallel_map,
+    resolve_workers,
+    run_sharded,
+)
+from ..stats.rng import RandomSource
+from .checker import outcome_to_string
+from .enumerator import (
+    Outcome,
+    _execute_interleavings,
+    _pair_may_reorder,
+    enumerate_outcomes,
+    legal_reorderings,
+)
+from .tests import ALL_TESTS, LitmusTest, get_test
+
+__all__ = [
+    "ExhaustiveOutcomes",
+    "ExplorationReport",
+    "OutcomeFrequencies",
+    "ConvergenceReport",
+    "program_digest",
+    "enumerator_fingerprint",
+    "explore_entry_key",
+    "explore_exhaustive",
+    "explore_random",
+    "check_convergence",
+    "assert_convergence",
+    "assert_frequencies_equivalent",
+]
+
+
+# ----------------------------------------------------------------------
+# Identity: what a cached outcome set is an outcome set *of*
+# ----------------------------------------------------------------------
+
+
+def program_digest(test: LitmusTest) -> str:
+    """A stable hex digest of everything that determines a test's outcomes.
+
+    Covers the thread names (they appear in outcome keys), each thread's
+    operation sequence, the initial memory, and the observed locations —
+    and nothing else: the registry name and prose description stay out,
+    so a renamed battery keeps hitting its cached entries.
+    """
+    parts = []
+    for program in test.programs:
+        ops = ";".join(repr(operation) for operation in program.operations)
+        parts.append(f"{program.name}[{ops}]")
+    blob = "|".join(parts)
+    blob += "|init:" + ",".join(
+        f"{location}={value}"
+        for location, value in sorted(test.initial_memory.items())
+    )
+    blob += "|obs:" + ",".join(test.observed_locations)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def enumerator_fingerprint() -> str:
+    """The enumeration pipeline's computational identity (v2-style).
+
+    :func:`~repro.stats.checkpoint.kernel_fingerprint` of
+    :func:`~repro.litmus.enumerator.enumerate_outcomes` only covers that
+    function's own code, so the helpers it calls are folded in as extra
+    salt — any change to reordering legality or interleaving execution
+    invalidates every cached outcome set.
+    """
+    extra = "|".join(
+        kernel_fingerprint(helper)
+        for helper in (legal_reorderings, _pair_may_reorder,
+                       _execute_interleavings)
+    )
+    return kernel_fingerprint(enumerate_outcomes, extra=extra)
+
+
+def explore_entry_key(digest: str, model: str, fingerprint: str) -> str:
+    """The cache entry key of one exhaustive grid point.
+
+    Mirrors :func:`repro.cache.shard_entry_key`: a sha256[:32] over a
+    namespaced identity string — here the program digest, the model
+    name, and the enumerator fingerprint.
+    """
+    blob = f"litmus-explore:v1:{digest}:{model}:{fingerprint}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExhaustiveOutcomes:
+    """One grid point: the exact outcome set of ``test`` under ``model``."""
+
+    test: str
+    model: str
+    outcomes: frozenset[Outcome]
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """An exhaustive exploration of a ``tests × models`` grid.
+
+    ``results`` holds one :class:`ExhaustiveOutcomes` per grid point in
+    grid order (tests outer, models inner); the cache tallies say how
+    many points were fetched vs executed vs stored this run.
+    """
+
+    results: tuple[ExhaustiveOutcomes, ...]
+    cache_hits: int
+    cache_misses: int
+    cache_stored: int
+    fingerprint: str
+
+    def outcome_set(self, test: str, model: str) -> frozenset[Outcome]:
+        """The outcome set of one grid point (raises on an unknown one)."""
+        for result in self.results:
+            if result.test == test and result.model == model:
+                return result.outcomes
+        raise KeyError(f"no grid point ({test!r}, {model!r}) in this report")
+
+    def to_json_dict(self) -> dict[str, object]:
+        """A deterministic JSON-ready view: sorted outcome strings per point.
+
+        Cache tallies and timings stay out so a warm re-run serialises
+        byte-identically to the cold run that populated the cache.
+        """
+        tests: dict[str, dict[str, list[str]]] = {}
+        for result in self.results:
+            tests.setdefault(result.test, {})[result.model] = sorted(
+                outcome_to_string(outcome) for outcome in result.outcomes
+            )
+        return {"tests": tests}
+
+
+@dataclass(frozen=True)
+class OutcomeFrequencies:
+    """A pseudorandom exploration's outcome frequency table.
+
+    ``counts`` is a tuple of ``(outcome, count)`` pairs sorted by
+    outcome — a canonical, hashable form, so two tables produced by
+    equal ``(seed, shards, rng_plan)`` runs compare equal with ``==``
+    no matter how many workers executed them.
+    """
+
+    test: str
+    model: str
+    trials: int
+    seed: int | None
+    shards: int
+    rng_plan: str
+    counts: tuple[tuple[Outcome, int], ...]
+
+    @property
+    def support(self) -> frozenset[Outcome]:
+        """The set of outcomes observed at least once."""
+        return frozenset(outcome for outcome, _ in self.counts)
+
+    def count(self, outcome: Outcome) -> int:
+        """How many trials ended in ``outcome`` (0 if never seen)."""
+        return dict(self.counts).get(outcome, 0)
+
+    def frequency(self, outcome: Outcome) -> float:
+        """The empirical probability of ``outcome``."""
+        return self.count(outcome) / self.trials
+
+    def to_json_dict(self) -> dict[str, object]:
+        """A JSON-ready view keyed by rendered outcome strings."""
+        return {
+            "test": self.test,
+            "model": self.model,
+            "trials": self.trials,
+            "seed": self.seed,
+            "shards": self.shards,
+            "rng_plan": self.rng_plan,
+            "counts": {outcome_to_string(outcome): count
+                       for outcome, count in self.counts},
+        }
+
+
+# ----------------------------------------------------------------------
+# Exhaustive mode
+# ----------------------------------------------------------------------
+
+
+def _resolve_tests(tests) -> list[LitmusTest]:
+    if tests is None:
+        return list(ALL_TESTS)
+    return [get_test(test) if isinstance(test, str) else test
+            for test in tests]
+
+
+def _resolve_models(models) -> list[MemoryModel]:
+    if models is None:
+        return list(PAPER_MODELS)
+    return [get_model(model) if isinstance(model, str) else model
+            for model in models]
+
+
+def _exhaustive_point(
+    point: tuple[LitmusTest, str],
+) -> tuple[frozenset, float, int]:
+    """Enumerate one grid point; returns (outcomes, seconds, worker pid).
+
+    The point carries the :class:`LitmusTest` itself (a plain frozen
+    dataclass, so it pickles) rather than a registry name — ad-hoc tests
+    outside :data:`~repro.litmus.tests.ALL_TESTS` fan out over the pool
+    just like battery tests.
+    """
+    test, model_name = point
+    model = get_model(model_name)
+    started = time.perf_counter()
+    outcomes = frozenset(enumerate_outcomes(
+        list(test.programs), model, dict(test.initial_memory),
+        test.observed_locations,
+    ))
+    return outcomes, time.perf_counter() - started, os.getpid()
+
+
+def explore_exhaustive(
+    tests=None,
+    models=None,
+    *,
+    config: RunConfig | None = None,
+) -> ExplorationReport:
+    """Enumerate every ``tests × models`` grid point, cached and sharded.
+
+    ``tests``/``models`` accept names or instances (default: the full
+    battery under all four paper models).  With ``config.cache`` set,
+    each point's outcome set is content-addressed under
+    :func:`explore_entry_key`; cached points are fetched without
+    executing, so a warm re-run executes zero points.  Uncached points
+    fan out over :func:`~repro.stats.parallel.parallel_map` with the
+    config's workers/retries/timeout.  Observability knobs produce the
+    standard manifest: cached points appear as cached shards and the
+    cache tallies land in ``run.cache_hits``/``run.cache_misses``.
+    """
+    cfg = resolve_run_config(config).resolve()
+    tests = _resolve_tests(tests)
+    models = _resolve_models(models)
+    if not tests or not models:
+        raise LitmusError("exploration needs at least one test and one model")
+    fingerprint = enumerator_fingerprint()
+    grid = [(test.name, model.name) for test in tests for model in models]
+    if len(set(grid)) != len(grid):
+        raise LitmusError("duplicate (test, model) grid points in exploration")
+    points = {(test.name, model.name): (test, model.name)
+              for test in tests for model in models}
+    digests = {test.name: program_digest(test) for test in tests}
+    keys = {(test_name, model_name):
+            explore_entry_key(digests[test_name], model_name, fingerprint)
+            for test_name, model_name in grid}
+
+    store = None
+    if cfg.cache not in (None, False):
+        from ..cache import resolve_cache
+        store = resolve_cache(cfg.cache)
+
+    cached: dict[tuple[str, str], frozenset] = {}
+    misses: list[tuple[str, str]] = []
+    for point in grid:
+        hit = store.get(keys[point]) if store is not None else None
+        if hit is not None:
+            cached[point] = hit
+        else:
+            misses.append(point)
+
+    observer = cfg.observer("litmus-explore")
+    if observer is not None:
+        # Each grid point counts as one shard of work, exactly as
+        # parallel_map reports sweep items — the manifest schema's
+        # "sharded" mode covers grid fan-outs too.
+        observer.run_started(
+            trials=len(grid), shards=len(grid), seed=None,
+            workers=resolve_workers(cfg.workers),
+            active_shards=len(grid), retries=cfg.retries,
+            timeout=cfg.timeout,
+        )
+    position = {point: index for index, point in enumerate(grid)}
+    if observer is not None:
+        for point in grid:
+            if point in cached:
+                observer.shard_cached(position[point], 1)
+
+    executed = []
+    if misses:
+        executed = parallel_map(
+            _exhaustive_point, [points[point] for point in misses],
+            workers=cfg.workers, retries=cfg.retries, timeout=cfg.timeout,
+        )
+
+    evictions = 0
+    outcome_sets: dict[tuple[str, str], frozenset] = dict(cached)
+    for point, (outcomes, seconds, worker) in zip(misses, executed):
+        outcome_sets[point] = outcomes
+        if store is not None:
+            evictions += store.put(keys[point], outcomes)
+        if observer is not None:
+            from ..obs import ShardEvent
+            observer.shard_finished(ShardEvent(
+                shard=position[point], trials=1, seconds=seconds,
+                attempts=1, worker=worker,
+            ))
+
+    stored = len(misses) if store is not None else 0
+    results = tuple(
+        ExhaustiveOutcomes(test=test_name, model=model_name,
+                           outcomes=outcome_sets[(test_name, model_name)],
+                           cached=(test_name, model_name) in cached)
+        for test_name, model_name in grid
+    )
+    report = ExplorationReport(
+        results=results, cache_hits=len(cached), cache_misses=len(misses),
+        cache_stored=stored, fingerprint=fingerprint,
+    )
+    if observer is not None:
+        if store is not None:
+            observer.cache_summary(hits=len(cached), misses=len(misses),
+                                   stored=stored, evictions=evictions)
+        observer.annotate("explore.grid_points", len(grid), "points")
+        observer.annotate(
+            "explore.outcomes_total",
+            sum(len(result.outcomes) for result in results), "outcomes")
+        observer.finish(report.to_json_dict())
+    return report
+
+
+# ----------------------------------------------------------------------
+# Pseudorandom mode
+# ----------------------------------------------------------------------
+
+
+def _random_shard(
+    source: RandomSource, trials: int, *, test: LitmusTest, model_name: str
+) -> dict[Outcome, int]:
+    """One shard of pseudorandom exploration: ``trials`` sampled executions.
+
+    Each trial draws a uniformly random legal reordering per thread,
+    then a uniformly random interleaving of the chosen orders (next
+    thread picked proportionally to its remaining operations), executed
+    over atomic shared memory exactly as the enumerator executes its
+    exhaustive interleavings.  The bound ``test`` (a picklable frozen
+    dataclass) enters the kernel fingerprint via the ``partial``, so
+    checkpoints and cache entries key on the actual program.
+    """
+    model = get_model(model_name)
+    orders = [legal_reorderings(program, model) for program in test.programs]
+    names = [program.name for program in test.programs]
+    observed = test.observed_locations
+    counts: dict[Outcome, int] = {}
+    for _ in range(trials):
+        threads = [
+            choices[source.uniform_int(0, len(choices) - 1)]
+            if len(choices) > 1 else choices[0]
+            for choices in orders
+        ]
+        remaining = [len(thread) for thread in threads]
+        pcs = [0] * len(threads)
+        total = sum(remaining)
+        memory = dict(test.initial_memory)
+        registers: dict[str, int] = {}
+        while total:
+            pick = source.uniform_int(1, total)
+            index = 0
+            while pick > remaining[index]:
+                pick -= remaining[index]
+                index += 1
+            operation = threads[index][pcs[index]]
+            pcs[index] += 1
+            remaining[index] -= 1
+            total -= 1
+            if isinstance(operation, Load):
+                registers[f"{names[index]}:{operation.dst}"] = memory.get(
+                    operation.location, 0)
+            elif isinstance(operation, Store):
+                if operation.src is not None:
+                    value = registers.get(f"{names[index]}:{operation.src}", 0)
+                else:
+                    value = operation.value
+                memory[operation.location] = value
+        entries = list(registers.items())
+        entries += [(f"mem:{location}", memory.get(location, 0))
+                    for location in observed]
+        outcome = tuple(sorted(entries))
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts
+
+
+def explore_random(
+    test,
+    model,
+    trials: int,
+    *,
+    seed: int | None = 0,
+    config: RunConfig | None = None,
+) -> OutcomeFrequencies:
+    """Estimate outcome frequencies by seed-disciplined random exploration.
+
+    The table depends only on ``(seed, shards, rng_plan)`` — shards
+    merge in shard order, so results are bit-identical at any worker
+    count and over any transport.  The run inherits the config's full
+    engine surface: checkpoints resume it, the shard cache fetches
+    previously-computed shards, and the observability knobs produce the
+    standard manifest/trace/progress.
+    """
+    cfg = resolve_run_config(config).resolve()
+    test = get_test(test) if isinstance(test, str) else test
+    model = get_model(model) if isinstance(model, str) else model
+    if trials < 1:
+        raise LitmusError(f"trials must be positive, got {trials}")
+    plan = ShardPlan(trials, cfg.resolved_shards(), seed, cfg.rng_plan)
+    kernel = partial(_random_shard, test=test, model_name=model.name)
+    label = f"litmus-explore:{test.name}:{model.name}"
+
+    def execute(observer):
+        return run_sharded(kernel, plan, workers=cfg.workers,
+                           checkpoint_label=label, observer=observer,
+                           **cfg.engine_options())
+
+    def merge(parts) -> OutcomeFrequencies:
+        totals: dict[Outcome, int] = {}
+        for part in parts:
+            for outcome, count in part.items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return OutcomeFrequencies(
+            test=test.name, model=model.name, trials=trials, seed=plan.seed,
+            shards=plan.shards, rng_plan=plan.rng_plan,
+            counts=tuple(sorted(totals.items())),
+        )
+
+    observer = cfg.observer(label)
+    if observer is None:
+        return merge(execute(None))
+    with observer.span("run"):
+        with observer.span("shards"):
+            parts = execute(observer)
+        with observer.span("merge"):
+            merged = merge(parts)
+    observer.finish(merged.to_json_dict())
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Convergence cross-check
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """How a sampled frequency table relates to the enumerated truth."""
+
+    test: str
+    model: str
+    trials: int
+    enumerated: frozenset[Outcome]
+    sampled: frozenset[Outcome]
+
+    @property
+    def escaped(self) -> frozenset[Outcome]:
+        """Sampled outcomes OUTSIDE the enumerated set (must be empty)."""
+        return self.sampled - self.enumerated
+
+    @property
+    def unseen(self) -> frozenset[Outcome]:
+        """Enumerated outcomes the sampler has not hit yet."""
+        return self.enumerated - self.sampled
+
+    @property
+    def contained(self) -> bool:
+        return not self.escaped
+
+    @property
+    def converged(self) -> bool:
+        """Contained with full support: the sampler found every outcome."""
+        return self.contained and not self.unseen
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the enumerated set the sampler has observed."""
+        if not self.enumerated:
+            return 1.0
+        return len(self.sampled & self.enumerated) / len(self.enumerated)
+
+
+def check_convergence(
+    frequencies: OutcomeFrequencies,
+    enumerated: frozenset[Outcome] | ExhaustiveOutcomes | None = None,
+) -> ConvergenceReport:
+    """Relate a sampled table to the enumerated outcome set.
+
+    ``enumerated`` may be a pre-computed set (e.g. from an
+    :class:`ExplorationReport`) or ``None`` to enumerate here — the
+    ``None`` form looks the test up by name, so ad-hoc tests outside the
+    battery must pass their enumerated set explicitly.
+    """
+    if enumerated is None:
+        test = get_test(frequencies.test)
+        model = get_model(frequencies.model)
+        enumerated = frozenset(enumerate_outcomes(
+            list(test.programs), model, dict(test.initial_memory),
+            test.observed_locations,
+        ))
+    elif isinstance(enumerated, ExhaustiveOutcomes):
+        enumerated = enumerated.outcomes
+    return ConvergenceReport(
+        test=frequencies.test, model=frequencies.model,
+        trials=frequencies.trials, enumerated=frozenset(enumerated),
+        sampled=frequencies.support,
+    )
+
+
+def assert_convergence(
+    frequencies: OutcomeFrequencies,
+    enumerated: frozenset[Outcome] | ExhaustiveOutcomes | None = None,
+    *,
+    require_full_support: bool = False,
+) -> ConvergenceReport:
+    """Hard-assert containment (and, optionally, full support).
+
+    A sampled outcome outside the enumerated set means the two modes
+    disagree about the semantics — always an error.  ``unseen`` outcomes
+    are a sampling-budget question, so they only raise when the caller
+    demands full support.
+    """
+    report = check_convergence(frequencies, enumerated)
+    if report.escaped:
+        rendered = ", ".join(sorted(outcome_to_string(outcome)
+                                    for outcome in report.escaped))
+        raise LitmusError(
+            f"{report.test}/{report.model}: sampled outcome(s) escape the "
+            f"enumerated set after {report.trials} trials: {rendered}")
+    if require_full_support and report.unseen:
+        rendered = ", ".join(sorted(outcome_to_string(outcome)
+                                    for outcome in report.unseen))
+        raise LitmusError(
+            f"{report.test}/{report.model}: enumerated outcome(s) never "
+            f"sampled in {report.trials} trials "
+            f"(coverage {report.coverage:.3f}): {rendered}")
+    return report
+
+
+def assert_frequencies_equivalent(
+    first: OutcomeFrequencies,
+    second: OutcomeFrequencies,
+    *,
+    confidence: float = 0.999,
+) -> None:
+    """z-test every outcome's frequency across two independent tables.
+
+    Reuses the two-sample proportion harness of
+    :mod:`repro.kernels.validation` over the union support — e.g. a
+    spawn-plan run against a philox-plan run of the same program, which
+    sample the same law from different streams.
+    """
+    from ..kernels.validation import assert_equivalent_proportions
+
+    first_counts = dict(first.counts)
+    second_counts = dict(second.counts)
+    for outcome in sorted(set(first_counts) | set(second_counts)):
+        assert_equivalent_proportions(
+            first_counts.get(outcome, 0), first.trials,
+            second_counts.get(outcome, 0), second.trials,
+            confidence=confidence,
+            context=(f"{first.test}/{first.model} outcome "
+                     f"{outcome_to_string(outcome)}"),
+        )

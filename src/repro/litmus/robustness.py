@@ -1,0 +1,144 @@
+"""TSO/PSO/WO robustness: is a program's weak-memory behaviour SC-equivalent?
+
+A program is *robust* against a memory model when the model admits no
+execution behaviour beyond sequential consistency — the notion Bouajjani,
+Meyer and Möhlmann decide for TSO by reduction to SC reachability
+("Deciding Robustness against Total Store Ordering").  Under the paper's
+store-atomic, reordering-only semantics, the enumerator computes exact
+reachable-outcome sets, so robustness here is a plain set question:
+
+    robust(test, model)  ⇔  outcomes(test, model) == outcomes(test, SC)
+
+The SC set is always a subset (the identity ordering is legal in every
+model), so non-robustness is witnessed by concrete *extra outcomes* —
+final states only the weak model can reach — which the verdict carries
+for reporting.
+
+Classification rides :func:`~repro.litmus.explore.explore_exhaustive`,
+so a battery report shares the exploration engine's grid fan-out and
+content-addressed outcome-set cache: re-classifying a battery against a
+warm cache enumerates nothing.
+
+Classic pins (asserted in the tests): SB is non-robust under TSO (its
+ST→LD reordering is exactly TSO's relaxation), while MP is robust under
+TSO (ST/ST and LD/LD pairs do not reorder) yet non-robust under PSO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.memory_models import PSO, TSO, WO, get_model
+from ..runconfig import RunConfig
+from .checker import outcome_to_string
+from .enumerator import Outcome
+from .explore import ExplorationReport, _resolve_models, _resolve_tests, explore_exhaustive
+
+__all__ = ["RobustnessVerdict", "RobustnessReport", "classify_robustness",
+           "robustness_report"]
+
+#: The SC-equivalence baseline every verdict diffs against.
+BASELINE = "SC"
+
+
+@dataclass(frozen=True)
+class RobustnessVerdict:
+    """One (test, model) classification against the SC baseline."""
+
+    test: str
+    model: str
+    robust: bool
+    extra_outcomes: tuple[Outcome, ...]
+
+    def describe(self) -> str:
+        if self.robust:
+            return f"{self.test} is robust against {self.model}"
+        rendered = "; ".join(outcome_to_string(outcome)
+                             for outcome in self.extra_outcomes)
+        return (f"{self.test} admits {len(self.extra_outcomes)} non-SC "
+                f"outcome(s) under {self.model}: {rendered}")
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Per-battery robustness classification (verdicts in grid order)."""
+
+    baseline: str
+    verdicts: tuple[RobustnessVerdict, ...]
+
+    def robust(self, test: str, model: str) -> bool:
+        """The classification of one (test, model) pair."""
+        for verdict in self.verdicts:
+            if verdict.test == test and verdict.model == model:
+                return verdict.robust
+        raise KeyError(f"no verdict for ({test!r}, {model!r})")
+
+    def rows(self) -> list[dict[str, object]]:
+        """One table row per test: robust/NON-ROBUST cell per model."""
+        models: list[str] = []
+        for verdict in self.verdicts:
+            if verdict.model not in models:
+                models.append(verdict.model)
+        rows = []
+        for verdict in self.verdicts:
+            if not rows or rows[-1]["test"] != verdict.test:
+                rows.append({"test": verdict.test})
+            rows[-1][verdict.model] = (
+                "robust" if verdict.robust
+                else f"NON-ROBUST (+{len(verdict.extra_outcomes)})")
+        return rows
+
+    def to_json_dict(self) -> dict[str, object]:
+        """A deterministic JSON-ready view of every verdict."""
+        verdicts: dict[str, dict[str, object]] = {}
+        for verdict in self.verdicts:
+            verdicts.setdefault(verdict.test, {})[verdict.model] = {
+                "robust": verdict.robust,
+                "extra_outcomes": [outcome_to_string(outcome)
+                                   for outcome in verdict.extra_outcomes],
+            }
+        return {"baseline": self.baseline, "verdicts": verdicts}
+
+
+def classify_robustness(
+    test, model, *, config: RunConfig | None = None
+) -> RobustnessVerdict:
+    """Classify one test against one model (see :func:`robustness_report`)."""
+    report = robustness_report([test], [model], config=config)
+    return report.verdicts[0]
+
+
+def robustness_report(
+    tests=None,
+    models=None,
+    *,
+    config: RunConfig | None = None,
+    exploration: ExplorationReport | None = None,
+) -> RobustnessReport:
+    """Diff enumerated outcome sets against SC across a battery.
+
+    ``models`` defaults to the three weak paper models (TSO, PSO, WO);
+    an explicit SC entry is ignored (SC is trivially robust against
+    itself).  ``exploration`` may supply a pre-computed
+    :class:`~repro.litmus.explore.ExplorationReport` covering the tests
+    under SC and every requested model; otherwise the grid is explored
+    here with ``config`` (so a configured cache is shared with any other
+    exploration of the same programs).
+    """
+    tests = _resolve_tests(tests)
+    models = [model for model in
+              _resolve_models(models if models is not None else (TSO, PSO, WO))
+              if model.name != BASELINE]
+    if exploration is None:
+        grid_models = [get_model(BASELINE)] + models
+        exploration = explore_exhaustive(tests, grid_models, config=config)
+    verdicts = []
+    for test in tests:
+        baseline = exploration.outcome_set(test.name, BASELINE)
+        for model in models:
+            reachable = exploration.outcome_set(test.name, model.name)
+            extra = tuple(sorted(reachable - baseline))
+            verdicts.append(RobustnessVerdict(
+                test=test.name, model=model.name,
+                robust=not extra, extra_outcomes=extra))
+    return RobustnessReport(baseline=BASELINE, verdicts=tuple(verdicts))

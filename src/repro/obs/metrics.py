@@ -68,6 +68,8 @@ METRICS_CATALOGUE: dict[str, tuple[str, str, str]] = {
     "run.cache_stored": ("counter", "shards", "executed shards written to the result cache"),
     "run.cache_evictions": ("counter", "entries", "cache entries evicted by this run's writes"),
     "run.journal_skipped": ("counter", "lines", "torn/undecodable checkpoint journal lines skipped on load"),
+    "explore.grid_points": ("gauge", "points", "litmus test x model grid points in an exhaustive exploration"),
+    "explore.outcomes_total": ("gauge", "outcomes", "enumerated outcomes summed over the explored grid"),
     "service.jobs_submitted": ("counter", "jobs", "jobs accepted and enqueued by the job server"),
     "service.jobs_deduped": ("counter", "jobs", "submissions collapsed onto an existing identical job"),
     "service.jobs_completed": ("counter", "jobs", "jobs that finished with a result"),

@@ -81,6 +81,7 @@ class RunObserver:
         self._timeouts: dict[int, int] = {}
         self._recycles = 0
         self._cache = {"hits": 0, "misses": 0, "stored": 0, "evictions": 0}
+        self._annotations: dict[str, tuple[float, str]] = {}
         self._journal_skipped = 0
         self._run: dict[str, object] | None = None
         self._started = time.perf_counter()
@@ -157,6 +158,17 @@ class RunObserver:
         self._cache["misses"] += misses
         self._cache["stored"] += stored
         self._cache["evictions"] += evictions
+
+    def annotate(self, name: str, value: float, unit: str = "") -> None:
+        """Record a caller-supplied gauge folded into :meth:`final_metrics`.
+
+        Workload drivers that are not plain trial runs (e.g. litmus
+        exploration over a test×model grid) use this to publish their
+        own dimensions; the name should be registered in
+        :data:`~repro.obs.metrics.METRICS_CATALOGUE` and documented in
+        ``docs/OBSERVABILITY.md`` like any engine metric.
+        """
+        self._annotations[name] = (float(value), unit)
 
     def journal_skipped(self, lines: int) -> None:
         """Torn/undecodable journal lines dropped while loading a checkpoint."""
@@ -254,6 +266,8 @@ class RunObserver:
             )
         else:
             registry.gauge("run.trials_per_second", "trials/s")
+        for name, (value, unit) in sorted(self._annotations.items()):
+            registry.gauge(name, unit).set(value)
         return registry
 
     def finish(self, result: object = None) -> dict[str, object] | None:

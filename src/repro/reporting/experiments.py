@@ -209,13 +209,29 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.service",),
         bench="benchmarks/bench_service_latency.py",
     ),
+    Experiment(
+        id="E23",
+        paper_artifact="infrastructure: litmus exploration engine",
+        summary="Sharded litmus exploration on the E11 substrate: "
+        "exhaustive mode enumerates exact outcome sets over the "
+        "tests x models grid, content-addressed in the shard cache "
+        "(program digest + model + enumerator fingerprint), so warm "
+        "re-explorations execute zero grid points; pseudorandom mode "
+        "samples legal reorderings and uniformly random interleavings "
+        "with seed-disciplined streams (tables bit-identical at any "
+        "worker count) and must converge into the enumerated sets; the "
+        "robustness analyzer diffs each weak model's set against SC — "
+        "warm-cache speedup tracked in BENCH_litmus_explore.json.",
+        modules=("repro.litmus.explore", "repro.litmus.robustness"),
+        bench="benchmarks/bench_litmus_explore.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}
 
 
 def get_experiment(experiment_id: str) -> Experiment:
-    """Look up an experiment by id (``"E1"`` … ``"E22"``)."""
+    """Look up an experiment by id (``"E1"`` … ``"E23"``)."""
     try:
         return _REGISTRY[experiment_id.upper()]
     except KeyError:

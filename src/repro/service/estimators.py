@@ -123,6 +123,26 @@ def _run_canonical_bug(params: dict[str, Any], config: RunConfig) -> Any:
     )
 
 
+def _run_litmus_explore(params: dict[str, Any], config: RunConfig) -> Any:
+    from ..core.memory_models import get_model
+    from ..litmus import explore_exhaustive, explore_random, get_test
+
+    mode = params["mode"]
+    if mode == "exhaustive":
+        report = explore_exhaustive([get_test(params["test"])],
+                                    [get_model(params["model"])],
+                                    config=config)
+        return report.to_json_dict()
+    if mode == "random":
+        table = explore_random(params["test"], params["model"],
+                               params["trials"], seed=params["seed"],
+                               config=config)
+        return table.to_json_dict()
+    raise ServiceError(
+        400, "bad-param",
+        f"param 'mode' must be 'exhaustive' or 'random', got {mode!r}")
+
+
 _MODEL = ParamSpec("model", (str,), "memory model name (`SC`/`TSO`/`PSO`/`WO`)",
                    required=True)
 _TRIALS = ParamSpec("trials", (int,), "Monte-Carlo trial budget",
@@ -173,6 +193,27 @@ ESTIMATORS: dict[str, EstimatorSpec] = {
             _CONFIDENCE,
         ),
         runner=_run_canonical_bug,
+    ),
+    "litmus_explore": EstimatorSpec(
+        name="litmus_explore",
+        summary="litmus exploration of one test under one model: the exact "
+                "enumerated outcome set ('exhaustive', content-addressed in "
+                "the shard cache) or a seed-disciplined outcome frequency "
+                "table ('random')",
+        params=(
+            ParamSpec("test", (str,),
+                      "litmus test name (`SB`/`MP`/`LB`/`IRIW`/...)",
+                      required=True),
+            _MODEL,
+            ParamSpec("mode", (str,),
+                      "'exhaustive' (exact outcome set) or 'random' "
+                      "(sampled frequency table)", default="exhaustive"),
+            ParamSpec("trials", (int,),
+                      "random-mode trial budget (ignored by 'exhaustive')",
+                      default=100_000),
+            _SEED,
+        ),
+        runner=_run_litmus_explore,
     ),
 }
 

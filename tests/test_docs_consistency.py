@@ -232,6 +232,41 @@ def test_runconfig_examples_migrated(api_text, obs_text, caching_text):
     assert "config=" in readme, "README lacks a config= example"
 
 
+@pytest.fixture(scope="module")
+def litmus_text() -> str:
+    return (DOCS / "LITMUS.md").read_text(encoding="utf-8")
+
+
+def test_litmus_doc_and_e23_documented(litmus_text):
+    from repro.reporting import get_experiment
+
+    e23 = get_experiment("E23")
+    assert e23.modules == ("repro.litmus.explore", "repro.litmus.robustness")
+    experiments = (README.parent / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "## E23" in experiments, "EXPERIMENTS.md lacks the E23 section"
+    assert e23.bench in experiments
+    # The engine surface a reader must be able to look up.
+    for needle in ("explore_exhaustive", "explore_random",
+                   "robustness_report", "program_digest",
+                   "enumerator_fingerprint", "explore_entry_key",
+                   "check_convergence", "assert_frequencies_equivalent",
+                   "litmus explore", "--robustness", "--mode", "--trials",
+                   "explore.grid_points", "explore.outcomes_total",
+                   "litmus_explore", "BENCH_litmus_explore.json"):
+        assert needle in litmus_text, f"docs/LITMUS.md lacks {needle!r}"
+    readme = README.read_text(encoding="utf-8")
+    assert "litmus explore" in readme, "README lacks a litmus explore example"
+
+
+def test_litmus_doc_is_cross_linked(litmus_text, api_text, caching_text,
+                                    obs_text):
+    for target in ("API.md", "CACHING.md", "OBSERVABILITY.md"):
+        assert target in litmus_text
+    assert "LITMUS.md" in caching_text or "LITMUS.md" in api_text, (
+        "neither docs/API.md nor docs/CACHING.md links docs/LITMUS.md"
+    )
+
+
 def test_cache_flag_and_e21_documented(api_text):
     from repro.reporting import get_experiment
 

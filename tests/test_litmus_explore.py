@@ -1,0 +1,403 @@
+"""Tests for repro.litmus.explore and repro.litmus.robustness.
+
+The exploration engine's contracts: exhaustive mode reproduces the
+enumerator bit for bit (and E11's allowed/forbidden matrix with it),
+pseudorandom tables depend only on ``(seed, shards, rng_plan)``, the
+content-addressed cache serves warm grids without executing anything,
+and the robustness analyzer's SC-diff matches the literature pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import PAPER_MODELS, PSO, SC, TSO, WO
+from repro.errors import LitmusError
+from repro.litmus import (
+    ALL_TESTS,
+    LitmusTest,
+    OutcomeFrequencies,
+    assert_convergence,
+    assert_frequencies_equivalent,
+    check_convergence,
+    classify_robustness,
+    enumerate_outcomes,
+    enumerator_fingerprint,
+    explore_entry_key,
+    explore_exhaustive,
+    explore_random,
+    get_test,
+    program_digest,
+    robustness_report,
+)
+from repro.runconfig import RunConfig
+from repro.sim import Load, Store, ThreadProgram
+
+CLASSICS = ("SB", "MP", "LB", "IRIW")
+
+#: SB with renamed threads: semantics identical, labels different.
+RELABELED_SB = LitmusTest(
+    name="SB-relabeled",
+    description="Store buffering with renamed threads.",
+    programs=(
+        ThreadProgram("A", (Store("x", value=1), Load("r1", "y"))),
+        ThreadProgram("B", (Store("y", value=1), Load("r2", "x"))),
+    ),
+    relaxed_outcome=(("A:r1", 0), ("B:r2", 0)),
+    allowed={"SC": False, "TSO": True, "PSO": True, "WO": True},
+)
+
+
+def _rename(outcome, mapping):
+    return tuple(sorted(
+        (mapping.get(key.split(":")[0], key.split(":")[0])
+         + ":" + key.split(":", 1)[1], value)
+        for key, value in outcome
+    ))
+
+
+class TestExhaustive:
+    def test_reproduces_enumerator_bit_identically(self):
+        """E11 at engine level: the grid equals direct enumeration."""
+        report = explore_exhaustive()
+        for test in ALL_TESTS:
+            for model in PAPER_MODELS:
+                direct = frozenset(enumerate_outcomes(
+                    list(test.programs), model, dict(test.initial_memory),
+                    test.observed_locations))
+                assert report.outcome_set(test.name, model.name) == direct
+
+    def test_e11_matrix_via_exploration(self):
+        report = explore_exhaustive()
+        for test in ALL_TESTS:
+            for model in PAPER_MODELS:
+                reachable = test.relaxed_outcome in report.outcome_set(
+                    test.name, model.name)
+                assert reachable == test.allowed[model.name], (
+                    test.name, model.name)
+
+    def test_accepts_names_and_instances(self):
+        by_name = explore_exhaustive(["SB"], ["TSO"])
+        by_instance = explore_exhaustive([get_test("SB")], [TSO])
+        assert by_name.to_json_dict() == by_instance.to_json_dict()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(LitmusError):
+            explore_exhaustive([], ["TSO"])
+        with pytest.raises(LitmusError):
+            explore_exhaustive(["SB"], [])
+
+    def test_duplicate_grid_point_rejected(self):
+        with pytest.raises(LitmusError):
+            explore_exhaustive(["SB", "SB"], ["TSO"])
+
+    def test_unknown_grid_point_raises(self):
+        report = explore_exhaustive(["SB"], ["TSO"])
+        with pytest.raises(KeyError):
+            report.outcome_set("SB", "WO")
+
+    def test_outcome_sets_invariant_under_thread_relabeling(self):
+        report = explore_exhaustive([get_test("SB"), RELABELED_SB],
+                                    models=None)
+        mapping = {"T0": "A", "T1": "B"}
+        for model in PAPER_MODELS:
+            original = report.outcome_set("SB", model.name)
+            relabeled = report.outcome_set("SB-relabeled", model.name)
+            assert {_rename(outcome, mapping) for outcome in original} \
+                == set(relabeled)
+
+    def test_outcome_sets_invariant_under_thread_order(self):
+        sb = get_test("SB")
+        swapped = dataclasses.replace(
+            sb, name="SB-swapped", programs=tuple(reversed(sb.programs)))
+        report = explore_exhaustive([sb, swapped], ["TSO"])
+        assert report.outcome_set("SB", "TSO") \
+            == report.outcome_set("SB-swapped", "TSO")
+
+
+class TestExhaustiveCache:
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        config = RunConfig(cache=str(tmp_path / "store"))
+        cold = explore_exhaustive(CLASSICS, config=config)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 16)
+        assert cold.cache_stored == 16
+        warm = explore_exhaustive(CLASSICS, config=config)
+        assert (warm.cache_hits, warm.cache_misses) == (16, 0)
+        assert warm.cache_stored == 0
+        assert all(result.cached for result in warm.results)
+        assert warm.to_json_dict() == cold.to_json_dict()
+
+    def test_warm_manifest_zero_executed_shards(self, tmp_path):
+        from repro.obs import load_manifest
+
+        manifest = tmp_path / "m.json"
+        config = RunConfig(cache=str(tmp_path / "store"),
+                           manifest=str(manifest))
+        explore_exhaustive(CLASSICS, config=config)
+        explore_exhaustive(CLASSICS, config=config)
+        runs = load_manifest(str(manifest))["runs"]
+        assert len(runs) == 2
+        assert runs[1]["execution"]["executed_shards"] == 0
+        assert runs[1]["metrics"]["run.cache_hits"]["value"] == 16
+        assert runs[0]["result"] == runs[1]["result"]
+        assert runs[1]["metrics"]["explore.grid_points"]["value"] == 16
+
+    def test_key_ignores_registry_name_and_description(self):
+        sb = get_test("SB")
+        renamed = dataclasses.replace(sb, name="SB-renamed",
+                                      description="same program, new prose")
+        assert program_digest(renamed) == program_digest(sb)
+
+    def test_digest_tracks_program_content(self):
+        sb = get_test("SB")
+        shifted = dataclasses.replace(sb, initial_memory={"x": 7})
+        assert program_digest(shifted) != program_digest(sb)
+        assert program_digest(RELABELED_SB) != program_digest(sb)
+
+    def test_entry_key_splits_models_and_fingerprint(self):
+        digest = program_digest(get_test("SB"))
+        fingerprint = enumerator_fingerprint()
+        tso = explore_entry_key(digest, "TSO", fingerprint)
+        assert tso == explore_entry_key(digest, "TSO", fingerprint)
+        assert tso != explore_entry_key(digest, "PSO", fingerprint)
+        assert tso != explore_entry_key(digest, "TSO", "0" * 16)
+
+
+class TestRandomDeterminism:
+    @pytest.mark.parametrize("rng_plan", ["spawn", "philox"])
+    def test_identical_across_worker_counts(self, rng_plan):
+        tables = [
+            explore_random("SB", "TSO", 2_000, seed=11,
+                           config=RunConfig(workers=workers, shards=4,
+                                            rng_plan=rng_plan))
+            for workers in (1, 2, 4)
+        ]
+        assert tables[0] == tables[1] == tables[2]
+        assert sum(count for _, count in tables[0].counts) == 2_000
+
+    def test_identical_across_transports(self):
+        base = dict(workers=2, shards=4)
+        auto = explore_random("MP", "PSO", 2_000, seed=5,
+                              config=RunConfig(transport="auto", **base))
+        pickled = explore_random("MP", "PSO", 2_000, seed=5,
+                                 config=RunConfig(transport="pickle", **base))
+        assert auto == pickled
+
+    def test_rerun_reproducible(self):
+        first = explore_random("LB", "WO", 1_500, seed=3,
+                               config=RunConfig(shards=4))
+        second = explore_random("LB", "WO", 1_500, seed=3,
+                                config=RunConfig(shards=4))
+        assert first == second
+
+    def test_seed_and_plan_enter_identity(self):
+        base = RunConfig(shards=4)
+        table = explore_random("SB", "TSO", 1_500, seed=3, config=base)
+        other_seed = explore_random("SB", "TSO", 1_500, seed=4, config=base)
+        assert table.counts != other_seed.counts
+        philox = explore_random("SB", "TSO", 1_500, seed=3,
+                                config=RunConfig(shards=4,
+                                                 rng_plan="philox"))
+        assert philox.rng_plan == "philox"
+        assert philox != table
+
+    def test_cross_plan_tables_z_equivalent(self):
+        spawn = explore_random("SB", "TSO", 6_000, seed=9,
+                               config=RunConfig(shards=4))
+        philox = explore_random("SB", "TSO", 6_000, seed=9,
+                                config=RunConfig(shards=4,
+                                                 rng_plan="philox"))
+        assert_frequencies_equivalent(spawn, philox, confidence=0.9999)
+
+    def test_shard_cache_serves_warm_run(self, tmp_path):
+        config = RunConfig(shards=4, cache=str(tmp_path / "store"))
+        cold = explore_random("SB", "TSO", 2_000, seed=7, config=config)
+        warm = explore_random("SB", "TSO", 2_000, seed=7, config=config)
+        assert cold == warm
+
+    def test_rejects_non_positive_trials(self):
+        with pytest.raises(LitmusError):
+            explore_random("SB", "TSO", 0)
+
+
+class TestConvergence:
+    def test_sampled_frequencies_land_in_enumerated_set(self):
+        for name in CLASSICS:
+            table = explore_random(name, "TSO", 2_000, seed=1,
+                                   config=RunConfig(shards=4))
+            report = assert_convergence(table, require_full_support=True)
+            assert report.converged
+            assert report.coverage == 1.0
+
+    def test_escaped_outcome_raises(self):
+        bogus = (("T0:r1", 99), ("T1:r2", 99))
+        table = OutcomeFrequencies(
+            test="SB", model="TSO", trials=10, seed=0, shards=1,
+            rng_plan="spawn", counts=((bogus, 10),))
+        report = check_convergence(table)
+        assert not report.contained
+        assert bogus in report.escaped
+        with pytest.raises(LitmusError):
+            assert_convergence(table)
+
+    def test_partial_support_reported_not_fatal(self):
+        enumerated = frozenset(enumerate_outcomes(
+            list(get_test("SB").programs), TSO, {}, ()))
+        seen = next(iter(enumerated))
+        table = OutcomeFrequencies(
+            test="SB", model="TSO", trials=10, seed=0, shards=1,
+            rng_plan="spawn", counts=((seen, 10),))
+        report = assert_convergence(table, enumerated)
+        assert report.contained and not report.converged
+        assert report.coverage == pytest.approx(1 / len(enumerated))
+        with pytest.raises(LitmusError):
+            assert_convergence(table, enumerated, require_full_support=True)
+
+    def test_frequency_table_helpers(self):
+        table = explore_random("SB", "SC", 1_000, seed=2,
+                               config=RunConfig(shards=4))
+        assert sum(count for _, count in table.counts) == 1_000
+        assert sum(table.frequency(outcome) for outcome in table.support) \
+            == pytest.approx(1.0)
+        payload = table.to_json_dict()
+        assert payload["trials"] == 1_000
+        assert sum(payload["counts"].values()) == 1_000
+
+
+class TestRobustness:
+    def test_classic_pins(self):
+        assert not classify_robustness("SB", "TSO").robust
+        assert classify_robustness("MP", "TSO").robust
+        assert not classify_robustness("MP", "PSO").robust
+        for model in (TSO, PSO, WO):
+            assert classify_robustness("CoRR", model).robust
+
+    def test_allowed_relaxed_outcome_witnesses_non_robustness(self):
+        report = robustness_report()
+        for test in ALL_TESTS:
+            for model in (TSO, PSO, WO):
+                verdict = next(v for v in report.verdicts
+                               if v.test == test.name
+                               and v.model == model.name)
+                if test.allowed[model.name]:
+                    assert not verdict.robust, (test.name, model.name)
+                    assert test.relaxed_outcome in verdict.extra_outcomes
+                if verdict.robust:
+                    assert not test.allowed[model.name], (test.name,
+                                                          model.name)
+
+    def test_extra_outcomes_are_exactly_the_sc_diff(self):
+        report = explore_exhaustive(["SB"], ["SC", "TSO"])
+        verdict = classify_robustness("SB", "TSO")
+        expected = (report.outcome_set("SB", "TSO")
+                    - report.outcome_set("SB", "SC"))
+        assert set(verdict.extra_outcomes) == expected
+        assert "NON-ROBUST" in robustness_report(["SB"], ["TSO"]).rows()[0][
+            "TSO"]
+
+    def test_sc_filtered_from_model_list(self):
+        report = robustness_report(["SB"], [SC, TSO])
+        assert [v.model for v in report.verdicts] == ["TSO"]
+        with pytest.raises(KeyError):
+            report.robust("SB", "SC")
+
+    def test_report_shares_exploration_cache(self, tmp_path):
+        config = RunConfig(cache=str(tmp_path / "store"))
+        robustness_report(CLASSICS, config=config)
+        warm = explore_exhaustive(CLASSICS, config=config)
+        assert warm.cache_misses == 0
+
+    def test_json_round_trip(self):
+        report = robustness_report(["SB", "MP"], ["TSO", "PSO"])
+        payload = json.loads(json.dumps(report.to_json_dict()))
+        assert payload["baseline"] == "SC"
+        assert payload["verdicts"]["SB"]["TSO"]["robust"] is False
+        assert payload["verdicts"]["MP"]["TSO"]["robust"] is True
+        assert payload["verdicts"]["MP"]["PSO"]["extra_outcomes"]
+
+
+class TestGoldenFile:
+    def test_committed_golden_outcome_sets(self):
+        """The file the CI smoke diffs against is itself pinned here."""
+        from pathlib import Path
+
+        path = Path(__file__).parent / "data" / "litmus_classic_outcomes.json"
+        want = json.loads(path.read_text(encoding="utf-8"))
+        got = explore_exhaustive(CLASSICS).to_json_dict()
+        assert got == want
+
+
+class TestServiceEstimator:
+    def test_params_default_and_run(self):
+        from repro.service.estimators import run_estimator, validate_params
+
+        params = validate_params("litmus_explore", {"test": "SB",
+                                                    "model": "TSO"})
+        assert params == {"test": "SB", "model": "TSO", "mode": "exhaustive",
+                          "trials": 100_000, "seed": 0}
+        result = run_estimator("litmus_explore", params, RunConfig())
+        assert list(result["tests"]) == ["SB"]
+        assert list(result["tests"]["SB"]) == ["TSO"]
+        assert len(result["tests"]["SB"]["TSO"]) == 4
+
+    def test_random_mode_runs(self):
+        from repro.service.estimators import run_estimator, validate_params
+
+        params = validate_params(
+            "litmus_explore",
+            {"test": "MP", "model": "PSO", "mode": "random", "trials": 500})
+        result = run_estimator("litmus_explore", params,
+                               RunConfig(shards=4))
+        assert result["trials"] == 500
+        assert sum(result["counts"].values()) == 500
+
+    def test_bad_mode_rejected(self):
+        from repro.service.estimators import run_estimator, validate_params
+        from repro.service.schemas import ServiceError
+
+        params = validate_params(
+            "litmus_explore",
+            {"test": "SB", "model": "TSO", "mode": "frobnicate"})
+        with pytest.raises(ServiceError):
+            run_estimator("litmus_explore", params, RunConfig())
+
+
+class TestCli:
+    def test_explore_exhaustive_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["litmus", "explore", "--tests", "SB", "MP",
+                     "--models", "SC", "TSO"]) == 0
+        out = capsys.readouterr().out
+        assert "Exhaustive exploration" in out
+        assert "SB" in out and "MP" in out
+
+    def test_explore_json_and_robustness(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "explore.json"
+        assert main(["litmus", "explore", "--tests", "SB",
+                     "--robustness", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert sorted(payload["tests"]["SB"]) == ["PSO", "SC", "TSO", "WO"]
+        assert payload["robustness"]["verdicts"]["SB"]["TSO"][
+            "robust"] is False
+
+    def test_explore_random_mode(self, capsys):
+        from repro.cli import main
+
+        assert main(["--shards", "4", "litmus", "explore", "--tests", "SB",
+                     "--models", "TSO", "--mode", "random",
+                     "--trials", "1000", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pseudorandom exploration" in out
+        assert "SB" in out
+
+    def test_legacy_litmus_still_works(self, capsys):
+        from repro.cli import main
+
+        assert main(["litmus"]) == 0
+        assert "SB" in capsys.readouterr().out
