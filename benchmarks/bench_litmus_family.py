@@ -1,0 +1,144 @@
+"""E24 — generated program families swept across the model zoo.
+
+The family sweep (:mod:`repro.litmus.generate`, docs/LITMUS.md) is the
+scenario-diversity workload: seed-disciplined constrained random litmus
+programs, each member's manifestation bracket re-estimated against every
+zoo model's sampled outcome distribution.  Generation is
+counter-addressed (a member is a pure function of ``(spec, seed,
+index)``) and sampling rides ``run_sharded``, so the whole sweep is a
+deterministic, cacheable plan: the same sweep re-run against a warm
+store fetches every sampled shard and re-enumerates nothing it can
+fetch.
+
+The bench runs one sweep — a 4-member family against a 4-model zoo
+cross-section (TSO, PSO, PSO-WB, WO-NMCA) — **uncached** (reference),
+**cold** (empty store: compute + write-through), and **warm** (identical
+re-run).  Floors mirror ``bench_litmus_explore``: warm must beat cold by
+the committed floor in full mode, and all three reports must be *equal*,
+not statistically close.  The tracked regression metric is the warm
+speedup capped at ``8.0`` (host-independence, as in
+``bench_cache_reuse``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from conftest import results_path, scaled, show, smoke_mode
+
+from repro.cache import ShardStore
+from repro.litmus import FamilySpec, sweep_family
+from repro.reporting import render_table
+from repro.reporting.io import write_rows
+from repro.runconfig import RunConfig
+
+SEED = 24_011
+SHARDS = 16
+WARM_REPEATS = 3
+MEMBERS = 4
+
+#: A zoo cross-section: algebraic, operational, and non-atomic models.
+MODELS = ("TSO", "PSO", "PSO-WB", "WO-NMCA")
+
+SPEC = FamilySpec(threads=2, ops_per_thread=5, addresses=2, spacing=1,
+                  fence_density=0.25)
+
+#: Full-mode floor: a warm sweep must beat the cold one by this.
+SPEEDUP_FLOOR = 3.0
+
+#: Tracked-metric cap — keeps the committed baseline host-independent.
+SPEEDUP_CAP = 8.0
+
+
+def _sweep(trials: int, cache: ShardStore | None):
+    config = RunConfig(shards=SHARDS, cache=cache)
+    report = sweep_family(SPEC, MODELS, count=MEMBERS, trials=trials,
+                          seed=SEED, config=config)
+    return report.to_json_dict()
+
+
+def _timed(runner):
+    start = time.perf_counter()
+    result = runner()
+    return result, time.perf_counter() - start
+
+
+def test_litmus_family_sweep_speedup(run_once):
+    trials = scaled(120_000, 6_000)
+    scratch = tempfile.mkdtemp(prefix="repro-bench-family-")
+    try:
+        store = ShardStore(scratch)
+
+        def compute():
+            uncached, uncached_s = _timed(lambda: _sweep(trials, None))
+            cold, cold_s = _timed(lambda: _sweep(trials, store))
+            warm_legs = [_timed(lambda: _sweep(trials, store))
+                         for _ in range(WARM_REPEATS)]
+            warm = warm_legs[0][0]
+            warm_s = min(seconds for _, seconds in warm_legs)
+            return uncached, uncached_s, cold, cold_s, warm, warm_s
+
+        uncached, uncached_s, cold, cold_s, warm, warm_s = run_once(compute)
+        stats = store.stats()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    points = MEMBERS * len(MODELS)
+    speedup = cold_s / max(warm_s, 1e-9)
+    rows = [
+        {"leg": "uncached", "trials": trials * points,
+         "seconds": round(uncached_s, 4)},
+        {"leg": "cold (compute + store)", "trials": trials * points,
+         "seconds": round(cold_s, 4)},
+        {"leg": "warm (shards fetched)", "trials": 0,
+         "seconds": round(warm_s, 4)},
+    ]
+    show(render_table(rows, precision=4,
+                      title="E24: family sweep, cold vs warm cache"))
+    show(f"[litmus-family] warm speedup {speedup:.1f}x "
+         f"(floor {SPEEDUP_FLOOR}x full mode, tracked capped at "
+         f"{SPEEDUP_CAP}x) · {MEMBERS} members x {len(MODELS)} models · "
+         f"store: {stats.entries} entries, {stats.hits} hits, "
+         f"{stats.stored} stored")
+
+    write_rows(
+        results_path("litmus_family"),
+        rows,
+        metadata={
+            "experiment": "litmus_family",
+            "seed": SEED,
+            "shards": SHARDS,
+            "members": MEMBERS,
+            "models": list(MODELS),
+            "smoke": smoke_mode(),
+            "cpu_count": os.cpu_count(),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "warm_speedup_raw": round(speedup, 2),
+            "tracked": {
+                "warm_speedup_capped": {
+                    "value": round(min(speedup, SPEEDUP_CAP), 2),
+                    "higher_is_better": True,
+                },
+            },
+        },
+    )
+
+    # Determinism is the whole claim: all three sweeps agree bit for bit.
+    assert cold == uncached, "cold cached sweep diverged from uncached"
+    assert warm == uncached, "warm cached sweep diverged from uncached"
+    # Cold writes one entry per sampled shard; warm repeats fetch them all.
+    expected = points * SHARDS
+    assert stats.stored == expected, (expected, stats)
+    assert stats.hits >= expected * WARM_REPEATS, (expected, stats)
+
+    assert speedup > 1.0, (
+        f"warm sweep is slower than cold ({speedup:.2f}x)"
+    )
+    if not smoke_mode():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"warm speedup {speedup:.1f}x below the committed "
+            f"{SPEEDUP_FLOOR}x floor"
+        )

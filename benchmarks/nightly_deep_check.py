@@ -37,6 +37,12 @@ with **full support** (every allowed outcome observed).  When both
 plans run, each (test, model) pair's spawn and philox tables are also
 z-tested for equivalence outcome by outcome — the two plans sample the
 same law from different streams, so a divergence is a sampler bug.
+
+Last, the generated-family sweep (``--family-trials``): a pinned-seed
+family (:mod:`repro.litmus.generate`) is sampled at depth under the
+**full model zoo** — algebraic, write-buffered, and non-multicopy-atomic
+models alike — and every table must be contained in its model's
+enumerated set, with the same cross-plan z-equivalence referee.
 """
 
 from __future__ import annotations
@@ -92,6 +98,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--litmus-trials", type=int, default=100_000,
                         help="samples per (test, model, plan) in the litmus "
                              "convergence sweep (default 10^5; 0 skips it)")
+    parser.add_argument("--family-trials", type=int, default=50_000,
+                        help="samples per (member, model, plan) in the "
+                             "generated-family convergence sweep across the "
+                             "zoo (default 5*10^4; 0 skips it)")
+    parser.add_argument("--family-seed", type=int, default=20_240,
+                        help="pinned generator seed of the nightly family")
     options = parser.parse_args(argv)
 
     failures: list[str] = []
@@ -184,16 +196,77 @@ def main(argv: list[str] | None = None) -> int:
                               "spawn and philox tables z-equivalent "
                               f"@ {LITMUS_CONFIDENCE}", failures)
 
+    def run_family_sweep() -> None:
+        from repro.litmus import (
+            FamilySpec,
+            ZOO_MODELS,
+            assert_convergence,
+            assert_frequencies_equivalent,
+            explore_random,
+            generate_family,
+        )
+        from repro.runconfig import RunConfig
+
+        # A pinned-seed family: generation is a pure function of
+        # (spec, seed, index), so tonight's programs are last night's —
+        # drift in the sweep is sampler or semantics drift, not input
+        # noise.  Spacing and fences exercise the generator knobs; the
+        # zoo covers algebraic, operational-buffer, and non-atomic
+        # models in one pass.
+        spec = FamilySpec(threads=2, ops_per_thread=5, addresses=2,
+                          spacing=1, fence_density=0.25)
+        members = generate_family(spec, 2, seed=options.family_seed)
+        for index, member in enumerate(members):
+            for model in ZOO_MODELS:
+                tables = {}
+                for rng_plan in options.rng_plans:
+                    config = RunConfig(workers=options.workers,
+                                       rng_plan=rng_plan)
+                    table = explore_random(member, model,
+                                           options.family_trials,
+                                           seed=options.family_seed,
+                                           config=config)
+                    name = f"family-{rng_plan}/m{index}-{model.name}"
+                    try:
+                        report = assert_convergence(table, test=member,
+                                                    model=model)
+                    except Exception as error:  # escaped outcome = bug
+                        check(name, False, str(error).splitlines()[0],
+                              failures)
+                        continue
+                    check(name, report.contained,
+                          f"{len(report.sampled)}/{len(report.enumerated)} "
+                          f"enumerated outcomes sampled, coverage "
+                          f"{report.coverage:.3f}",
+                          failures)
+                    tables[rng_plan] = table
+                if len(tables) == 2:
+                    try:
+                        assert_frequencies_equivalent(
+                            tables["spawn"], tables["philox"],
+                            confidence=LITMUS_CONFIDENCE)
+                    except AssertionError as error:
+                        detail = str(error).splitlines()[0]
+                        check(f"family-xplan/m{index}-{model.name}", False,
+                              detail, failures)
+                    else:
+                        check(f"family-xplan/m{index}-{model.name}", True,
+                              "spawn and philox tables z-equivalent "
+                              f"@ {LITMUS_CONFIDENCE}", failures)
+
     for rng_plan in options.rng_plans:
         run_brackets(rng_plan)
     if options.litmus_trials > 0:
         run_litmus_sweep()
+    if options.family_trials > 0:
+        run_family_sweep()
 
     elapsed = time.perf_counter() - start
     print(f"[nightly] {options.trials} trials/check, seed {options.seed}, "
           f"{options.workers} worker(s), "
           f"plans {'+'.join(options.rng_plans)}, "
-          f"litmus depth {options.litmus_trials}, {elapsed:.1f}s total")
+          f"litmus depth {options.litmus_trials}, "
+          f"family depth {options.family_trials}, {elapsed:.1f}s total")
     if failures:
         print(f"[nightly] {len(failures)} deep check(s) failed:",
               file=sys.stderr)

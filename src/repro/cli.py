@@ -195,12 +195,13 @@ def _cmd_litmus_explore(args: argparse.Namespace) -> None:
         check_convergence,
         explore_exhaustive,
         explore_random,
+        get_zoo_model,
         robustness_report,
     )
 
     tests = ([get_test(name) for name in args.tests]
              if args.tests else list(ALL_TESTS))
-    models = ([get_model(name) for name in args.models]
+    models = ([get_zoo_model(name) for name in args.models]
               if args.models else list(PAPER_MODELS))
     config = args.run_config
     payload: dict[str, object] = {}
@@ -232,7 +233,8 @@ def _cmd_litmus_explore(args: argparse.Namespace) -> None:
                                        seed=args.seed, config=config)
                 enumerated = (exploration.outcome_set(test.name, model.name)
                               if exploration is not None else None)
-                report = check_convergence(table, enumerated)
+                report = check_convergence(table, enumerated,
+                                           test=test, model=model)
                 rows.append({
                     "test": test.name,
                     "model": model.name,
@@ -266,6 +268,55 @@ def _cmd_litmus_explore(args: argparse.Namespace) -> None:
 
     if args.json_path:
         text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+
+
+def _cmd_litmus_generate(args: argparse.Namespace) -> None:
+    """Generated program families swept across the model zoo (docs/LITMUS.md).
+
+    Draws a seed-disciplined family from the declarative spec knobs and
+    re-estimates the manifestation bracket (sampled probability mass
+    outside the enumerated SC set, Wilson interval) for every member
+    under every requested model.  The sweep rides the full engine —
+    cache, checkpoints, manifests — and its JSON output is a pure
+    function of ``(spec, seed, count, trials, shards, rng_plan)``, so a
+    warm re-run prints byte-identical output while executing nothing.
+    """
+    import json
+    import sys
+
+    from .litmus import FamilySpec, sweep_family
+
+    spec = FamilySpec(
+        threads=args.threads,
+        ops_per_thread=args.ops_per_thread,
+        addresses=args.addresses,
+        spacing=args.spacing,
+        fence_density=args.fence_density,
+        store_fraction=args.store_fraction,
+    )
+    report = sweep_family(
+        spec, args.models, count=args.count, trials=args.trials,
+        seed=args.seed, config=args.run_config,
+    )
+    if args.programs:
+        from .litmus import generate_family
+        for test in generate_family(spec, args.count, args.seed):
+            print(f"{test.name}:")
+            for program in test.programs:
+                ops = "; ".join(repr(op) for op in program.operations)
+                print(f"  {program.name}: {ops}")
+    print(render_table(
+        report.rows(), precision=6,
+        title=f"Family sweep ({args.count} members x "
+              f"{len({point.model for point in report.points})} models, "
+              f"{args.trials} trials, seed {args.seed})"))
+    if args.json_path:
+        text = json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
         if args.json_path == "-":
             sys.stdout.write(text)
         else:
@@ -658,6 +709,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the full deterministic report as "
                          "JSON to FILE ('-' for stdout)")
     explore.set_defaults(run=_cmd_litmus_explore)
+    generate = litmus_sub.add_parser(
+        "generate", parents=[engine],
+        help="generated litmus-program families swept across the model "
+             "zoo: seed-disciplined constrained random programs, "
+             "manifestation brackets vs the SC baseline (docs/LITMUS.md)")
+    generate.add_argument("--threads", type=int, default=2,
+                          help="threads per generated program (default: 2)")
+    generate.add_argument("--ops-per-thread", type=int, default=4,
+                          help="memory operations per thread, the critical "
+                          "pair included (default: 4)")
+    generate.add_argument("--addresses", type=int, default=2,
+                          help="filler address-pool size (default: 2)")
+    generate.add_argument("--spacing", type=int, default=0,
+                          help="filler operations strictly between the "
+                          "critical store and load (default: 0)")
+    generate.add_argument("--fence-density", type=float, default=0.0,
+                          help="probability of a fence between consecutive "
+                          "operations (default: 0.0)")
+    generate.add_argument("--store-fraction", type=float, default=0.5,
+                          help="probability a filler is a store "
+                          "(default: 0.5)")
+    generate.add_argument("--count", type=int, default=4,
+                          help="family members to generate (default: 4)")
+    generate.add_argument("--models", nargs="+", metavar="MODEL", default=None,
+                          help="models to sweep (default: the full zoo — "
+                          "SC TSO PSO WO PSO-WB SC-NMCA WO-NMCA)")
+    generate.add_argument("--trials", type=int, default=20_000,
+                          help="sampling budget per (member, model) point "
+                          "(default: 20000)")
+    generate.add_argument("--seed", type=int, default=0,
+                          help="family seed: generation AND sampling "
+                          "(default: 0)")
+    generate.add_argument("--programs", action="store_true",
+                          help="also print each generated program listing")
+    generate.add_argument("--json", dest="json_path", metavar="FILE",
+                          default=None,
+                          help="also write the deterministic sweep report "
+                          "as JSON to FILE ('-' for stdout)")
+    generate.set_defaults(run=_cmd_litmus_generate)
 
     machine = sub.add_parser("machine", help="run the canonical bug on the simulator",
                              parents=[engine])

@@ -58,6 +58,7 @@ from .multibug import (
 )
 from .memory_models import (
     ALL_PAIRS,
+    ATOMICITY_FLAVORS,
     PAPER_MODELS,
     PSO,
     SC,
@@ -66,6 +67,7 @@ from .memory_models import (
     MemoryModel,
     OrderedPair,
     get_model,
+    model_digest,
     table1_rows,
 )
 from .partitions import (

@@ -25,6 +25,7 @@ class supports directly).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping
 
 from ..errors import ModelDefinitionError
@@ -39,8 +40,10 @@ __all__ = [
     "WO",
     "PAPER_MODELS",
     "ALL_PAIRS",
+    "ATOMICITY_FLAVORS",
     "DEFAULT_SETTLE_PROBABILITY",
     "get_model",
+    "model_digest",
     "table1_rows",
 ]
 
@@ -52,6 +55,9 @@ ALL_PAIRS: tuple[OrderedPair, ...] = ((ST, ST), (ST, LD), (LD, ST), (LD, LD))
 
 #: The paper's ``s``: success probability of one allowed swap.
 DEFAULT_SETTLE_PROBABILITY = 0.5
+
+#: Store-atomicity flavors a model may declare (§2.1's orthogonal axis).
+ATOMICITY_FLAVORS = ("atomic", "non_atomic")
 
 
 def _pair_name(pair: OrderedPair) -> str:
@@ -75,6 +81,11 @@ class MemoryModel:
         probability 0.
     description:
         Optional prose shown in reports.
+    atomicity:
+        The store-atomicity flavor: ``"atomic"`` (multi-copy-atomic shared
+        memory, the paper's scoping assumption) or ``"non_atomic"``
+        (per-writer FIFO propagation, executed by
+        :mod:`repro.litmus.atomicity`).  Orthogonal to the relaxation set.
 
     Instances are immutable and hashable; the four paper models are module
     constants (:data:`SC`, :data:`TSO`, :data:`PSO`, :data:`WO`).
@@ -86,9 +97,15 @@ class MemoryModel:
         relaxed_pairs: Iterable[OrderedPair],
         settle_probability: float | Mapping[OrderedPair, float] = DEFAULT_SETTLE_PROBABILITY,
         description: str = "",
+        atomicity: str = "atomic",
     ):
         if not name:
             raise ModelDefinitionError("model name must be non-empty")
+        if atomicity not in ATOMICITY_FLAVORS:
+            raise ModelDefinitionError(
+                f"unknown atomicity flavor {atomicity!r}; "
+                f"known: {', '.join(ATOMICITY_FLAVORS)}"
+            )
         relaxed = frozenset(relaxed_pairs)
         unknown = relaxed - set(ALL_PAIRS)
         if unknown:
@@ -118,6 +135,12 @@ class MemoryModel:
         self._relaxed = relaxed
         self._probabilities = probabilities
         self._description = description
+        # Stored only when non-default: the __dict__-derived state (pickle,
+        # the kernel-fingerprint canonical form) of every pre-existing
+        # atomic model must stay byte-identical, or adding the flavor would
+        # orphan all estimators' v2 plan keys and cache entries.
+        if atomicity != "atomic":
+            self._atomicity = atomicity
 
     # ------------------------------------------------------------------
 
@@ -133,6 +156,11 @@ class MemoryModel:
     def relaxed_pairs(self) -> frozenset[OrderedPair]:
         """The set of ordered pairs this model allows to reorder."""
         return self._relaxed
+
+    @property
+    def atomicity(self) -> str:
+        """The store-atomicity flavor (``"atomic"`` or ``"non_atomic"``)."""
+        return getattr(self, "_atomicity", "atomic")
 
     def relaxes(self, earlier: InstructionType, later: InstructionType) -> bool:
         """Whether a ``later`` may settle past a preceding ``earlier``."""
@@ -182,7 +210,10 @@ class MemoryModel:
         self, settle_probability: float | Mapping[OrderedPair, float]
     ) -> "MemoryModel":
         """A copy of this model with different swap probabilities."""
-        return MemoryModel(self._name, self._relaxed, settle_probability, self._description)
+        return MemoryModel(
+            self._name, self._relaxed, settle_probability,
+            self._description, self.atomicity,
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MemoryModel):
@@ -191,11 +222,12 @@ class MemoryModel:
             self._name == other._name
             and self._relaxed == other._relaxed
             and self._probabilities == other._probabilities
+            and self.atomicity == other.atomicity
         )
 
     def __hash__(self) -> int:
         items = sorted(self._probabilities.items(), key=repr)
-        return hash((self._name, self._relaxed, tuple(items)))
+        return hash((self._name, self._relaxed, tuple(items), self.atomicity))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         pairs = ", ".join(sorted(_pair_name(pair) for pair in self._relaxed))
@@ -266,6 +298,27 @@ def get_model(name: str) -> MemoryModel:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise ModelDefinitionError(f"unknown memory model {name!r}; known: {known}") from None
+
+
+def model_digest(model: MemoryModel) -> str:
+    """A stable hex digest of a model's *semantics*, name excluded.
+
+    Covers, in Table 1 column order, each pair's relaxed flag and settle
+    probability, plus the store-atomicity flavor — everything that can
+    change what outcomes a litmus test reaches under the model.  The
+    registry name and prose description deliberately stay out (the same
+    rename-invariance as :func:`repro.litmus.explore.program_digest`):
+    two models that relax the same pairs with the same probabilities and
+    atomicity are the same model, whatever they are called — and two
+    models that happen to share a name are *not*.
+    """
+    parts = []
+    for pair in ALL_PAIRS:
+        relaxed = pair in model.relaxed_pairs
+        probability = model.settle_probability(*pair)
+        parts.append(f"{_pair_name(pair)}={int(relaxed)}:{probability!r}")
+    blob = "|".join(parts) + f"|atomicity:{model.atomicity}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def table1_rows(models: Iterable[MemoryModel] = PAPER_MODELS) -> list[dict[str, object]]:

@@ -8,6 +8,14 @@ reproduces the architecture literature's allowed/forbidden outcomes
 from .atomicity import enumerate_outcomes_non_atomic
 from .checker import LitmusVerdict, check_all, check_test, outcome_to_string
 from .enumerator import Outcome, enumerate_outcomes, legal_reorderings
+from .generate import (
+    FamilySpec,
+    FamilySweepReport,
+    family_digests,
+    family_member,
+    generate_family,
+    sweep_family,
+)
 from .explore import (
     ConvergenceReport,
     ExhaustiveOutcomes,
@@ -27,6 +35,14 @@ from .robustness import (
     RobustnessVerdict,
     classify_robustness,
     robustness_report,
+)
+from .zoo import (
+    PSO_WB,
+    SC_NMCA,
+    WO_NMCA,
+    ZOO_MODELS,
+    enumerate_outcomes_buffered,
+    get_zoo_model,
 )
 from .tests import (
     ALL_TESTS,
@@ -52,6 +68,8 @@ __all__ = [
     "ConvergenceReport",
     "ExhaustiveOutcomes",
     "ExplorationReport",
+    "FamilySpec",
+    "FamilySweepReport",
     "IRIW",
     "LOAD_BUFFERING",
     "LitmusTest",
@@ -60,15 +78,19 @@ __all__ = [
     "MESSAGE_PASSING_FENCED",
     "Outcome",
     "OutcomeFrequencies",
+    "PSO_WB",
     "R_SHAPE",
     "RobustnessReport",
     "RobustnessVerdict",
+    "SC_NMCA",
     "S_SHAPE",
     "STORE_BUFFERING",
     "STORE_BUFFERING_FENCED",
     "STORE_BUFFERING_HALF_FENCED",
     "TWO_PLUS_TWO_W",
+    "WO_NMCA",
     "WRC",
+    "ZOO_MODELS",
     "assert_convergence",
     "assert_frequencies_equivalent",
     "check_all",
@@ -76,14 +98,20 @@ __all__ = [
     "check_test",
     "classify_robustness",
     "enumerate_outcomes",
+    "enumerate_outcomes_buffered",
     "enumerate_outcomes_non_atomic",
     "enumerator_fingerprint",
     "explore_entry_key",
     "explore_exhaustive",
     "explore_random",
+    "family_digests",
+    "family_member",
+    "generate_family",
     "get_test",
+    "get_zoo_model",
     "legal_reorderings",
     "outcome_to_string",
     "program_digest",
     "robustness_report",
+    "sweep_family",
 ]

@@ -63,7 +63,9 @@ def _execute_interleavings_non_atomic(
 
     The nondeterminism per state: any thread may execute its next
     operation, or any non-empty propagation channel may deliver its
-    oldest store to its reader's view.
+    oldest store to its reader's view.  A full fence is the exception:
+    it blocks until the thread's outgoing channels are empty, i.e. its
+    earlier stores have propagated everywhere.
     """
     n = len(threads)
     initial_view: _View = tuple(sorted(initial_memory.items()))
@@ -129,7 +131,14 @@ def _execute_interleavings_non_atomic(
                         )
                 step(next_pcs, tuple(new_views), tuple(new_channels), registers)
             else:
-                step(next_pcs, views, channels, registers)  # fences are no-ops here
+                # A full fence drains the thread's outgoing propagation
+                # channels: it may only execute once every other thread
+                # has received all of this thread's earlier stores.  (A
+                # blocked fence never deadlocks — a non-empty outgoing
+                # channel always has a deliverable propagation event.)
+                if any(channels[channel_index(k, reader)] for reader in range(n)):
+                    continue
+                step(next_pcs, views, channels, registers)
 
         # Propagation events.
         for writer in range(n):

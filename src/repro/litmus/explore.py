@@ -9,10 +9,17 @@ module turns that primitive into an engine-grade workload:
 and content-addresses each grid point's outcome set in the shard cache
 (:mod:`repro.cache`).  The entry key (:func:`explore_entry_key`) folds
 the *program digest* (thread names, operations, initial memory, observed
-locations), the model name, and the *enumerator fingerprint* (the
-compiled code of the enumeration pipeline, v2-style) — so a cached set
-can never be served for a different program, model, or enumerator
-version, and a warm re-run executes **zero** grid points.
+locations), the *model digest*
+(:func:`~repro.core.memory_models.model_digest`: relaxation set, settle
+probabilities, atomicity flavor — **not** the name), and the *enumerator
+fingerprint* (the compiled code of the enumeration pipeline, v2-style) —
+so a cached set can never be served for a different program, model, or
+enumerator version, and a warm re-run executes **zero** grid points.
+Models travel to worker processes **by value**: an ad-hoc
+:class:`~repro.core.memory_models.MemoryModel` explores exactly like a
+registry model, and one that *shadows* a registry name (a model called
+``"TSO"`` with WO relaxations) neither resolves to the registry model in
+workers nor hits its cache entries.
 
 **Pseudorandom mode** (:func:`explore_random`) estimates outcome
 frequencies for programs too large to enumerate: each trial draws one
@@ -45,13 +52,18 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
-from ..core.memory_models import PAPER_MODELS, MemoryModel, get_model
+from ..core.memory_models import (
+    PAPER_MODELS,
+    MemoryModel,
+    get_model,
+    model_digest,
+)
 from ..errors import LitmusError
 from ..runconfig import RunConfig, resolve_run_config
-from ..sim.isa import Load, Store
+from ..sim.isa import Fence, Load, Store
 from ..stats.checkpoint import kernel_fingerprint
 from ..stats.parallel import (
     ShardPlan,
@@ -60,6 +72,10 @@ from ..stats.parallel import (
     run_sharded,
 )
 from ..stats.rng import RandomSource
+from .atomicity import (
+    _execute_interleavings_non_atomic,
+    enumerate_outcomes_non_atomic,
+)
 from .checker import outcome_to_string
 from .enumerator import (
     Outcome,
@@ -119,24 +135,37 @@ def enumerator_fingerprint() -> str:
     :func:`~repro.litmus.enumerator.enumerate_outcomes` only covers that
     function's own code, so the helpers it calls are folded in as extra
     salt — any change to reordering legality or interleaving execution
-    invalidates every cached outcome set.
+    (atomic *or* non-atomic: grid points dispatch on the model's
+    atomicity flavor) invalidates every cached outcome set.
     """
     extra = "|".join(
         kernel_fingerprint(helper)
         for helper in (legal_reorderings, _pair_may_reorder,
-                       _execute_interleavings)
+                       _execute_interleavings,
+                       _execute_interleavings_non_atomic,
+                       enumerate_outcomes_non_atomic)
     )
     return kernel_fingerprint(enumerate_outcomes, extra=extra)
 
 
-def explore_entry_key(digest: str, model: str, fingerprint: str) -> str:
-    """The cache entry key of one exhaustive grid point.
+def explore_entry_key(
+    digest: str, model: MemoryModel | str, fingerprint: str
+) -> str:
+    """The cache entry key of one exhaustive grid point (v2).
 
     Mirrors :func:`repro.cache.shard_entry_key`: a sha256[:32] over a
-    namespaced identity string — here the program digest, the model
-    name, and the enumerator fingerprint.
+    namespaced identity string — here the program digest, the **model
+    digest** (:func:`~repro.core.memory_models.model_digest`), and the
+    enumerator fingerprint.  v1 keys folded the model's *name*, which
+    let an ad-hoc model shadowing a registry name silently hit the
+    registry model's entries; v2 keys on semantics, so two distinct
+    models never share a key whatever they are called (v1 entries are
+    orphaned by design).  A registry name is still accepted and resolved
+    for convenience.
     """
-    blob = f"litmus-explore:v1:{digest}:{model}:{fingerprint}"
+    if isinstance(model, str):
+        model = get_model(model)
+    blob = f"litmus-explore:v2:{digest}:{model_digest(model)}:{fingerprint}"
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
@@ -208,6 +237,15 @@ class OutcomeFrequencies:
     shards: int
     rng_plan: str
     counts: tuple[tuple[Outcome, int], ...]
+    # Derived lookup table, rebuilt by __post_init__ — and therefore by
+    # dataclasses.replace too, so a replaced table can never alias a
+    # stale mapping (init=False keeps it out of the constructor and out
+    # of equality/repr; identity is the canonical ``counts`` tuple).
+    _counts_map: dict[Outcome, int] = field(
+        init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_counts_map", dict(self.counts))
 
     @property
     def support(self) -> frozenset[Outcome]:
@@ -216,7 +254,7 @@ class OutcomeFrequencies:
 
     def count(self, outcome: Outcome) -> int:
         """How many trials ended in ``outcome`` (0 if never seen)."""
-        return dict(self.counts).get(outcome, 0)
+        return self._counts_map.get(outcome, 0)
 
     def frequency(self, outcome: Outcome) -> float:
         """The empirical probability of ``outcome``."""
@@ -251,27 +289,45 @@ def _resolve_tests(tests) -> list[LitmusTest]:
 def _resolve_models(models) -> list[MemoryModel]:
     if models is None:
         return list(PAPER_MODELS)
-    return [get_model(model) if isinstance(model, str) else model
+    from .zoo import get_zoo_model
+    return [get_zoo_model(model) if isinstance(model, str) else model
             for model in models]
 
 
-def _exhaustive_point(
-    point: tuple[LitmusTest, str],
-) -> tuple[frozenset, float, int]:
-    """Enumerate one grid point; returns (outcomes, seconds, worker pid).
-
-    The point carries the :class:`LitmusTest` itself (a plain frozen
-    dataclass, so it pickles) rather than a registry name — ad-hoc tests
-    outside :data:`~repro.litmus.tests.ALL_TESTS` fan out over the pool
-    just like battery tests.
-    """
-    test, model_name = point
-    model = get_model(model_name)
-    started = time.perf_counter()
-    outcomes = frozenset(enumerate_outcomes(
+def _enumerate_for_model(test: LitmusTest, model: MemoryModel) -> frozenset:
+    """Enumerate one (test, model) point, dispatching on atomicity."""
+    if model.atomicity == "non_atomic":
+        if test.observed_locations:
+            raise LitmusError(
+                f"{test.name}/{model.name}: final memory is ill-defined "
+                "under non-atomic stores; tests explored under a "
+                "non_atomic model must observe registers only")
+        return frozenset(enumerate_outcomes_non_atomic(
+            list(test.programs), model, dict(test.initial_memory),
+        ))
+    return frozenset(enumerate_outcomes(
         list(test.programs), model, dict(test.initial_memory),
         test.observed_locations,
     ))
+
+
+def _exhaustive_point(
+    point: tuple[LitmusTest, MemoryModel],
+) -> tuple[frozenset, float, int]:
+    """Enumerate one grid point; returns (outcomes, seconds, worker pid).
+
+    The point carries the :class:`LitmusTest` *and* the
+    :class:`~repro.core.memory_models.MemoryModel` themselves (both
+    picklable) rather than registry names — ad-hoc tests and ad-hoc
+    models fan out over the pool just like battery/registry ones, and a
+    model that shadows a registry name keeps its own semantics in the
+    worker (the v1 kernel re-resolved ``get_model(name)`` here, which
+    crashed on unregistered models and silently swapped in the registry
+    model on shadowed names).
+    """
+    test, model = point
+    started = time.perf_counter()
+    outcomes = _enumerate_for_model(test, model)
     return outcomes, time.perf_counter() - started, os.getpid()
 
 
@@ -302,12 +358,12 @@ def explore_exhaustive(
     grid = [(test.name, model.name) for test in tests for model in models]
     if len(set(grid)) != len(grid):
         raise LitmusError("duplicate (test, model) grid points in exploration")
-    points = {(test.name, model.name): (test, model.name)
+    points = {(test.name, model.name): (test, model)
               for test in tests for model in models}
     digests = {test.name: program_digest(test) for test in tests}
-    keys = {(test_name, model_name):
-            explore_entry_key(digests[test_name], model_name, fingerprint)
-            for test_name, model_name in grid}
+    keys = {(test.name, model.name):
+            explore_entry_key(digests[test.name], model, fingerprint)
+            for test in tests for model in models}
 
     store = None
     if cfg.cache not in (None, False):
@@ -388,22 +444,138 @@ def explore_exhaustive(
 # ----------------------------------------------------------------------
 
 
+def _sample_atomic_trial(
+    source: RandomSource,
+    threads: list[tuple],
+    names: list[str],
+    initial_memory: dict[str, int],
+    observed: tuple[str, ...],
+) -> Outcome:
+    """One sampled execution over atomic shared memory.
+
+    Draws a uniformly random interleaving of the given per-thread orders
+    (next thread picked proportionally to its remaining operations) and
+    executes it exactly as the enumerator executes its exhaustive
+    interleavings.
+    """
+    remaining = [len(thread) for thread in threads]
+    pcs = [0] * len(threads)
+    total = sum(remaining)
+    memory = dict(initial_memory)
+    registers: dict[str, int] = {}
+    while total:
+        pick = source.uniform_int(1, total)
+        index = 0
+        while pick > remaining[index]:
+            pick -= remaining[index]
+            index += 1
+        operation = threads[index][pcs[index]]
+        pcs[index] += 1
+        remaining[index] -= 1
+        total -= 1
+        if isinstance(operation, Load):
+            registers[f"{names[index]}:{operation.dst}"] = memory.get(
+                operation.location, 0)
+        elif isinstance(operation, Store):
+            if operation.src is not None:
+                value = registers.get(f"{names[index]}:{operation.src}", 0)
+            else:
+                value = operation.value
+            memory[operation.location] = value
+    entries = list(registers.items())
+    entries += [(f"mem:{location}", memory.get(location, 0))
+                for location in observed]
+    return tuple(sorted(entries))
+
+
+def _sample_non_atomic_trial(
+    source: RandomSource,
+    threads: list[tuple],
+    names: list[str],
+    initial_memory: dict[str, int],
+) -> Outcome:
+    """One sampled execution with non-atomic store propagation.
+
+    Mirrors the non-atomic enumerator's event semantics
+    (:mod:`repro.litmus.atomicity`): each step picks uniformly among the
+    *enabled* events — a thread's next instruction (a full fence only
+    once the thread's outgoing channels are drained) or the delivery of
+    some channel's oldest pending store.  Every sampled execution is a
+    path of the exhaustive event tree, so sampled outcomes converge into
+    the enumerated non-atomic set.  Terminates (every event advances a
+    pc or shrinks a channel) and never deadlocks (a blocked fence implies
+    a non-empty channel, which is a deliverable event).
+    """
+    n = len(threads)
+    views = [dict(initial_memory) for _ in range(n)]
+    channels: list[list[tuple[str, int]]] = [[] for _ in range(n * n)]
+    pcs = [0] * n
+    registers: dict[str, int] = {}
+    while True:
+        events: list[int] = []  # thread k as k, delivery on channel c as n + c
+        for k in range(n):
+            if pcs[k] >= len(threads[k]):
+                continue
+            operation = threads[k][pcs[k]]
+            if isinstance(operation, Fence) and any(
+                    channels[k * n + reader] for reader in range(n)):
+                continue
+            events.append(k)
+        for index in range(n * n):
+            if channels[index]:
+                events.append(n + index)
+        if not events:
+            break
+        event = events[source.uniform_int(0, len(events) - 1)]
+        if event >= n:
+            index = event - n
+            location, value = channels[index].pop(0)
+            views[index % n][location] = value
+            continue
+        operation = threads[event][pcs[event]]
+        pcs[event] += 1
+        if isinstance(operation, Load):
+            registers[f"{names[event]}:{operation.dst}"] = views[event].get(
+                operation.location, 0)
+        elif isinstance(operation, Store):
+            if operation.src is not None:
+                value = registers.get(f"{names[event]}:{operation.src}", 0)
+            else:
+                value = operation.value
+            views[event][operation.location] = value
+            for reader in range(n):
+                if reader != event:
+                    channels[event * n + reader].append(
+                        (operation.location, value))
+    return tuple(sorted(registers.items()))
+
+
 def _random_shard(
-    source: RandomSource, trials: int, *, test: LitmusTest, model_name: str
+    source: RandomSource,
+    trials: int,
+    *,
+    test: LitmusTest,
+    model: MemoryModel,
+    model_identity: str = "",
 ) -> dict[Outcome, int]:
     """One shard of pseudorandom exploration: ``trials`` sampled executions.
 
-    Each trial draws a uniformly random legal reordering per thread,
-    then a uniformly random interleaving of the chosen orders (next
-    thread picked proportionally to its remaining operations), executed
-    over atomic shared memory exactly as the enumerator executes its
-    exhaustive interleavings.  The bound ``test`` (a picklable frozen
-    dataclass) enters the kernel fingerprint via the ``partial``, so
-    checkpoints and cache entries key on the actual program.
+    Each trial draws a uniformly random legal reordering per thread and
+    one random execution of the chosen orders — over atomic shared
+    memory, or through the propagation-event sampler when the model's
+    atomicity flavor is ``non_atomic``.  The bound ``test`` and ``model``
+    (both picklable — the model travels **by value**, never re-resolved
+    from a registry) enter the kernel fingerprint via the ``partial``,
+    as does ``model_identity`` — the explicit
+    :func:`~repro.core.memory_models.model_digest` salt, so checkpoints
+    and cache entries key on the actual program *and* the actual model
+    semantics.
     """
-    model = get_model(model_name)
+    del model_identity  # fingerprint salt only
     orders = [legal_reorderings(program, model) for program in test.programs]
     names = [program.name for program in test.programs]
+    non_atomic = model.atomicity == "non_atomic"
+    initial_memory = dict(test.initial_memory)
     observed = test.observed_locations
     counts: dict[Outcome, int] = {}
     for _ in range(trials):
@@ -412,34 +584,12 @@ def _random_shard(
             if len(choices) > 1 else choices[0]
             for choices in orders
         ]
-        remaining = [len(thread) for thread in threads]
-        pcs = [0] * len(threads)
-        total = sum(remaining)
-        memory = dict(test.initial_memory)
-        registers: dict[str, int] = {}
-        while total:
-            pick = source.uniform_int(1, total)
-            index = 0
-            while pick > remaining[index]:
-                pick -= remaining[index]
-                index += 1
-            operation = threads[index][pcs[index]]
-            pcs[index] += 1
-            remaining[index] -= 1
-            total -= 1
-            if isinstance(operation, Load):
-                registers[f"{names[index]}:{operation.dst}"] = memory.get(
-                    operation.location, 0)
-            elif isinstance(operation, Store):
-                if operation.src is not None:
-                    value = registers.get(f"{names[index]}:{operation.src}", 0)
-                else:
-                    value = operation.value
-                memory[operation.location] = value
-        entries = list(registers.items())
-        entries += [(f"mem:{location}", memory.get(location, 0))
-                    for location in observed]
-        outcome = tuple(sorted(entries))
+        if non_atomic:
+            outcome = _sample_non_atomic_trial(
+                source, threads, names, initial_memory)
+        else:
+            outcome = _sample_atomic_trial(
+                source, threads, names, initial_memory, observed)
         counts[outcome] = counts.get(outcome, 0) + 1
     return counts
 
@@ -463,12 +613,19 @@ def explore_random(
     """
     cfg = resolve_run_config(config).resolve()
     test = get_test(test) if isinstance(test, str) else test
-    model = get_model(model) if isinstance(model, str) else model
+    model = _resolve_models([model])[0]
     if trials < 1:
         raise LitmusError(f"trials must be positive, got {trials}")
+    if model.atomicity == "non_atomic" and test.observed_locations:
+        raise LitmusError(
+            f"{test.name}/{model.name}: final memory is ill-defined under "
+            "non-atomic stores; tests explored under a non_atomic model "
+            "must observe registers only")
     plan = ShardPlan(trials, cfg.resolved_shards(), seed, cfg.rng_plan)
-    kernel = partial(_random_shard, test=test, model_name=model.name)
-    label = f"litmus-explore:{test.name}:{model.name}"
+    identity = model_digest(model)
+    kernel = partial(_random_shard, test=test, model=model,
+                     model_identity=identity)
+    label = f"litmus-explore:{test.name}:{model.name}:{identity}"
 
     def execute(observer):
         return run_sharded(kernel, plan, workers=cfg.workers,
@@ -543,21 +700,31 @@ class ConvergenceReport:
 def check_convergence(
     frequencies: OutcomeFrequencies,
     enumerated: frozenset[Outcome] | ExhaustiveOutcomes | None = None,
+    *,
+    test: LitmusTest | str | None = None,
+    model: MemoryModel | str | None = None,
 ) -> ConvergenceReport:
     """Relate a sampled table to the enumerated outcome set.
 
     ``enumerated`` may be a pre-computed set (e.g. from an
-    :class:`ExplorationReport`) or ``None`` to enumerate here — the
-    ``None`` form looks the test up by name, so ad-hoc tests outside the
-    battery must pass their enumerated set explicitly.
+    :class:`ExplorationReport`) or ``None`` to enumerate here.  The
+    ``None`` form enumerates from ``test``/``model`` when given;
+    otherwise it looks both up by the *names* recorded in the table —
+    so ad-hoc tests or models outside the registries must pass either
+    their enumerated set or the instances themselves (a frequency table
+    records names only, and a name is not an identity).  Enumeration
+    dispatches on the model's atomicity flavor.
     """
     if enumerated is None:
-        test = get_test(frequencies.test)
-        model = get_model(frequencies.model)
-        enumerated = frozenset(enumerate_outcomes(
-            list(test.programs), model, dict(test.initial_memory),
-            test.observed_locations,
-        ))
+        if test is None:
+            test = get_test(frequencies.test)
+        else:
+            test = _resolve_tests([test])[0]
+        if model is None:
+            model = get_model(frequencies.model)
+        else:
+            model = _resolve_models([model])[0]
+        enumerated = _enumerate_for_model(test, model)
     elif isinstance(enumerated, ExhaustiveOutcomes):
         enumerated = enumerated.outcomes
     return ConvergenceReport(
@@ -571,6 +738,8 @@ def assert_convergence(
     frequencies: OutcomeFrequencies,
     enumerated: frozenset[Outcome] | ExhaustiveOutcomes | None = None,
     *,
+    test: LitmusTest | str | None = None,
+    model: MemoryModel | str | None = None,
     require_full_support: bool = False,
 ) -> ConvergenceReport:
     """Hard-assert containment (and, optionally, full support).
@@ -580,7 +749,7 @@ def assert_convergence(
     are a sampling-budget question, so they only raise when the caller
     demands full support.
     """
-    report = check_convergence(frequencies, enumerated)
+    report = check_convergence(frequencies, enumerated, test=test, model=model)
     if report.escaped:
         rendered = ", ".join(sorted(outcome_to_string(outcome)
                                     for outcome in report.escaped))

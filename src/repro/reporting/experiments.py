@@ -225,13 +225,31 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         modules=("repro.litmus.explore", "repro.litmus.robustness"),
         bench="benchmarks/bench_litmus_explore.py",
     ),
+    Experiment(
+        id="E24",
+        paper_artifact="§6 generalised: program families x model zoo",
+        summary="Constrained random litmus-program families swept "
+        "across the memory-model zoo: generate_family draws "
+        "seed-disciplined SB-style critical cycles (thread count, ops "
+        "per thread, filler address pool, critical-pair spacing, fence "
+        "density) from a dedicated Philox lane, so member i is a pure "
+        "function of (spec, seed, i); sweep_family re-estimates "
+        "Thm 6.2-style manifestation brackets (sampled mass outside "
+        "the enumerated SC baseline, Wilson-bracketed) for every "
+        "member under every zoo model — the paper four plus the "
+        "operational write-buffer PSO and the non-multicopy-atomic "
+        "SC/WO flavors — warm-cache sweep speedup tracked in "
+        "BENCH_litmus_family.json.",
+        modules=("repro.litmus.generate", "repro.litmus.zoo"),
+        bench="benchmarks/bench_litmus_family.py",
+    ),
 )
 
 _REGISTRY = {experiment.id: experiment for experiment in EXPERIMENTS}
 
 
 def get_experiment(experiment_id: str) -> Experiment:
-    """Look up an experiment by id (``"E1"`` … ``"E23"``)."""
+    """Look up an experiment by id (``"E1"`` … ``"E24"``)."""
     try:
         return _REGISTRY[experiment_id.upper()]
     except KeyError:

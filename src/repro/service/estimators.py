@@ -124,13 +124,13 @@ def _run_canonical_bug(params: dict[str, Any], config: RunConfig) -> Any:
 
 
 def _run_litmus_explore(params: dict[str, Any], config: RunConfig) -> Any:
-    from ..core.memory_models import get_model
     from ..litmus import explore_exhaustive, explore_random, get_test
+    from ..litmus.zoo import get_zoo_model
 
     mode = params["mode"]
     if mode == "exhaustive":
         report = explore_exhaustive([get_test(params["test"])],
-                                    [get_model(params["model"])],
+                                    [get_zoo_model(params["model"])],
                                     config=config)
         return report.to_json_dict()
     if mode == "random":
@@ -141,6 +141,29 @@ def _run_litmus_explore(params: dict[str, Any], config: RunConfig) -> Any:
     raise ServiceError(
         400, "bad-param",
         f"param 'mode' must be 'exhaustive' or 'random', got {mode!r}")
+
+
+def _run_litmus_family(params: dict[str, Any], config: RunConfig) -> Any:
+    from ..errors import LitmusError
+    from ..litmus import FamilySpec, sweep_family
+
+    try:
+        spec = FamilySpec(
+            threads=params["threads"],
+            ops_per_thread=params["ops_per_thread"],
+            addresses=params["addresses"],
+            spacing=params["spacing"],
+            fence_density=float(params["fence_density"]),
+            store_fraction=float(params["store_fraction"]),
+        )
+        report = sweep_family(
+            spec, [params["model"]], count=params["count"],
+            trials=params["trials"], seed=params["seed"],
+            confidence=params["confidence"], config=config,
+        )
+    except LitmusError as error:
+        raise ServiceError(400, "bad-param", str(error)) from None
+    return report.to_json_dict()
 
 
 _MODEL = ParamSpec("model", (str,), "memory model name (`SC`/`TSO`/`PSO`/`WO`)",
@@ -214,6 +237,40 @@ ESTIMATORS: dict[str, EstimatorSpec] = {
             _SEED,
         ),
         runner=_run_litmus_explore,
+    ),
+    "litmus_family": EstimatorSpec(
+        name="litmus_family",
+        summary="manifestation brackets of a generated litmus-program "
+                "family under one zoo model: seed-disciplined constrained "
+                "random programs, sampled weak mass vs the enumerated SC "
+                "baseline with Wilson intervals",
+        params=(
+            ParamSpec("model", (str,),
+                      "zoo model name (`SC`/`TSO`/`PSO`/`WO`/`PSO-WB`/"
+                      "`SC-NMCA`/`WO-NMCA`)", required=True),
+            ParamSpec("threads", (int,), "threads per generated program",
+                      default=2),
+            ParamSpec("ops_per_thread", (int,),
+                      "memory operations per thread (critical pair "
+                      "included)", default=4),
+            ParamSpec("addresses", (int,), "filler address-pool size",
+                      default=2),
+            ParamSpec("spacing", (int,),
+                      "fillers strictly between the critical store and "
+                      "load", default=0),
+            ParamSpec("fence_density", (float, int),
+                      "probability of a fence between consecutive "
+                      "operations", default=0.0),
+            ParamSpec("store_fraction", (float, int),
+                      "probability a filler is a store", default=0.5),
+            ParamSpec("count", (int,), "family members to generate",
+                      default=4),
+            ParamSpec("trials", (int,),
+                      "sampling budget per family member", default=20_000),
+            _SEED,
+            _CONFIDENCE,
+        ),
+        runner=_run_litmus_family,
     ),
 }
 

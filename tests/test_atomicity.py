@@ -95,3 +95,37 @@ class TestScopingCheck:
             assert project(atomic, tuple((key, 0) for key in keys)) <= project(
                 non_atomic, tuple((key, 0) for key in keys)
             ), name
+
+
+class TestFenceDrain:
+    """A full fence drains the thread's *outgoing* propagation channels:
+    it may only execute once every other thread has received all of this
+    thread's earlier stores.  (It always ordered the thread's own view;
+    without the drain it was a no-op toward other threads, and fully
+    fenced SB stayed reachable under SC — fences could not restore SC on
+    non-atomic memory.)
+    """
+
+    def test_fully_fenced_sb_forbidden_without_reordering(self):
+        assert not relaxed_reachable(get_test("SB+FF"), SC)
+
+    def test_unfenced_sb_still_reachable(self):
+        """The drain must not over-restrict: without fences, delayed
+        propagation still exposes the relaxed SB outcome under SC."""
+        assert relaxed_reachable(get_test("SB"), SC)
+
+    def test_fully_fenced_mp_stays_forbidden(self):
+        assert not relaxed_reachable(get_test("MP+FF"), SC)
+
+    def test_fences_only_restrict(self):
+        """Fencing never adds outcomes: fenced SB's outcome set is a
+        subset of unfenced SB's (projected onto the observed registers)."""
+        sb, fenced = get_test("SB"), get_test("SB+FF")
+        reference = sb.relaxed_outcome
+        unfenced = project(
+            enumerate_outcomes_non_atomic(list(sb.programs), SC), reference)
+        drained = project(
+            enumerate_outcomes_non_atomic(list(fenced.programs), SC),
+            reference)
+        assert drained <= unfenced
+        assert drained < unfenced  # the relaxed outcome is gone

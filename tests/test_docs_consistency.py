@@ -258,6 +258,33 @@ def test_litmus_doc_and_e23_documented(litmus_text):
     assert "litmus explore" in readme, "README lacks a litmus explore example"
 
 
+def test_family_doc_and_e24_documented(litmus_text, api_text):
+    from repro.reporting import get_experiment
+
+    e24 = get_experiment("E24")
+    assert e24.modules == ("repro.litmus.generate", "repro.litmus.zoo")
+    experiments = (README.parent / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "## E24" in experiments, "EXPERIMENTS.md lacks the E24 section"
+    assert e24.bench in experiments
+    # The generator/zoo surface a reader must be able to look up.
+    for needle in ("FamilySpec", "family_member", "generate_family",
+                   "family_digests", "sweep_family", "get_zoo_model",
+                   "PSO-WB", "SC-NMCA", "WO-NMCA", "model_digest",
+                   "GENERATOR_LANE", "enumerate_outcomes_buffered",
+                   "litmus generate", "--spacing", "--fence-density",
+                   "litmus_family", "--family-trials",
+                   "BENCH_litmus_family.json"):
+        assert needle in litmus_text, f"docs/LITMUS.md lacks {needle!r}"
+    # The exports land in the API reference too.
+    for needle in ("FamilySpec", "sweep_family", "get_zoo_model",
+                   "enumerate_outcomes_buffered", "model_digest",
+                   "ATOMICITY_FLAVORS", "litmus generate"):
+        assert needle in api_text, f"docs/API.md lacks {needle!r}"
+    readme = README.read_text(encoding="utf-8")
+    assert "litmus generate" in readme, "README lacks a litmus generate example"
+    assert "BENCH_litmus_family.json" in readme
+
+
 def test_litmus_doc_is_cross_linked(litmus_text, api_text, caching_text,
                                     obs_text):
     for target in ("API.md", "CACHING.md", "OBSERVABILITY.md"):

@@ -14,7 +14,8 @@ import json
 
 import pytest
 
-from repro.core import PAPER_MODELS, PSO, SC, TSO, WO
+from repro.core import ALL_PAIRS, PAPER_MODELS, PSO, SC, TSO, WO, MemoryModel
+from repro.core.instructions import LD, ST
 from repro.errors import LitmusError
 from repro.litmus import (
     ALL_TESTS,
@@ -162,8 +163,80 @@ class TestExhaustiveCache:
         fingerprint = enumerator_fingerprint()
         tso = explore_entry_key(digest, "TSO", fingerprint)
         assert tso == explore_entry_key(digest, "TSO", fingerprint)
+        assert tso == explore_entry_key(digest, TSO, fingerprint)
         assert tso != explore_entry_key(digest, "PSO", fingerprint)
         assert tso != explore_entry_key(digest, "TSO", "0" * 16)
+
+    def test_entry_key_is_semantic_not_nominal(self):
+        """Two same-named models with different semantics never collide;
+        two models with the same semantics share a key whatever they are
+        called (the v2 key folds :func:`model_digest`, not the name)."""
+        digest = program_digest(get_test("SB"))
+        fingerprint = enumerator_fingerprint()
+        fake_tso = MemoryModel("TSO", ALL_PAIRS)
+        assert explore_entry_key(digest, fake_tso, fingerprint) \
+            != explore_entry_key(digest, TSO, fingerprint)
+        renamed_tso = MemoryModel("house-model", [(ST, LD)],
+                                  description="TSO wearing another name")
+        assert explore_entry_key(digest, renamed_tso, fingerprint) \
+            == explore_entry_key(digest, TSO, fingerprint)
+
+
+class TestModelIdentityRegression:
+    """The model-identity bug: models used to travel to workers by *name*
+    (workers re-resolved ``get_model(model_name)``), so an ad-hoc
+    :class:`MemoryModel` either crashed in child processes or — when it
+    shadowed a registry name — silently ran with the registry model's
+    semantics and shared its cache entries.  Models now ship by value
+    and cache keys fold the semantic :func:`model_digest`.
+    """
+
+    def test_adhoc_model_shadowing_tso_keeps_its_own_semantics(self):
+        # A WO-relaxation model wearing TSO's name: LB's relaxed outcome
+        # is unreachable under real TSO but must be sampled here, and
+        # every sampled outcome must stay inside the *ad-hoc* model's
+        # enumerated set.  Pre-fix, workers resolved "TSO" from the
+        # registry and the relaxed outcome never appeared.
+        fake_tso = MemoryModel("TSO", ALL_PAIRS,
+                               description="WO wearing TSO's name")
+        lb = get_test("LB")
+        table = explore_random(lb, fake_tso, 4_000, seed=11,
+                               config=RunConfig(workers=2, shards=4))
+        assert table.frequency(lb.relaxed_outcome) > 0
+        report = check_convergence(table, test=lb, model=fake_tso)
+        assert report.contained
+
+    def test_unregistered_model_runs_in_worker_processes(self):
+        # Pre-fix this crashed: child processes looked the name up in
+        # the registry and "custom-wo" is not there.
+        custom = MemoryModel("custom-wo", ALL_PAIRS)
+        table = explore_random("SB", custom, 1_000, seed=3,
+                               config=RunConfig(workers=2, shards=4))
+        assert sum(count for _, count in table.counts) == 1_000
+        assert check_convergence(table, test="SB", model=custom).contained
+
+    def test_same_named_models_do_not_share_cache_entries(self, tmp_path):
+        config = RunConfig(workers=2, cache=str(tmp_path / "store"))
+        real = explore_exhaustive(["LB"], [TSO], config=config)
+        assert real.cache_stored == 1
+        fake = explore_exhaustive(
+            [get_test("LB")], [MemoryModel("TSO", ALL_PAIRS)], config=config)
+        # A warm store holding real TSO's outcome set must NOT serve the
+        # same-named impostor; pre-fix the name-keyed entry matched.
+        assert (fake.cache_hits, fake.cache_misses) == (0, 1)
+        assert fake.outcome_set("LB", "TSO") != real.outcome_set("LB", "TSO")
+        assert get_test("LB").relaxed_outcome in fake.outcome_set("LB", "TSO")
+
+    def test_random_mode_splits_same_named_models(self, tmp_path):
+        fake_tso = MemoryModel("TSO", ALL_PAIRS)
+        config = RunConfig(shards=4, cache=str(tmp_path / "store"))
+        real = explore_random("LB", "TSO", 2_000, seed=11, config=config)
+        impostor = explore_random("LB", fake_tso, 2_000, seed=11,
+                                  config=config)
+        assert real.counts != impostor.counts
+        lb = get_test("LB")
+        assert real.frequency(lb.relaxed_outcome) == 0
+        assert impostor.frequency(lb.relaxed_outcome) > 0
 
 
 class TestRandomDeterminism:
@@ -265,6 +338,21 @@ class TestConvergence:
         payload = table.to_json_dict()
         assert payload["trials"] == 1_000
         assert sum(payload["counts"].values()) == 1_000
+
+    def test_replace_rebuilds_count_cache(self):
+        """``count()`` answers from a mapping built once in
+        ``__post_init__``; a ``dataclasses.replace`` with new counts must
+        rebuild it rather than alias the donor's cache."""
+        outcome = (("T0:r1", 0), ("T1:r2", 0))
+        table = OutcomeFrequencies(
+            test="SB", model="TSO", trials=10, seed=0, shards=1,
+            rng_plan="spawn", counts=((outcome, 10),))
+        assert table.count(outcome) == 10
+        other = (("T0:r1", 1), ("T1:r2", 1))
+        replaced = dataclasses.replace(table, counts=((other, 10),))
+        assert replaced.count(other) == 10
+        assert replaced.count(outcome) == 0
+        assert table.count(outcome) == 10
 
 
 class TestRobustness:

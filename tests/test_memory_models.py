@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ALL_PAIRS, LD, PAPER_MODELS, PSO, SC, ST, TSO, WO, MemoryModel
-from repro.core import get_model, table1_rows
+from repro.core import get_model, model_digest, table1_rows
 from repro.errors import ModelDefinitionError
 
 
@@ -133,3 +133,75 @@ class TestDunder:
 
     def test_str_is_name(self, paper_model):
         assert str(paper_model) == paper_model.name
+
+
+class TestAtomicity:
+    def test_default_is_atomic(self, paper_model):
+        assert paper_model.atomicity == "atomic"
+
+    def test_non_atomic_flavor(self):
+        model = MemoryModel("SC-nmca", (), atomicity="non_atomic")
+        assert model.atomicity == "non_atomic"
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MemoryModel("bad", (), atomicity="telepathic")
+
+    def test_flavor_enters_equality_and_hash(self):
+        atomic = MemoryModel("SC", ())
+        non_atomic = MemoryModel("SC", (), atomicity="non_atomic")
+        assert atomic != non_atomic
+        assert len({atomic, non_atomic}) == 2
+
+    def test_with_settle_probability_preserves_flavor(self):
+        model = MemoryModel("wo-nmca", ALL_PAIRS, atomicity="non_atomic")
+        assert model.with_settle_probability(0.3).atomicity == "non_atomic"
+
+    def test_atomic_models_carry_no_extra_state(self, paper_model):
+        """Plan-key stability pin: the flavor attribute is stored only
+        when non-default, so the ``__dict__``-derived state (pickle, the
+        kernel-fingerprint canonical form) of every pre-existing atomic
+        model — and with it every estimator's v2 plan key — is exactly
+        what it was before the flavor existed."""
+        assert "_atomicity" not in vars(paper_model)
+        non_atomic = MemoryModel("x", (), atomicity="non_atomic")
+        assert vars(non_atomic)["_atomicity"] == "non_atomic"
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        for model in (TSO, MemoryModel("x", ALL_PAIRS,
+                                       atomicity="non_atomic")):
+            clone = pickle.loads(pickle.dumps(model))
+            assert clone == model
+            assert clone.atomicity == model.atomicity
+
+
+class TestModelDigest:
+    def test_name_and_description_excluded(self):
+        renamed = MemoryModel("house-model", [(ST, LD)],
+                              description="TSO in disguise")
+        assert model_digest(renamed) == model_digest(TSO)
+
+    def test_distinct_for_same_named_models(self):
+        fake_tso = MemoryModel("TSO", ALL_PAIRS)
+        assert model_digest(fake_tso) != model_digest(TSO)
+        assert model_digest(fake_tso) == model_digest(WO)
+
+    def test_sensitive_to_relaxations(self):
+        digests = {model_digest(model) for model in PAPER_MODELS}
+        assert len(digests) == len(PAPER_MODELS)
+
+    def test_sensitive_to_settle_probabilities(self):
+        assert model_digest(TSO.with_settle_probability(0.3)) \
+            != model_digest(TSO)
+
+    def test_sensitive_to_atomicity(self):
+        atomic = MemoryModel("SC", ())
+        non_atomic = MemoryModel("SC", (), atomicity="non_atomic")
+        assert model_digest(atomic) != model_digest(non_atomic)
+
+    def test_stable_hex16(self, paper_model):
+        digest = model_digest(paper_model)
+        assert len(digest) == 16
+        assert digest == model_digest(paper_model)

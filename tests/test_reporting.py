@@ -96,12 +96,12 @@ class TestFigures:
 
 
 class TestExperimentRegistry:
-    def test_twenty_three_experiments(self):
-        assert len(EXPERIMENTS) == 23
+    def test_twenty_four_experiments(self):
+        assert len(EXPERIMENTS) == 24
 
     def test_ids_sequential(self):
         assert [experiment.id for experiment in EXPERIMENTS] == [
-            f"E{i}" for i in range(1, 24)
+            f"E{i}" for i in range(1, 25)
         ]
 
     def test_lookup(self):
